@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation for the paper's two power-gating claims (Sec. 2.4.2/2.4.3):
+ *  - data-gating the idle GF arithmetic unit saves 77% of its dynamic
+ *    power (GF instructions are interleaved with control code);
+ *  - data-gating the reduction stage during gf32bMult saves 33%.
+ * The structural model supplies measured GF-unit duty cycles per
+ * kernel; the paper's percentages convert them into a power estimate.
+ */
+
+#include "bench_util.h"
+#include "hwmodel/synthesis.h"
+#include "kernels/aes_kernels.h"
+#include "kernels/coding_kernels.h"
+#include "kernels/wide_kernels.h"
+
+using namespace gfp;
+
+namespace {
+
+struct Duty
+{
+    const char *name;
+    uint64_t gf_ops;
+    uint64_t cycles;
+};
+
+template <typename Setup>
+Duty
+measure(const char *name, const std::string &src, Setup setup)
+{
+    Machine m(src, CoreKind::kGfProcessor);
+    setup(m);
+    CycleStats s = m.runToHalt();
+    return {name, s.gf_simd_ops + s.gf32_ops + s.gfcfg_ops, s.cycles};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation", "GF-unit duty cycle and the data-gating "
+                              "power argument");
+    ProcessorSynthesis p;
+
+    bench::RsWorkload w(8, 8, 8, 11);
+    Aes aes(std::vector<uint8_t>(16, 0x77));
+    BinaryField f233 = BinaryField::nist("233");
+
+    std::vector<Duty> rows;
+    rows.push_back(measure("RS syndrome",
+                           syndromeAsmGfcore(w.field, w.n, 16),
+                           [&](Machine &m) {
+                               m.writeBytes("rxdata", w.rxBytes());
+                           }));
+    rows.push_back(measure("RS BMA", bmaAsmGfcore(w.field, 16),
+                           [&](Machine &m) {
+                               m.writeBytes("synd", w.syndBytes());
+                           }));
+    rows.push_back(measure("AES-128 block", aesBlockAsmGfcore(false),
+                           [&](Machine &m) {
+                               m.writeBytes("rkeys",
+                                            bench::roundKeyBytes(aes));
+                               m.writeBytes("state",
+                                            std::vector<uint8_t>(16, 1));
+                           }));
+    rows.push_back(measure("GF(2^233) mult", mult233DirectAsm(),
+                           [&](Machine &m) {
+                               m.writeBytes("opa", bench::elemBytes(
+                                   f233.randomElement(1)));
+                               m.writeBytes("opb", bench::elemBytes(
+                                   f233.randomElement(2)));
+                           }));
+
+    // Power model: with data gating, an idle cycle costs 23% of an
+    // active cycle (the paper's "77% dynamic power savings"); without
+    // gating, the shared pipeline register toggles the unit every
+    // cycle.  Calibrate the active-cycle power A so the gated model
+    // reproduces the published 152 uW at the AES duty cycle.
+    double aes_duty = static_cast<double>(rows[2].gf_ops) /
+                      rows[2].cycles;
+    double active_uw =
+        p.gfau_power_uw / (aes_duty + 0.23 * (1.0 - aes_duty));
+
+    std::printf("%-16s %8s %8s %7s | %15s %15s %9s\n", "kernel",
+                "GF ops", "cycles", "duty", "gated (uW)",
+                "ungated (uW)", "saved");
+    for (const Duty &d : rows) {
+        double duty = static_cast<double>(d.gf_ops) / d.cycles;
+        double gated = active_uw * (duty + 0.23 * (1.0 - duty));
+        double ungated = active_uw;
+        std::printf("%-16s %8llu %8llu %6.1f%% | %15.1f %15.1f %8.0f%%\n",
+                    d.name,
+                    static_cast<unsigned long long>(d.gf_ops),
+                    static_cast<unsigned long long>(d.cycles),
+                    100 * duty, gated, ungated,
+                    100.0 * (1.0 - gated / ungated));
+    }
+
+    std::printf("\npaper's claims, reproduced as constants with our "
+                "duty cycles:\n");
+    std::printf("  idle-unit data gating: 77%% dynamic savings while "
+                "the unit idles (zero-feed inputs)\n");
+    std::printf("  gf32bMult reduction-stage gating: 33%% power "
+                "reduction during partial products\n");
+    bench::note("the duty cycles show why gating matters: even the "
+                "densest kernel leaves the GFAU idle most cycles "
+                "because loads/stores and control interleave.");
+    return 0;
+}

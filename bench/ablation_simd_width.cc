@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation behind the paper's Sec. 2.4.3 design choice: a four-lane
+ * 8-bit SIMD datapath.  Measures the syndrome kernel (the most
+ * parallel decoder kernel) with 1/2/4 live lanes, and reasons about
+ * wider datapaths from the application parallelism in Table 5.
+ */
+
+#include "bench_util.h"
+#include "kernels/coding_kernels.h"
+
+using namespace gfp;
+
+int
+main()
+{
+    bench::header("Ablation", "SIMD width (paper Sec. 2.4.3: why "
+                              "four-way is the sweet spot)");
+    bench::RsWorkload w(8, 8, 8, 4242);
+
+    std::printf("RS(255,239,8) syndrome kernel, 16 syndromes:\n");
+    std::printf("  %5s %10s %10s %10s\n", "lanes", "cycles", "vs 1-lane",
+                "efficiency");
+    uint64_t base = 0;
+    for (unsigned lanes : {1u, 2u, 4u}) {
+        Machine m(syndromeAsmGfcoreLanes(w.field, w.n, 16, lanes),
+                  CoreKind::kGfProcessor);
+        m.writeBytes("rxdata", w.rxBytes());
+        uint64_t c = m.runToHalt().cycles;
+        if (lanes == 1)
+            base = c;
+        std::printf("  %5u %10llu %9.2fx %9.0f%%\n", lanes,
+                    static_cast<unsigned long long>(c),
+                    bench::ratio(base, c),
+                    100.0 * base / (c * lanes));
+    }
+
+    std::printf("\nBCH(31,11,5): 10 syndromes — a 4-lane pass wastes 2 "
+                "lanes in the last group:\n");
+    bench::BchWorkload b(5, 5, 5, 99);
+    for (unsigned lanes : {1u, 2u, 4u}) {
+        Machine m(syndromeAsmGfcoreLanes(b.field, b.n, 10, lanes),
+                  CoreKind::kGfProcessor);
+        m.writeBytes("rxdata", b.rx);
+        std::printf("  %u lanes: %llu cycles\n", lanes,
+                    static_cast<unsigned long long>(
+                        m.runToHalt().cycles));
+    }
+
+    bench::note("scaling is near-linear up to 4 lanes; beyond that, "
+                "Table 5's kernels run out of independent work (2t "
+                "syndromes, 4-byte AES columns, nu <= t error "
+                "locations), while a 32-bit partial product and a SIMD "
+                "inverse both consume exactly 16 multipliers — the "
+                "resource-sharing argument for stopping at 4.");
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Shared glue for the per-table/per-figure benchmark binaries: workload
+ * construction, kernel execution on both cores, and uniform report
+ * formatting.  Every bench prints the paper's published values next to
+ * this reproduction's measured values so the shape comparison is
+ * immediate.
+ */
+
+#ifndef GFP_BENCH_BENCH_UTIL_H
+#define GFP_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "coding/bch.h"
+#include "coding/channel.h"
+#include "coding/decoder_kernels.h"
+#include "coding/rs.h"
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/ecc.h"
+#include "sim/machine.h"
+
+namespace gfp {
+namespace bench {
+
+inline void
+header(const std::string &id, const std::string &title)
+{
+    std::printf("\n================================================="
+                "=====================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("==================================================="
+                "===================\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+inline double
+ratio(uint64_t a, uint64_t b)
+{
+    return b ? static_cast<double>(a) / static_cast<double>(b) : 0.0;
+}
+
+/** 32-byte little-endian image of a GF(2^233) element. */
+inline std::vector<uint8_t>
+elemBytes(const Gf2x &v)
+{
+    auto words = v.toWords32(8);
+    std::vector<uint8_t> out;
+    for (uint32_t w : words)
+        for (unsigned b = 0; b < 4; ++b)
+            out.push_back(static_cast<uint8_t>(w >> (8 * b)));
+    return out;
+}
+
+inline Gf2x
+readElem(Machine &m, const std::string &label)
+{
+    auto bytes = m.readBytes(label, 32);
+    std::vector<uint32_t> words(8);
+    for (unsigned i = 0; i < 8; ++i)
+        for (unsigned b = 0; b < 4; ++b)
+            words[i] |= static_cast<uint32_t>(bytes[4 * i + b]) << (8 * b);
+    return Gf2x::fromWords32(words);
+}
+
+/** XOR-ready round-key byte blocks for the AES kernels. */
+inline std::vector<uint8_t>
+roundKeyBytes(const Aes &aes)
+{
+    std::vector<uint8_t> out;
+    for (uint32_t word : aes.roundKeys()) {
+        out.push_back(static_cast<uint8_t>(word >> 24));
+        out.push_back(static_cast<uint8_t>(word >> 16));
+        out.push_back(static_cast<uint8_t>(word >> 8));
+        out.push_back(static_cast<uint8_t>(word));
+    }
+    return out;
+}
+
+/** A decodable RS workload with its reference intermediates. */
+struct RsWorkload
+{
+    GFField field;
+    unsigned n, t;
+    std::vector<GFElem> rx;
+    std::vector<GFElem> synd;
+    GFPoly lambda;
+    std::vector<unsigned> locs;
+
+    RsWorkload(unsigned m, unsigned t_, unsigned errors, uint64_t seed)
+        : field(m), n(field.groupOrder()), t(t_), lambda(field)
+    {
+        RSCode code(m, t_);
+        Rng rng(seed);
+        std::vector<GFElem> info(code.k());
+        for (auto &sym : info)
+            sym = rng.below(field.order());
+        ExactErrorInjector inj(seed + 1);
+        rx = inj.corruptSymbols(code.encode(info), errors, m);
+        synd = syndromes(field, rx, 2 * t_);
+        lambda = berlekampMassey(field, synd);
+        locs = chienSearch(field, lambda, n);
+    }
+
+    std::vector<uint8_t> rxBytes() const
+    {
+        return std::vector<uint8_t>(rx.begin(), rx.end());
+    }
+    std::vector<uint8_t> syndBytes() const
+    {
+        return std::vector<uint8_t>(synd.begin(), synd.end());
+    }
+    std::vector<uint8_t> lambdaBytes() const
+    {
+        std::vector<uint8_t> out(12, 0);
+        for (int i = 0; i <= lambda.degree(); ++i)
+            out[i] = static_cast<uint8_t>(lambda.coeff(i));
+        return out;
+    }
+    std::vector<uint8_t> locsBytes() const
+    {
+        std::vector<uint8_t> out(12, 0);
+        for (size_t i = 0; i < locs.size(); ++i)
+            out[i] = static_cast<uint8_t>(locs[i]);
+        return out;
+    }
+};
+
+/** A binary-BCH workload (bit symbols) with reference intermediates. */
+struct BchWorkload
+{
+    GFField field;
+    unsigned n, t;
+    std::vector<uint8_t> rx;
+    std::vector<GFElem> synd;
+    GFPoly lambda;
+
+    BchWorkload(unsigned m, unsigned t_, unsigned errors, uint64_t seed);
+
+    std::vector<uint8_t> syndBytes() const
+    {
+        return std::vector<uint8_t>(synd.begin(), synd.end());
+    }
+    std::vector<uint8_t> lambdaBytes() const
+    {
+        std::vector<uint8_t> out(12, 0);
+        for (int i = 0; i <= lambda.degree(); ++i)
+            out[i] = static_cast<uint8_t>(lambda.coeff(i));
+        return out;
+    }
+};
+
+inline BchWorkload::BchWorkload(unsigned m, unsigned t_, unsigned errors,
+                                uint64_t seed)
+    : field(m), n(field.groupOrder()), t(t_), lambda(field)
+{
+    BCHCode code(m, t_);
+    Rng rng(seed);
+    std::vector<uint8_t> info(code.k());
+    for (auto &bit : info)
+        bit = static_cast<uint8_t>(rng.below(2));
+    ExactErrorInjector inj(seed + 1);
+    rx = inj.flipBits(code.encode(info), errors);
+    std::vector<GFElem> rx_syms(rx.begin(), rx.end());
+    synd = syndromes(field, rx_syms, 2 * t_);
+    lambda = berlekampMassey(field, synd);
+}
+
+} // namespace bench
+} // namespace gfp
+
+#endif // GFP_BENCH_BENCH_UTIL_H

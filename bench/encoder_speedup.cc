@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Extension bench: the paper states encoding "is also feasible with the
+ * proposed architecture" (Sec. 3.1).  Measures the systematic RS
+ * encoder (LFSR division by g(x)) on both cores.
+ */
+
+#include "bench_util.h"
+#include "kernels/coding_kernels.h"
+
+using namespace gfp;
+
+int
+main()
+{
+    bench::header("Extension", "systematic RS encoder on both cores");
+    std::printf("%-14s %10s %10s %10s | %8s %8s\n", "code",
+                "compiled", "hand-opt", "GF core", "spd(c)", "spd(h)");
+    for (auto [m, t] : {std::pair{8u, 8u}, {8u, 4u}, {8u, 2u},
+                        {5u, 2u}}) {
+        RSCode code(m, t);
+        Rng rng(m + t);
+        std::vector<uint8_t> info(code.k());
+        for (auto &b : info)
+            b = static_cast<uint8_t>(rng.below(code.field().order()));
+
+        auto run = [&](const std::string &src, CoreKind kind) {
+            Machine mach(src, kind);
+            mach.writeBytes("infodata", info);
+            return mach.runToHalt().cycles;
+        };
+        uint64_t comp = run(rsEncodeAsmBaseline(
+                                code.field(), t, BaselineFlavor::kCompiled),
+                            CoreKind::kBaseline);
+        uint64_t hand = run(rsEncodeAsmBaseline(
+                                code.field(), t,
+                                BaselineFlavor::kHandOptimized),
+                            CoreKind::kBaseline);
+        uint64_t gf = run(rsEncodeAsmGfcore(code.field(), t),
+                          CoreKind::kGfProcessor);
+        std::printf("RS(%3u,%3u,%u) %10llu %10llu %10llu | %7.1fx "
+                    "%7.1fx\n",
+                    code.n(), code.k(), t,
+                    static_cast<unsigned long long>(comp),
+                    static_cast<unsigned long long>(hand),
+                    static_cast<unsigned long long>(gf),
+                    bench::ratio(comp, gf), bench::ratio(hand, gf));
+    }
+    bench::note("the parity-register update (2t multiply-accumulates "
+                "per symbol) vectorizes four coefficients per "
+                "gfMult_simd — encode shows the same gains as the "
+                "syndrome kernel.");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reproduces the paper's motivating claim (Secs. 1.1 / Fig. 3): one
+ * flexible GF datapath should serve many (n, k, t) block codes because
+ * different channel conditions favor different codes.  Sweeps BCH and
+ * RS codes over a uniform-error channel and a bursty channel and
+ * reports post-decoding word error rates and effective code rates.
+ */
+
+#include "bench_util.h"
+
+using namespace gfp;
+
+namespace {
+
+struct CodeResult
+{
+    double wer;
+    double rate;
+};
+
+template <typename EncodeDecode>
+CodeResult
+trial(unsigned trials, EncodeDecode &&fn)
+{
+    unsigned failures = 0;
+    double rate = 0;
+    for (unsigned i = 0; i < trials; ++i) {
+        auto [ok, r] = fn(i);
+        failures += !ok;
+        rate = r;
+    }
+    return {static_cast<double>(failures) / trials, rate};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig 3 (motivation)", "coding flexibility: "
+                  "different channels favor different GF codes");
+    const unsigned kTrials = 120;
+
+    struct BchSpec { unsigned m, t; };
+    std::vector<BchSpec> bch_specs{{5, 1}, {5, 3}, {5, 5}, {6, 2},
+                                   {6, 4}};
+    struct RsSpec { unsigned m, t; };
+    std::vector<RsSpec> rs_specs{{8, 2}, {8, 8}};
+
+    for (double ber : {0.005, 0.02}) {
+        std::printf("\nuniform channel (BSC), bit error rate %.3f:\n",
+                    ber);
+        std::printf("  %-16s %8s %10s\n", "code", "rate", "word-err");
+        for (auto spec : bch_specs) {
+            BCHCode code(spec.m, spec.t);
+            Rng rng(42);
+            BscChannel ch(ber, 1000 + spec.m * 10 + spec.t);
+            auto res = trial(kTrials, [&](unsigned) {
+                std::vector<uint8_t> info(code.k());
+                for (auto &bit : info)
+                    bit = static_cast<uint8_t>(rng.below(2));
+                auto cw = code.encode(info);
+                auto dec = code.decode(ch.transmit(cw));
+                return std::pair{dec.ok && dec.codeword == cw,
+                                 code.rate()};
+            });
+            std::printf("  BCH(%2u,%2u,%u)    %8.3f %10.3f\n", code.n(),
+                        code.k(), code.t(), res.rate, res.wer);
+        }
+        for (auto spec : rs_specs) {
+            RSCode code(spec.m, spec.t);
+            Rng rng(43);
+            BscChannel ch(ber, 2000 + spec.t);
+            auto res = trial(kTrials / 4, [&](unsigned) {
+                std::vector<GFElem> info(code.k());
+                for (auto &sym : info)
+                    sym = rng.nextByte();
+                auto cw = code.encode(info);
+                auto dec = code.decode(ch.transmitSymbols(cw, 8));
+                return std::pair{dec.ok && dec.codeword == cw,
+                                 code.rate()};
+            });
+            std::printf("  RS(%3u,%3u,%u)   %8.3f %10.3f\n", code.n(),
+                        code.k(), code.t(), res.rate, res.wer);
+        }
+    }
+
+    std::printf("\nbursty channel (Gilbert-Elliott, avg BER ~0.01, "
+                "burst errors):\n");
+    std::printf("  %-16s %8s %10s\n", "code", "rate", "word-err");
+    {
+        BCHCode bch(5, 3);
+        Rng rng(7);
+        GilbertElliottChannel ch(0.004, 0.12, 0.0005, 0.25, 77);
+        auto res = trial(kTrials, [&](unsigned) {
+            std::vector<uint8_t> info(bch.k());
+            for (auto &bit : info)
+                bit = static_cast<uint8_t>(rng.below(2));
+            auto cw = bch.encode(info);
+            auto dec = bch.decode(ch.transmit(cw));
+            return std::pair{dec.ok && dec.codeword == cw, bch.rate()};
+        });
+        std::printf("  BCH(31,16,3)    %8.3f %10.3f\n", res.rate,
+                    res.wer);
+    }
+    {
+        RSCode rs(8, 8);
+        Rng rng(8);
+        GilbertElliottChannel ch(0.004, 0.12, 0.0005, 0.25, 78);
+        auto res = trial(kTrials / 4, [&](unsigned) {
+            std::vector<GFElem> info(rs.k());
+            for (auto &sym : info)
+                sym = rng.nextByte();
+            auto cw = rs.encode(info);
+            auto dec = rs.decode(ch.transmitSymbols(cw, 8));
+            return std::pair{dec.ok && dec.codeword == cw, rs.rate()};
+        });
+        std::printf("  RS(255,239,8)   %8.3f %10.3f\n", res.rate,
+                    res.wer);
+    }
+    bench::note("uniform errors: light BCH suffices at low BER, "
+                "heavier t at high BER (rate/robustness trade).  "
+                "bursts: RS symbols absorb multi-bit bursts that "
+                "overwhelm comparable-rate BCH — exactly why one "
+                "programmable GF datapath pays off.");
+    return 0;
+}

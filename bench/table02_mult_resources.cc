@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 2: resource comparison between the bit-pipelined
+ * systolic GF multiplier and this work's single-step linear-transform
+ * multiplier, across field widths.
+ */
+
+#include "bench_util.h"
+#include "hwmodel/resource_models.h"
+
+using namespace gfp;
+
+int
+main()
+{
+    bench::header("Table 2", "GF multiplication resource comparison "
+                             "(AND:MUX:XOR:FF = 1:2.25:2.25:4 @28nm)");
+
+    std::printf("%4s | %10s %10s %10s | %10s %10s %10s | %6s\n", "m",
+                "sys AND", "sys XOR", "sys FF", "lin AND", "lin XOR",
+                "lin FF", "ratio");
+    for (unsigned m : {2u, 3u, 4u, 5u, 6u, 7u, 8u, 12u, 16u}) {
+        GateCost sys = systolicMultCost(m);
+        GateCost lin = linearTransformMultCost(m);
+        std::printf("%4u | %10.0f %10.0f %10.0f | %10.0f %10.0f %10.0f "
+                    "| %5.2fx\n",
+                    m, sys.and_gates, sys.xor_gates, sys.flipflops,
+                    lin.and_gates, lin.xor_gates, lin.flipflops,
+                    sys.areaUnits() / lin.areaUnits());
+    }
+
+    std::printf("\nClosed forms at m = 8 (paper's formulas):\n");
+    std::printf("  systolic total area  16.5m^2 - 10m  = %.0f AND-eq\n",
+                systolicMultAreaClosedForm(8));
+    std::printf("  this work total area 6.5m^2 - 7.75m = %.0f AND-eq\n",
+                linearMultAreaClosedForm(8));
+    std::printf("  configuration FF (shared): systolic %g, "
+                "this work %g (the 56-bit P matrix)\n",
+                systolicMultConfigFf(8), linearMultConfigFf(8));
+    bench::note("shape check: this work < systolic at every width; the "
+                "config register is the (shared, amortized) price.");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces Table 7: operation/cycle breakdown of the GF(2^233)
+ * multiplication and squaring on the GF processor, attributed to the
+ * paper's three phases (full product / rearrange / polynomial
+ * reduction) via the kernel's phase labels.
+ */
+
+#include <map>
+
+#include "bench_util.h"
+#include "kernels/wide_kernels.h"
+
+using namespace gfp;
+
+namespace {
+
+struct PhaseCounts
+{
+    uint64_t ld = 0, st = 0, gf32 = 0, alu = 0, cycles = 0;
+};
+
+/** Run @p src attributing per-instruction costs to labeled phases. */
+std::map<std::string, PhaseCounts>
+profile(const std::string &src,
+        const std::vector<std::pair<std::string, std::string>> &phases,
+        const std::vector<std::pair<std::string,
+                                    std::vector<uint8_t>>> &inputs)
+{
+    Machine m(src, CoreKind::kGfProcessor);
+    for (const auto &[label, bytes] : inputs)
+        m.writeBytes(label, bytes);
+
+    // Phase = last label at or below pc (phases sorted by address).
+    std::vector<std::pair<uint32_t, std::string>> bounds;
+    for (const auto &[label, name] : phases)
+        bounds.emplace_back(m.addr(label), name);
+    std::sort(bounds.begin(), bounds.end());
+
+    std::map<std::string, PhaseCounts> out;
+    m.core().setTraceHook([&](uint32_t pc, const Instr &in) {
+        std::string name = "other";
+        for (const auto &[addr, n] : bounds)
+            if (pc >= addr)
+                name = n;
+        PhaseCounts &c = out[name];
+        unsigned cyc = 1;
+        switch (classOf(in.op)) {
+          case InstrClass::kLoad: ++c.ld; cyc = 2; break;
+          case InstrClass::kStore: ++c.st; cyc = 2; break;
+          case InstrClass::kGf32: ++c.gf32; break;
+          case InstrClass::kBranch: ++c.alu; cyc = 2; break;
+          default: ++c.alu; break;
+        }
+        c.cycles += cyc;
+    });
+    m.runToHalt();
+    return out;
+}
+
+void
+printPhase(const char *name, const PhaseCounts &c, const char *paper)
+{
+    std::printf("  %-22s %5llu %5llu %8llu %6llu %7llu   %s\n", name,
+                static_cast<unsigned long long>(c.ld),
+                static_cast<unsigned long long>(c.st),
+                static_cast<unsigned long long>(c.gf32),
+                static_cast<unsigned long long>(c.alu),
+                static_cast<unsigned long long>(c.cycles), paper);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table 7", "GF(2^233) mult/square cycle breakdown on "
+                             "the GF processor (K-233 trinomial)");
+    BinaryField f = BinaryField::nist("233");
+    auto a = bench::elemBytes(f.randomElement(11));
+    auto b = bench::elemBytes(f.randomElement(12));
+
+    std::printf("233-bit multiplication (direct product):\n");
+    std::printf("  %-22s %5s %5s %8s %6s %7s   %s\n", "phase", "LD",
+                "ST", "GF32mul", "ALU*", "cycles", "paper (LD/ST/GF32/"
+                "ALU/cyc)");
+    auto mul = profile(mult233DirectAsm(),
+                       {{"fmul", "product"},
+                        {"fm_rearrange", "rearrange"},
+                        {"fm_reduce", "reduction"}},
+                       {{"opa", a}, {"opb", b}});
+    printPhase("full product", mul["product"], "72/71/64/112/462");
+    printPhase("rearrange", mul["rearrange"], " 8/-/-/29/45");
+    printPhase("polynomial reduction", mul["reduction"],
+               " 8/8/-/60/92");
+    printPhase("call/halt overhead", mul["other"], "-");
+    uint64_t total = 0;
+    for (auto &[k, v] : mul)
+        total += v.cycles;
+    std::printf("  total: %llu cycles (paper: 599)\n",
+                static_cast<unsigned long long>(total));
+
+    std::printf("\n233-bit squaring (interleaved product + rearrange, "
+                "as in the paper's Sec. 3.3.4):\n");
+    auto sq = profile(square233Asm(), {{"fsqr", "square"}},
+                      {{"opa", a}});
+    printPhase("product+rearrange+red.", sq["square"],
+               "49 + 87 = 136 total");
+    printPhase("call/halt overhead", sq["other"], "-");
+    uint64_t sq_total = 0;
+    for (auto &[k, v] : sq)
+        sq_total += v.cycles;
+    std::printf("  total: %llu cycles (paper: 136)\n",
+                static_cast<unsigned long long>(sq_total));
+    bench::note("ALU* column includes branches/calls; the paper's "
+                "footnote likewise lumps bitwise ops into 'ALUs'.");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Table 10: power/area composition of the GF arithmetic
+ * unit in 28nm (published calibration + internal-consistency checks).
+ */
+
+#include "bench_util.h"
+#include "hwmodel/synthesis.h"
+
+using namespace gfp;
+
+int
+main()
+{
+    bench::header("Table 10", "GF arithmetic unit area (28nm, "
+                              "m=5..8, arbitrary polynomial)");
+    GfauSynthesis g;
+    std::printf("%-28s %10s %10s %14s\n", "", "GF mult", "GF sq",
+                "inst. control");
+    std::printf("%-28s %10u %10u %14s\n", "# of primitive units",
+                g.mult.count, g.square.count, "-");
+    std::printf("%-28s %10.2f %10.2f %14s\n",
+                "single unit area (um^2)", g.mult.area_um2,
+                g.square.area_um2, "-");
+    std::printf("%-28s %10.0f %10.0f %14.0f\n", "array area (um^2)",
+                g.multArrayArea(), g.squareArrayArea(),
+                g.control_area_um2);
+    std::printf("%-28s %10s %10s %14s\n", "", "", "", "");
+    std::printf("published total area: %.0f um^2   column sum: %.0f "
+                "um^2 (paper-internal discrepancy of %.0f um^2, "
+                "reproduced as printed)\n",
+                g.total_area_um2, g.columnSumArea(),
+                g.columnSumArea() - g.total_area_um2);
+    std::printf("critical path: %.2f ns @ GF multiplicative inverse\n",
+                g.critical_path_ns);
+    bench::note("< 6000 um^2 and < 3 ns: compact enough to drop into "
+                "an embedded core as an accelerator block.");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Table 11 (processor characteristics) plus the Sec. 3.4.2
+ * voltage-scaling result.
+ */
+
+#include "bench_util.h"
+#include "hwmodel/synthesis.h"
+
+using namespace gfp;
+
+int
+main()
+{
+    bench::header("Table 11", "GF processor characteristics "
+                              "(28nm @ 0.9V, 100MHz)");
+    ProcessorSynthesis p;
+    std::printf("%-28s %12s %12s %12s\n", "", "gate count",
+                "area (um^2)", "power (uW)");
+    std::printf("%-28s %12u %12.0f %12s\n", "2-stage shell: comb.",
+                p.shell_comb_gates, p.shell_comb_area_um2, "-");
+    std::printf("%-28s %12u %12.0f %12s\n", "2-stage shell: reg file",
+                p.shell_rf_gates, p.shell_rf_area_um2, "-");
+    std::printf("%-28s %12u %12.0f %12.0f\n", "2-stage shell: total",
+                p.shell_total_gates, p.shell_total_area_um2,
+                p.shell_power_uw);
+    std::printf("%-28s %12u %12.0f %12.0f\n", "GF arithmetic unit",
+                p.gfau_gates, p.gfau_area_um2, p.gfau_power_uw);
+    std::printf("%-28s %12u %12.0f %12.0f\n", "design total",
+                p.total_gates, p.total_area_um2, p.total_power_uw);
+
+    std::printf("\nvoltage scaling (Sec. 3.4.2):\n");
+    std::printf("  dynamic-only V^2 model @0.7V: %.1f uW\n",
+                p.dynamicScaledPowerUw(0.7));
+    std::printf("  paper's SPICE result   @0.7V: %.0f uW "
+                "(GFAU %.0f uW) => %.2fx energy gain\n",
+                p.total_power_uw_at_07v, p.gfau_power_uw_at_07v,
+                p.voltageScalingEnergyGain());
+    std::printf("  max clock: %.0f MHz (IoT domain needs ~%.0f MHz)\n",
+                p.max_frequency_mhz, p.frequency_mhz);
+    return 0;
+}

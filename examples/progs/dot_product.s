@@ -1,0 +1,37 @@
+; GF(2^8) dot product of two 16-element vectors, four lanes at a time:
+;   acc ^= a[i] (x) b[i]
+; then a horizontal fold of the four lanes into r0.
+;
+; Run:  ./build/examples/gfp_asm examples/progs/dot_product.s
+
+    gfcfg  cfg
+    la     r1, veca
+    la     r2, vecb
+    movi   r3, #0          ; packed accumulator
+    movi   r0, #0          ; byte index
+loop:
+    ldr    r4, [r1, r0]
+    ldr    r5, [r2, r0]
+    gfmuls r4, r4, r5
+    gfadds r3, r3, r4
+    addi   r0, r0, #4
+    cmpi   r0, #16
+    bne    loop
+
+    ; fold the four lanes: r0 = l0 ^ l1 ^ l2 ^ l3
+    lsri   r4, r3, #16
+    eor    r3, r3, r4
+    lsri   r4, r3, #8
+    eor    r3, r3, r4
+    andi   r0, r3, #0xff
+    halt
+
+.data
+.align 8
+cfg:                        ; GF(2^8) / 0x11d
+    .word 0xe8743a1d, 0x081387cd
+veca:
+    .byte 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+vecb:
+    .byte 0x53, 0x53, 0x53, 0x53, 0xca, 0xca, 0xca, 0xca
+    .byte 0x01, 0x01, 0x01, 0x01, 0x80, 0x80, 0x80, 0x80

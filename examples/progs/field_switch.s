@@ -1,0 +1,25 @@
+; The coding-flexibility primitive: one gfcfg instruction retargets the
+; whole datapath between fields.  Computes 0x13 (x) 0x1d in GF(2^5) and
+; then {57} (x) {83} in the AES field GF(2^8)/0x11b, leaving the results
+; in r2 and r4.
+;
+; Run:  ./build/examples/gfp_asm examples/progs/field_switch.s
+
+    gfcfg  cfg_gf32         ; GF(2^5) / 0x25 (the BCH(31,k,t) field)
+    movi   r0, #0x13
+    movi   r1, #0x1d
+    gfmuls r2, r0, r1       ; lane 0 = 0x01 (they are inverses)
+
+    gfcfg  cfg_aes          ; GF(2^8) / 0x11b
+    movi   r3, #0x57
+    movi   r1, #0x83
+    gfmuls r4, r3, r1       ; lane 0 = 0xc1 (FIPS-197 example)
+    halt
+
+.data
+.align 8
+cfg_gf32:                   ; P columns for x^5 + x^2 + 1, m = 5
+    .word 0x0d140a05, 0x05000000
+.align 8
+cfg_aes:                    ; P columns for x^8 + x^4 + x^3 + x + 1
+    .word 0xd86c361b, 0x089a4dab

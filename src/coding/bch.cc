@@ -1,0 +1,104 @@
+#include "coding/bch.h"
+
+#include "coding/decoder_kernels.h"
+#include "coding/minpoly.h"
+#include "common/logging.h"
+
+namespace gfp {
+
+BCHCode::BCHCode(unsigned m, unsigned t, uint32_t poly)
+    : t_(t), field_(std::make_shared<GFField>(m, poly))
+{
+    if (!field_->primitive())
+        GFP_FATAL("BCH construction requires a primitive field polynomial");
+    n_ = field_->groupOrder();
+    generator_ = bchGenerator(*field_, t);
+    int deg = generator_.degree();
+    if (deg >= static_cast<int>(n_))
+        GFP_FATAL("BCH(m=%u, t=%u): generator degree %d leaves no "
+                  "information bits", m, t, deg);
+    k_ = n_ - static_cast<unsigned>(deg);
+}
+
+std::vector<uint8_t>
+BCHCode::encode(const std::vector<uint8_t> &info) const
+{
+    if (info.size() != k_)
+        GFP_FATAL("BCH encode: expected %u info bits, got %zu", k_,
+                  info.size());
+    // Systematic: c(x) = info(x) * x^(n-k) + (info(x) * x^(n-k) mod g).
+    Gf2x ipoly;
+    for (unsigned i = 0; i < k_; ++i)
+        if (info[i] & 1)
+            ipoly.setBit(i, 1);
+    Gf2x shifted = ipoly.shiftLeft(n_ - k_);
+    Gf2x cw = shifted ^ shifted.mod(generator_);
+
+    std::vector<uint8_t> out(n_, 0);
+    for (unsigned i = 0; i < n_; ++i)
+        out[i] = static_cast<uint8_t>(cw.getBit(i));
+    return out;
+}
+
+std::vector<uint8_t>
+BCHCode::extractInfo(const std::vector<uint8_t> &cw) const
+{
+    GFP_ASSERT(cw.size() == n_);
+    return std::vector<uint8_t>(cw.begin() + (n_ - k_), cw.end());
+}
+
+bool
+BCHCode::isCodeword(const std::vector<uint8_t> &word) const
+{
+    GFP_ASSERT(word.size() == n_);
+    std::vector<GFElem> r(word.begin(), word.end());
+    for (GFElem s : syndromes(*field_, r, 2 * t_))
+        if (s != 0)
+            return false;
+    return true;
+}
+
+BCHCode::DecodeResult
+BCHCode::decode(const std::vector<uint8_t> &received) const
+{
+    if (received.size() != n_)
+        GFP_FATAL("BCH decode: expected %u bits, got %zu", n_,
+                  received.size());
+
+    DecodeResult res;
+    res.codeword = received;
+
+    std::vector<GFElem> r(received.begin(), received.end());
+    std::vector<GFElem> synd = syndromes(*field_, r, 2 * t_);
+
+    bool all_zero = true;
+    for (GFElem s : synd)
+        all_zero &= (s == 0);
+    if (all_zero) {
+        res.ok = true;
+        return res; // no errors: skip the rest of the datapath
+    }
+
+    GFPoly lambda = berlekampMassey(*field_, synd);
+    unsigned nu = static_cast<unsigned>(lambda.degree());
+    if (nu > t_)
+        return res; // more errors than the designed distance covers
+
+    std::vector<unsigned> locations = chienSearch(*field_, lambda, n_);
+    if (locations.size() != nu)
+        return res; // locator didn't split over the field: uncorrectable
+
+    for (unsigned i : locations)
+        res.codeword[i] ^= 1; // binary errors: flipping corrects
+
+    // Re-check: a miscorrection beyond the designed distance could
+    // still leave a non-codeword.
+    if (!isCodeword(res.codeword))
+        return res;
+
+    res.ok = true;
+    res.errors = nu;
+    return res;
+}
+
+} // namespace gfp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary BCH codes over GF(2^m) with arbitrary designed error-correcting
+ * ability t — the uniformly-distributed-bit-error workhorse of the
+ * paper's flexible-coding story (its running example is BCH(31,11,5)
+ * on GF(2^5)).
+ *
+ * Codewords and information blocks are bit vectors (one 0/1 byte per
+ * bit, index i = coefficient of x^i).  Encoding is systematic: the k
+ * information bits occupy the top coefficients.
+ */
+
+#ifndef GFP_CODING_BCH_H
+#define GFP_CODING_BCH_H
+
+#include <memory>
+#include <vector>
+
+#include "gf/field.h"
+#include "gf/gf2x.h"
+
+namespace gfp {
+
+class BCHCode
+{
+  public:
+    /**
+     * Construct the binary BCH code of length n = 2^m - 1 with designed
+     * correcting ability t.  k follows from the generator degree
+     * (e.g. m=5, t=5 gives BCH(31,11,5); m=6, t=2 gives BCH(63,51,2)).
+     * @param poly optional field polynomial (must be primitive).
+     */
+    BCHCode(unsigned m, unsigned t, uint32_t poly = 0);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    unsigned t() const { return t_; }
+    double rate() const { return static_cast<double>(k_) / n_; }
+    const GFField &field() const { return *field_; }
+    const Gf2x &generator() const { return generator_; }
+
+    /** Systematic encode of @p info (k bits) into an n-bit codeword. */
+    std::vector<uint8_t> encode(const std::vector<uint8_t> &info) const;
+
+    /** Extract the k information bits from a (corrected) codeword. */
+    std::vector<uint8_t> extractInfo(const std::vector<uint8_t> &cw) const;
+
+    struct DecodeResult
+    {
+        std::vector<uint8_t> codeword; ///< corrected codeword
+        bool ok = false;               ///< decoding succeeded
+        unsigned errors = 0;           ///< number of bits corrected
+    };
+
+    /**
+     * Decode an n-bit received word: syndromes, Berlekamp-Massey, Chien
+     * search, bit flips.  ok == false flags a detected-but-uncorrectable
+     * word (more than t errors that didn't alias onto a codeword).
+     */
+    DecodeResult decode(const std::vector<uint8_t> &received) const;
+
+    /** True if @p word is a codeword (all syndromes zero). */
+    bool isCodeword(const std::vector<uint8_t> &word) const;
+
+  private:
+    unsigned n_, k_, t_;
+    std::shared_ptr<GFField> field_;
+    Gf2x generator_;
+};
+
+} // namespace gfp
+
+#endif // GFP_CODING_BCH_H

@@ -1,0 +1,111 @@
+#include "coding/channel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gfp {
+
+std::vector<uint8_t>
+BscChannel::transmit(std::vector<uint8_t> bits)
+{
+    for (auto &b : bits) {
+        if (rng_.chance(p_)) {
+            b ^= 1;
+            ++bit_errors_;
+        }
+    }
+    return bits;
+}
+
+std::vector<GFElem>
+BscChannel::transmitSymbols(std::vector<GFElem> symbols,
+                            unsigned bits_per_symbol)
+{
+    for (auto &s : symbols) {
+        for (unsigned b = 0; b < bits_per_symbol; ++b) {
+            if (rng_.chance(p_)) {
+                s ^= static_cast<GFElem>(1u << b);
+                ++bit_errors_;
+            }
+        }
+    }
+    return symbols;
+}
+
+bool
+GilbertElliottChannel::stepAndFlip()
+{
+    // State transition, then an error draw in the (new) state.
+    if (bad_) {
+        if (rng_.chance(p_bg_))
+            bad_ = false;
+    } else {
+        if (rng_.chance(p_gb_))
+            bad_ = true;
+    }
+    bool flip = rng_.chance(bad_ ? pe_bad_ : pe_good_);
+    if (flip)
+        ++bit_errors_;
+    return flip;
+}
+
+std::vector<uint8_t>
+GilbertElliottChannel::transmit(std::vector<uint8_t> bits)
+{
+    for (auto &b : bits)
+        b ^= static_cast<uint8_t>(stepAndFlip());
+    return bits;
+}
+
+std::vector<GFElem>
+GilbertElliottChannel::transmitSymbols(std::vector<GFElem> symbols,
+                                       unsigned bits_per_symbol)
+{
+    for (auto &s : symbols)
+        for (unsigned b = 0; b < bits_per_symbol; ++b)
+            if (stepAndFlip())
+                s ^= static_cast<GFElem>(1u << b);
+    return symbols;
+}
+
+std::vector<unsigned>
+ExactErrorInjector::pickPositions(unsigned n, unsigned count)
+{
+    GFP_ASSERT(count <= n, "cannot pick %u of %u positions", count, n);
+    std::vector<unsigned> all(n);
+    for (unsigned i = 0; i < n; ++i)
+        all[i] = i;
+    // Partial Fisher-Yates.
+    for (unsigned i = 0; i < count; ++i) {
+        unsigned j = i + static_cast<unsigned>(rng_.below(n - i));
+        std::swap(all[i], all[j]);
+    }
+    all.resize(count);
+    return all;
+}
+
+std::vector<uint8_t>
+ExactErrorInjector::flipBits(std::vector<uint8_t> bits, unsigned count)
+{
+    for (unsigned pos : pickPositions(static_cast<unsigned>(bits.size()),
+                                      count)) {
+        bits[pos] ^= 1;
+    }
+    return bits;
+}
+
+std::vector<GFElem>
+ExactErrorInjector::corruptSymbols(std::vector<GFElem> symbols,
+                                   unsigned count, unsigned m)
+{
+    for (unsigned pos : pickPositions(static_cast<unsigned>(symbols.size()),
+                                      count)) {
+        // A nonzero error pattern guarantees the symbol changes.
+        GFElem e = static_cast<GFElem>(1 + rng_.below((1u << m) - 1));
+        symbols[pos] ^= e;
+    }
+    return symbols;
+}
+
+} // namespace gfp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Channel models for the coding-flexibility experiments: the paper's
+ * motivation (Sec. 1.1) is that BCH suits uniformly distributed bit
+ * errors while RS suits multi-burst errors, so the workload generator
+ * provides both error statistics.
+ */
+
+#ifndef GFP_CODING_CHANNEL_H
+#define GFP_CODING_CHANNEL_H
+
+#include <vector>
+
+#include "common/random.h"
+#include "gf/field.h"
+
+namespace gfp {
+
+/** Binary symmetric channel: each bit flips independently w.p. p. */
+class BscChannel
+{
+  public:
+    BscChannel(double p, uint64_t seed) : p_(p), rng_(seed) {}
+
+    /** Transmit a bit vector (entries 0/1), flipping bits in place. */
+    std::vector<uint8_t> transmit(std::vector<uint8_t> bits);
+
+    /** Flip bits inside the bit-packed symbols of an RS codeword. */
+    std::vector<GFElem> transmitSymbols(std::vector<GFElem> symbols,
+                                        unsigned bits_per_symbol);
+
+    uint64_t bitErrors() const { return bit_errors_; }
+
+  private:
+    double p_;
+    Rng rng_;
+    uint64_t bit_errors_ = 0;
+};
+
+/**
+ * Gilbert-Elliott burst channel: a two-state Markov chain (good/bad)
+ * with per-state bit-error probabilities.  Produces the clustered
+ * error patterns RS codes are built for.
+ */
+class GilbertElliottChannel
+{
+  public:
+    /**
+     * @param p_gb  P(good -> bad) per bit
+     * @param p_bg  P(bad -> good) per bit
+     * @param pe_good error probability in the good state
+     * @param pe_bad  error probability in the bad state
+     */
+    GilbertElliottChannel(double p_gb, double p_bg, double pe_good,
+                          double pe_bad, uint64_t seed)
+        : p_gb_(p_gb), p_bg_(p_bg), pe_good_(pe_good), pe_bad_(pe_bad),
+          rng_(seed)
+    {
+    }
+
+    std::vector<uint8_t> transmit(std::vector<uint8_t> bits);
+
+    std::vector<GFElem> transmitSymbols(std::vector<GFElem> symbols,
+                                        unsigned bits_per_symbol);
+
+    uint64_t bitErrors() const { return bit_errors_; }
+
+  private:
+    bool stepAndFlip();
+
+    double p_gb_, p_bg_, pe_good_, pe_bad_;
+    Rng rng_;
+    bool bad_ = false;
+    uint64_t bit_errors_ = 0;
+};
+
+/**
+ * Exact-weight error injector: flips exactly @p count random positions
+ * (bits or symbols) — the deterministic workload used to exercise a
+ * decoder at a chosen error weight.
+ */
+class ExactErrorInjector
+{
+  public:
+    explicit ExactErrorInjector(uint64_t seed) : rng_(seed) {}
+
+    /** Flip exactly @p count distinct bits. */
+    std::vector<uint8_t> flipBits(std::vector<uint8_t> bits,
+                                  unsigned count);
+
+    /** Corrupt exactly @p count distinct symbols to random wrong values. */
+    std::vector<GFElem> corruptSymbols(std::vector<GFElem> symbols,
+                                       unsigned count, unsigned m);
+
+    /** Pick @p count distinct positions in [0, n). */
+    std::vector<unsigned> pickPositions(unsigned n, unsigned count);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace gfp
+
+#endif // GFP_CODING_CHANNEL_H

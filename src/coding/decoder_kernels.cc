@@ -1,0 +1,183 @@
+#include "coding/decoder_kernels.h"
+
+#include "common/logging.h"
+
+namespace gfp {
+
+std::vector<GFElem>
+syndromes(const GFField &field, const std::vector<GFElem> &received,
+          unsigned two_t)
+{
+    // S_j = r(alpha^j), computed with Horner's rule exactly as the
+    // kernels on the processor do (Table 6):
+    //   S = S * alpha^j + r_i, scanning from the top coefficient down.
+    std::vector<GFElem> out(two_t, 0);
+    for (unsigned j = 1; j <= two_t; ++j) {
+        GFElem aj = field.exp(j);
+        GFElem s = 0;
+        for (size_t i = received.size(); i-- > 0;)
+            s = field.mul(s, aj) ^ received[i];
+        out[j - 1] = s;
+    }
+    return out;
+}
+
+GFPoly
+berlekampMassey(const GFField &field, const std::vector<GFElem> &synd)
+{
+    // Massey's iterative construction of the shortest LFSR generating
+    // the syndrome sequence.
+    GFPoly c = GFPoly::constant(field, 1); // current connection poly
+    GFPoly b = GFPoly::constant(field, 1); // copy at last length change
+    unsigned l = 0;                        // current LFSR length
+    unsigned m = 1;                        // gap since last length change
+    GFElem bb = 1;                         // discrepancy at that point
+
+    for (size_t n = 0; n < synd.size(); ++n) {
+        // Discrepancy d = S_n + sum_{i=1..l} c_i S_{n-i}.
+        GFElem d = synd[n];
+        for (unsigned i = 1; i <= l; ++i)
+            d ^= field.mul(c.coeff(i), synd[n - i]);
+
+        if (d == 0) {
+            ++m;
+        } else if (2 * l <= n) {
+            GFPoly t = c;
+            GFElem coef = field.div(d, bb);
+            c = c + (b * coef).shift(m);
+            l = static_cast<unsigned>(n + 1 - l);
+            b = t;
+            bb = d;
+            m = 1;
+        } else {
+            GFElem coef = field.div(d, bb);
+            c = c + (b * coef).shift(m);
+            ++m;
+        }
+    }
+    return c;
+}
+
+std::vector<unsigned>
+chienSearch(const GFField &field, const GFPoly &lambda, unsigned n)
+{
+    // Evaluate Lambda at alpha^-i for each position i.  (A hardware
+    // Chien search keeps per-coefficient accumulators multiplied by
+    // alpha^j each step; evaluation order does not change the result.)
+    std::vector<unsigned> locations;
+    const uint32_t group = field.groupOrder();
+    for (unsigned i = 0; i < n; ++i) {
+        GFElem x = field.exp((group - i) % group); // alpha^-i
+        if (lambda.eval(x) == 0)
+            locations.push_back(i);
+    }
+    return locations;
+}
+
+GFPoly
+erasureLocator(const GFField &field, const std::vector<unsigned> &erasures)
+{
+    GFPoly gamma = GFPoly::constant(field, 1);
+    for (unsigned i : erasures)
+        gamma = gamma * GFPoly(field, {1, field.exp(i)});
+    return gamma;
+}
+
+GFPoly
+berlekampMasseyErasures(const GFField &field,
+                        const std::vector<GFElem> &synd,
+                        const std::vector<unsigned> &erasures)
+{
+    const unsigned e = static_cast<unsigned>(erasures.size());
+    GFP_ASSERT(e <= synd.size(), "more erasures than syndromes");
+
+    // Initialize both registers to the erasure locator and run the
+    // Massey iterations only for the remaining 2t - e steps.
+    GFPoly c = erasureLocator(field, erasures);
+    GFPoly b = c;
+    unsigned l = e;
+
+    for (size_t r = e + 1; r <= synd.size(); ++r) {
+        // discrepancy = sum_i c_i * S_{r-i}  (S_j = synd[j-1])
+        GFElem d = 0;
+        for (unsigned i = 0; i <= static_cast<unsigned>(c.degree()) &&
+                             i < r; ++i) {
+            d ^= field.mul(c.coeff(i), synd[r - i - 1]);
+        }
+        if (d == 0) {
+            b = b.shift(1);
+        } else if (2 * l <= r + e - 1) {
+            GFPoly t = c;
+            c = c + b.shift(1) * d;
+            l = static_cast<unsigned>(r + e - l);
+            b = t * field.inv(d);
+        } else {
+            c = c + b.shift(1) * d;
+            b = b.shift(1);
+        }
+    }
+    return c;
+}
+
+GFPoly
+closedFormElpBch(const GFField &field, const std::vector<GFElem> &synd,
+                 unsigned t)
+{
+    GFP_ASSERT(t >= 1 && t <= 3,
+               "closed-form ELP covers t <= 3 (use BMA beyond)");
+    GFP_ASSERT(synd.size() >= 2 * t);
+    const GFElem s1 = synd[0];
+    const GFElem s3 = t >= 2 ? synd[2] : 0;
+    const GFElem s5 = t >= 3 ? synd[4] : 0;
+
+    // nu = 3:  L1 = S1, L2 = (S1^2 S3 + S5)/(S1^3 + S3),
+    //          L3 = (S1^3 + S3) + S1 L2        (Newton identities)
+    if (t >= 3) {
+        GFElem denom = field.mul(field.mul(s1, s1), s1) ^ s3;
+        if (denom != 0) {
+            GFElem num = field.mul(field.sqr(s1), s3) ^ s5;
+            GFElem l1 = s1;
+            GFElem l2 = field.div(num, denom);
+            GFElem l3 = denom ^ field.mul(s1, l2);
+            if (l3 != 0)
+                return GFPoly(field, {1, l1, l2, l3});
+            // fall through to nu = 2 forms when L3 degenerates
+        }
+    }
+    // nu = 2:  L1 = S1, L2 = (S3 + S1^3)/S1
+    if (t >= 2 && s1 != 0) {
+        GFElem l2 = field.div(s3 ^ field.mul(field.sqr(s1), s1), s1);
+        if (l2 != 0)
+            return GFPoly(field, {1, s1, l2});
+    }
+    // nu = 1:  L = 1 + S1 x
+    if (s1 != 0)
+        return GFPoly(field, {1, s1});
+    return GFPoly::constant(field, 1);
+}
+
+std::vector<GFElem>
+forney(const GFField &field, const std::vector<GFElem> &synd,
+       const GFPoly &lambda, const std::vector<unsigned> &locations)
+{
+    // Omega(x) = S(x) * Lambda(x) mod x^2t.
+    GFPoly s_poly(field, synd);
+    GFPoly omega = (s_poly * lambda).truncated(synd.size());
+    GFPoly lambda_prime = lambda.derivative();
+
+    const uint32_t group = field.groupOrder();
+    std::vector<GFElem> values;
+    values.reserve(locations.size());
+    for (unsigned i : locations) {
+        GFElem x_inv = field.exp((group - i) % group); // X_k^-1
+        GFElem denom = lambda_prime.eval(x_inv);
+        if (denom == 0) {
+            GFP_FATAL("Forney: Lambda'(X^-1) == 0 at location %u "
+                      "(malformed locator polynomial)", i);
+        }
+        values.push_back(field.div(omega.eval(x_inv), denom));
+    }
+    return values;
+}
+
+} // namespace gfp

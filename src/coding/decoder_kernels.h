@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The four decoder kernels of the paper's Fig. 1 / Table 5, as
+ * standalone reference functions over a GFField:
+ *
+ *   syndromes          — evaluate the received word at alpha^1..alpha^2t
+ *   berlekampMassey    — solve the error-locator polynomial Lambda(x)
+ *   chienSearch        — find Lambda's roots => error locations
+ *   forney             — compute the error *values* (RS only)
+ *
+ * The assembly kernels that run on the simulated cores are validated
+ * against these functions, and the BCH/RS codec classes are built from
+ * them.
+ */
+
+#ifndef GFP_CODING_DECODER_KERNELS_H
+#define GFP_CODING_DECODER_KERNELS_H
+
+#include <vector>
+
+#include "gf/field.h"
+#include "gf/poly.h"
+
+namespace gfp {
+
+/**
+ * Syndromes S_1..S_2t of a received word r (r[i] is the coefficient of
+ * x^i, i = 0..n-1): S_j = r(alpha^j).  All-zero syndromes mean the word
+ * is a codeword.
+ */
+std::vector<GFElem> syndromes(const GFField &field,
+                              const std::vector<GFElem> &received,
+                              unsigned two_t);
+
+/**
+ * Berlekamp-Massey: the minimal LFSR Lambda(x) (Lambda(0) = 1) with
+ * sum_i Lambda_i S_{j-i} = 0 for all j.  Returns Lambda; its degree is
+ * the number of errors when decodable.
+ */
+GFPoly berlekampMassey(const GFField &field,
+                       const std::vector<GFElem> &synd);
+
+/**
+ * Chien search: positions i in [0, n) with Lambda(alpha^-i) == 0,
+ * i.e. the error locations.
+ */
+std::vector<unsigned> chienSearch(const GFField &field, const GFPoly &lambda,
+                                  unsigned n);
+
+/**
+ * Forney's algorithm: error values at the given locations, for
+ * narrow-sense codes (first consecutive root alpha^1).
+ * Omega(x) = S(x) Lambda(x) mod x^2t with S(x) = sum S_{j+1} x^j;
+ * e_k = Omega(X_k^-1) / Lambda'(X_k^-1) with X_k = alpha^(i_k).
+ */
+std::vector<GFElem> forney(const GFField &field,
+                           const std::vector<GFElem> &synd,
+                           const GFPoly &lambda,
+                           const std::vector<unsigned> &locations);
+
+/** Erasure locator Gamma(x) = prod_{i in erasures} (1 + alpha^i x). */
+GFPoly erasureLocator(const GFField &field,
+                      const std::vector<unsigned> &erasures);
+
+/**
+ * Berlekamp-Massey with erasure initialization: returns the *errata*
+ * locator psi(x) = lambda(x) * Gamma(x) covering both the unknown
+ * errors and the declared erasures.  Decodable when
+ * 2*(errors) + |erasures| <= |synd|.
+ */
+GFPoly berlekampMasseyErasures(const GFField &field,
+                               const std::vector<GFElem> &synd,
+                               const std::vector<unsigned> &erasures);
+
+/**
+ * Closed-form error-locator polynomial for binary BCH with t <= 3
+ * (the "Closed Form ELP" kernel of the paper's Fig. 1(a)): solves the
+ * Newton identities directly from the odd syndromes S1/S3/S5 instead
+ * of iterating Berlekamp-Massey.  Returns the locator for the largest
+ * consistent error count <= t.
+ */
+GFPoly closedFormElpBch(const GFField &field,
+                        const std::vector<GFElem> &synd, unsigned t);
+
+} // namespace gfp
+
+#endif // GFP_CODING_DECODER_KERNELS_H

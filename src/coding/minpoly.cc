@@ -1,0 +1,67 @@
+#include "coding/minpoly.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gf/poly.h"
+
+namespace gfp {
+
+std::vector<uint32_t>
+cyclotomicCoset(uint32_t s, unsigned m)
+{
+    const uint32_t n = (1u << m) - 1;
+    s %= n;
+    std::vector<uint32_t> coset;
+    uint32_t v = s;
+    do {
+        coset.push_back(v);
+        v = (v * 2) % n;
+    } while (v != s);
+    std::sort(coset.begin(), coset.end());
+    return coset;
+}
+
+Gf2x
+minimalPolynomial(const GFField &field, uint32_t s)
+{
+    GFP_ASSERT(field.primitive(),
+               "minimal polynomials need a primitive field polynomial");
+    // prod (x + alpha^j) over the conjugates alpha^(s*2^i).
+    GFPoly p = GFPoly::constant(field, 1);
+    for (uint32_t j : cyclotomicCoset(s, field.m())) {
+        GFPoly factor(field, {field.exp(j), 1}); // x + alpha^j
+        p = p * factor;
+    }
+    // The coefficients must land in GF(2); convert to a binary poly.
+    Gf2x out;
+    for (int i = 0; i <= p.degree(); ++i) {
+        GFElem c = p.coeff(i);
+        GFP_ASSERT(c <= 1, "minimal polynomial coefficient %u not binary",
+                   c);
+        if (c)
+            out.setBit(i, 1);
+    }
+    return out;
+}
+
+Gf2x
+bchGenerator(const GFField &field, unsigned t)
+{
+    GFP_ASSERT(t >= 1);
+    // lcm of minimal polynomials: multiply in each coset's polynomial
+    // once (conjugate exponents share one minimal polynomial).
+    std::vector<uint32_t> seen;
+    Gf2x g(uint64_t{1});
+    for (unsigned i = 1; i <= 2 * t; ++i) {
+        auto coset = cyclotomicCoset(i, field.m());
+        uint32_t leader = coset.front();
+        if (std::find(seen.begin(), seen.end(), leader) != seen.end())
+            continue;
+        seen.push_back(leader);
+        g = g * minimalPolynomial(field, i);
+    }
+    return g;
+}
+
+} // namespace gfp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cyclotomic cosets and minimal polynomials over GF(2) — the machinery
+ * that constructs binary BCH generator polynomials for arbitrary
+ * (n = 2^m - 1, t) parameter choices, the coding-flexibility knob the
+ * paper's processor exists to serve.
+ */
+
+#ifndef GFP_CODING_MINPOLY_H
+#define GFP_CODING_MINPOLY_H
+
+#include <vector>
+
+#include "gf/field.h"
+#include "gf/gf2x.h"
+
+namespace gfp {
+
+/** The 2-cyclotomic coset of @p s modulo 2^m - 1, smallest member first. */
+std::vector<uint32_t> cyclotomicCoset(uint32_t s, unsigned m);
+
+/**
+ * Minimal polynomial of alpha^s over GF(2), where alpha is the primitive
+ * element of @p field (which must use a primitive polynomial).  The
+ * result is the binary polynomial prod_{j in coset(s)} (x + alpha^j),
+ * whose coefficients provably lie in GF(2).
+ */
+Gf2x minimalPolynomial(const GFField &field, uint32_t s);
+
+/**
+ * Binary BCH generator polynomial for designed distance 2t+1:
+ * lcm of the minimal polynomials of alpha^1 .. alpha^2t.
+ */
+Gf2x bchGenerator(const GFField &field, unsigned t);
+
+} // namespace gfp
+
+#endif // GFP_CODING_MINPOLY_H

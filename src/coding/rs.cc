@@ -1,0 +1,215 @@
+#include "coding/rs.h"
+
+#include <algorithm>
+
+#include "coding/decoder_kernels.h"
+#include "common/logging.h"
+
+namespace gfp {
+
+RSCode::RSCode(unsigned m, unsigned t, uint32_t poly)
+    : t_(t), field_(std::make_shared<GFField>(m, poly)),
+      generator_(*field_)
+{
+    if (!field_->primitive())
+        GFP_FATAL("RS construction requires a primitive field polynomial");
+    n_ = field_->groupOrder();
+    if (2 * t >= n_)
+        GFP_FATAL("RS(m=%u, t=%u): 2t leaves no information symbols", m, t);
+    k_ = n_ - 2 * t;
+
+    // g(x) = prod_{j=1..2t} (x + alpha^j)
+    generator_ = GFPoly::constant(*field_, 1);
+    for (unsigned j = 1; j <= 2 * t; ++j)
+        generator_ = generator_ * GFPoly(*field_, {field_->exp(j), 1});
+    GFP_ASSERT(generator_.degree() == static_cast<int>(2 * t));
+}
+
+std::vector<GFElem>
+RSCode::encode(const std::vector<GFElem> &info) const
+{
+    if (info.size() != k_)
+        GFP_FATAL("RS encode: expected %u info symbols, got %zu", k_,
+                  info.size());
+    for (GFElem s : info)
+        GFP_ASSERT(field_->contains(s), "info symbol 0x%x out of field", s);
+
+    GFPoly ipoly(*field_, info);
+    GFPoly shifted = ipoly.shift(2 * t_);
+    GFPoly parity = shifted.mod(generator_);
+    GFPoly cw = shifted + parity;
+
+    std::vector<GFElem> out(n_, 0);
+    for (unsigned i = 0; i < n_; ++i)
+        out[i] = cw.coeff(i);
+    return out;
+}
+
+std::vector<GFElem>
+RSCode::extractInfo(const std::vector<GFElem> &cw) const
+{
+    GFP_ASSERT(cw.size() == n_);
+    return std::vector<GFElem>(cw.begin() + 2 * t_, cw.end());
+}
+
+bool
+RSCode::isCodeword(const std::vector<GFElem> &word) const
+{
+    GFP_ASSERT(word.size() == n_);
+    for (GFElem s : syndromes(*field_, word, 2 * t_))
+        if (s != 0)
+            return false;
+    return true;
+}
+
+RSCode::DecodeResult
+RSCode::decodeWithErasures(const std::vector<GFElem> &received,
+                           const std::vector<unsigned> &erasures) const
+{
+    if (received.size() != n_)
+        GFP_FATAL("RS decode: expected %u symbols, got %zu", n_,
+                  received.size());
+    for (unsigned i : erasures)
+        GFP_ASSERT(i < n_, "erasure position %u out of range", i);
+
+    DecodeResult res;
+    res.codeword = received;
+    if (erasures.size() > 2 * t_)
+        return res; // beyond the design distance outright
+
+    // Ignore the received values at erased positions.
+    std::vector<GFElem> rx = received;
+    for (unsigned i : erasures)
+        rx[i] = 0;
+
+    std::vector<GFElem> synd = syndromes(*field_, rx, 2 * t_);
+    bool all_zero = true;
+    for (GFElem s : synd)
+        all_zero &= (s == 0);
+    if (all_zero && erasures.empty()) {
+        res.ok = true;
+        return res;
+    }
+
+    GFPoly psi = berlekampMasseyErasures(*field_, synd, erasures);
+    unsigned nu = static_cast<unsigned>(psi.degree());
+    if (nu > 2 * t_)
+        return res;
+
+    std::vector<unsigned> locations = chienSearch(*field_, psi, n_);
+    if (locations.size() != nu)
+        return res;
+
+    std::vector<GFElem> values = forney(*field_, synd, psi, locations);
+    res.codeword = rx;
+    for (size_t i = 0; i < locations.size(); ++i)
+        res.codeword[locations[i]] ^= values[i];
+
+    if (!isCodeword(res.codeword)) {
+        res.codeword = received;
+        return res;
+    }
+    res.ok = true;
+    res.errors = nu;
+    return res;
+}
+
+RSCode::DecodeResult
+RSCode::decode(const std::vector<GFElem> &received) const
+{
+    if (received.size() != n_)
+        GFP_FATAL("RS decode: expected %u symbols, got %zu", n_,
+                  received.size());
+
+    DecodeResult res;
+    res.codeword = received;
+
+    std::vector<GFElem> synd = syndromes(*field_, received, 2 * t_);
+    bool all_zero = true;
+    for (GFElem s : synd)
+        all_zero &= (s == 0);
+    if (all_zero) {
+        res.ok = true;
+        return res;
+    }
+
+    GFPoly lambda = berlekampMassey(*field_, synd);
+    unsigned nu = static_cast<unsigned>(lambda.degree());
+    if (nu > t_)
+        return res;
+
+    std::vector<unsigned> locations = chienSearch(*field_, lambda, n_);
+    if (locations.size() != nu)
+        return res;
+
+    std::vector<GFElem> values = forney(*field_, synd, lambda, locations);
+    for (size_t i = 0; i < locations.size(); ++i)
+        res.codeword[locations[i]] ^= values[i];
+
+    if (!isCodeword(res.codeword)) {
+        res.codeword = received;
+        return res;
+    }
+
+    res.ok = true;
+    res.errors = nu;
+    return res;
+}
+
+ShortenedRSCode::ShortenedRSCode(unsigned m, unsigned t, unsigned n_short,
+                                 uint32_t poly)
+    : parent_(m, t, poly), n_(n_short)
+{
+    if (n_short <= 2 * t || n_short >= parent_.n())
+        GFP_FATAL("shortened length %u must be in (2t, %u)", n_short,
+                  parent_.n());
+    k_ = n_ - 2 * t;
+}
+
+std::vector<GFElem>
+ShortenedRSCode::encode(const std::vector<GFElem> &info) const
+{
+    if (info.size() != k_)
+        GFP_FATAL("shortened RS encode: expected %u symbols, got %zu",
+                  k_, info.size());
+    // Pad the parent's information block with zeros in the top
+    // (never-transmitted) positions.
+    std::vector<GFElem> full(parent_.k(), 0);
+    std::copy(info.begin(), info.end(), full.begin());
+    auto cw = parent_.encode(full);
+    cw.resize(n_); // the dropped symbols are all zero by construction
+    return cw;
+}
+
+RSCode::DecodeResult
+ShortenedRSCode::decode(const std::vector<GFElem> &received) const
+{
+    if (received.size() != n_)
+        GFP_FATAL("shortened RS decode: expected %u symbols, got %zu",
+                  n_, received.size());
+    std::vector<GFElem> full = received;
+    full.resize(parent_.n(), 0);
+    auto res = parent_.decode(full);
+    // A "correction" that lands in the never-transmitted zero tail is a
+    // miscorrection: those symbols are zero by construction.
+    if (res.ok) {
+        for (unsigned i = n_; i < parent_.n(); ++i) {
+            if (res.codeword[i] != 0) {
+                res.ok = false;
+                res.codeword = full;
+                break;
+            }
+        }
+    }
+    res.codeword.resize(n_);
+    return res;
+}
+
+std::vector<GFElem>
+ShortenedRSCode::extractInfo(const std::vector<GFElem> &cw) const
+{
+    GFP_ASSERT(cw.size() == n_);
+    return std::vector<GFElem>(cw.begin() + 2 * t(), cw.end());
+}
+
+} // namespace gfp

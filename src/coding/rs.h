@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reed-Solomon codes over GF(2^m) — the multi-burst-error scheme of the
+ * paper's flexible-coding story (its running example is RS(255,239,8)
+ * on GF(2^8)).  Symbols are field elements; codewords store the
+ * coefficient of x^i at index i, with the k information symbols in the
+ * top positions (systematic encoding).
+ */
+
+#ifndef GFP_CODING_RS_H
+#define GFP_CODING_RS_H
+
+#include <memory>
+#include <vector>
+
+#include "gf/field.h"
+#include "gf/poly.h"
+
+namespace gfp {
+
+class RSCode
+{
+  public:
+    /**
+     * The (n = 2^m - 1, k = n - 2t) narrow-sense Reed-Solomon code.
+     * @param poly optional primitive field polynomial.
+     */
+    RSCode(unsigned m, unsigned t, uint32_t poly = 0);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    unsigned t() const { return t_; }
+    double rate() const { return static_cast<double>(k_) / n_; }
+    const GFField &field() const { return *field_; }
+    const GFPoly &generator() const { return generator_; }
+
+    /** Systematic encode of k information symbols. */
+    std::vector<GFElem> encode(const std::vector<GFElem> &info) const;
+
+    /** Extract the k information symbols from a corrected codeword. */
+    std::vector<GFElem> extractInfo(const std::vector<GFElem> &cw) const;
+
+    struct DecodeResult
+    {
+        std::vector<GFElem> codeword;
+        bool ok = false;
+        unsigned errors = 0; ///< symbols corrected
+    };
+
+    /**
+     * Full decode: syndromes, Berlekamp-Massey, Chien search, Forney.
+     * Corrects up to t symbol errors; flags uncorrectable words.
+     */
+    DecodeResult decode(const std::vector<GFElem> &received) const;
+
+    /**
+     * Errors-and-erasures decode: positions in @p erasures are known
+     * to be unreliable (their received values are ignored).  Corrects
+     * nu errors plus e erasures whenever 2*nu + e <= 2t — e.g. a full
+     * 2t = 16 erased symbols with no other errors for RS(255,239,8).
+     */
+    DecodeResult decodeWithErasures(
+        const std::vector<GFElem> &received,
+        const std::vector<unsigned> &erasures) const;
+
+    bool isCodeword(const std::vector<GFElem> &word) const;
+
+  private:
+    unsigned n_, k_, t_;
+    std::shared_ptr<GFField> field_;
+    GFPoly generator_;
+};
+
+/**
+ * A shortened Reed-Solomon code RS(n', k') with n' < 2^m - 1: the top
+ * n - n' information symbols of the parent code are fixed at zero and
+ * never transmitted.  Shortening is how the flexible-coding story
+ * matches codeword length to IoT packet sizes (Sec. 1.1's "short
+ * (<100s bits) codeword"): the same decoder datapath serves every n'.
+ */
+class ShortenedRSCode
+{
+  public:
+    /** Shorten the (2^m - 1, 2^m - 1 - 2t) parent down to length n'. */
+    ShortenedRSCode(unsigned m, unsigned t, unsigned n_short,
+                    uint32_t poly = 0);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    unsigned t() const { return parent_.t(); }
+    double rate() const { return static_cast<double>(k_) / n_; }
+    const RSCode &parent() const { return parent_; }
+
+    std::vector<GFElem> encode(const std::vector<GFElem> &info) const;
+
+    RSCode::DecodeResult decode(const std::vector<GFElem> &received) const;
+
+    std::vector<GFElem> extractInfo(const std::vector<GFElem> &cw) const;
+
+  private:
+    RSCode parent_;
+    unsigned n_, k_;
+};
+
+} // namespace gfp
+
+#endif // GFP_CODING_RS_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Bit-manipulation primitives used throughout the GF processor model:
+ * software carry-less (GF(2)) multiplication, parity, bit extraction and
+ * byte lane helpers for the 4-way 8-bit SIMD datapath.
+ */
+
+#ifndef GFP_COMMON_BITOPS_H
+#define GFP_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace gfp {
+
+/** Extract bit @p i of @p v (0 = LSB). */
+constexpr uint32_t
+bit(uint64_t v, unsigned i)
+{
+    return static_cast<uint32_t>((v >> i) & 1);
+}
+
+/** Set bit @p i of @p v to @p b. */
+constexpr uint64_t
+setBit(uint64_t v, unsigned i, uint32_t b)
+{
+    return (v & ~(uint64_t{1} << i)) | (uint64_t{b & 1} << i);
+}
+
+/** XOR-parity of @p v (1 if an odd number of bits are set). */
+constexpr uint32_t
+parity(uint64_t v)
+{
+    return static_cast<uint32_t>(std::popcount(v) & 1);
+}
+
+/**
+ * Carry-less (GF(2) polynomial) product of two 8-bit values.
+ * The result has at most 15 significant bits.
+ */
+constexpr uint16_t
+clmul8(uint8_t a, uint8_t b)
+{
+    uint16_t acc = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        if ((b >> i) & 1)
+            acc ^= static_cast<uint16_t>(a) << i;
+    }
+    return acc;
+}
+
+/**
+ * Carry-less product of two 16-bit values (at most 31 significant bits).
+ */
+constexpr uint32_t
+clmul16(uint16_t a, uint16_t b)
+{
+    uint32_t acc = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        if ((b >> i) & 1)
+            acc ^= static_cast<uint32_t>(a) << i;
+    }
+    return acc;
+}
+
+/**
+ * Carry-less product of two 32-bit values (at most 63 significant bits).
+ * This is the behaviour of the paper's single-cycle gf32bMult instruction.
+ */
+constexpr uint64_t
+clmul32(uint32_t a, uint32_t b)
+{
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        if ((b >> i) & 1)
+            acc ^= static_cast<uint64_t>(a) << i;
+    }
+    return acc;
+}
+
+/**
+ * Carry-less product of two 64-bit values; returns the low 64 bits in
+ * @p lo and the high 63 bits in @p hi.
+ */
+constexpr void
+clmul64(uint64_t a, uint64_t b, uint64_t &hi, uint64_t &lo)
+{
+    hi = 0;
+    lo = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if ((b >> i) & 1) {
+            lo ^= a << i;
+            if (i != 0)
+                hi ^= a >> (64 - i);
+        }
+    }
+}
+
+/** Extract byte lane @p lane (0 = least significant) from a 32-bit word. */
+constexpr uint8_t
+lane(uint32_t word, unsigned lane_idx)
+{
+    return static_cast<uint8_t>(word >> (8 * lane_idx));
+}
+
+/** Replace byte lane @p lane_idx of @p word with @p value. */
+constexpr uint32_t
+withLane(uint32_t word, unsigned lane_idx, uint8_t value)
+{
+    uint32_t mask = 0xffu << (8 * lane_idx);
+    return (word & ~mask) | (static_cast<uint32_t>(value) << (8 * lane_idx));
+}
+
+/** Broadcast @p value into all four byte lanes of a 32-bit word. */
+constexpr uint32_t
+splat(uint8_t value)
+{
+    return 0x01010101u * value;
+}
+
+/** Degree of the GF(2) polynomial @p v (-1 for the zero polynomial). */
+constexpr int
+degree(uint64_t v)
+{
+    return v == 0 ? -1 : 63 - std::countl_zero(v);
+}
+
+} // namespace gfp
+
+#endif // GFP_COMMON_BITOPS_H

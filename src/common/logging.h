@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error-reporting and status primitives, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated: a bug in this library.
+ *            Aborts (so a debugger or core dump can catch it).
+ * fatal()  — the *user* asked for something impossible (bad code
+ *            parameters, malformed assembly, out-of-range field size).
+ *            Exits with an error code.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef GFP_COMMON_LOGGING_H
+#define GFP_COMMON_LOGGING_H
+
+#include <string>
+
+#include "common/strutil.h"
+
+namespace gfp {
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Exit(1) with a formatted message; use for user-caused errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace gfp
+
+#define GFP_PANIC(...) \
+    ::gfp::panicImpl(__FILE__, __LINE__, ::gfp::strprintf(__VA_ARGS__))
+
+#define GFP_FATAL(...) \
+    ::gfp::fatalImpl(__FILE__, __LINE__, ::gfp::strprintf(__VA_ARGS__))
+
+#define GFP_WARN(...) \
+    ::gfp::warnImpl(__FILE__, __LINE__, ::gfp::strprintf(__VA_ARGS__))
+
+#define GFP_INFORM(...) \
+    ::gfp::informImpl(::gfp::strprintf(__VA_ARGS__))
+
+/** Panic unless the given internal invariant holds. */
+#define GFP_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gfp::panicImpl(__FILE__, __LINE__,                        \
+                             std::string("assertion failed: " #cond)    \
+                             __VA_OPT__(+ " " +                         \
+                                        ::gfp::strprintf(__VA_ARGS__))); \
+        }                                                               \
+    } while (0)
+
+#endif // GFP_COMMON_LOGGING_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for workload generation.
+ *
+ * Benchmarks and tests must be reproducible run-to-run, so all random
+ * workloads (codeword noise, plaintexts, scalars) derive from this
+ * explicitly-seeded xoshiro-style generator rather than std::random_device.
+ */
+
+#ifndef GFP_COMMON_RANDOM_H
+#define GFP_COMMON_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gfp {
+
+/** SplitMix64/xorshift-based deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed)
+    {
+        // Avoid the all-zero fixed point.
+        if (state_ == 0)
+            state_ = 0x9e3779b97f4a7c15ull;
+    }
+
+    /** Next 64 random bits (splitmix64 step). */
+    uint64_t
+    next64()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Next 32 random bits. */
+    uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
+
+    /** Next random byte. */
+    uint8_t nextByte() { return static_cast<uint8_t>(next64() >> 56); }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next64() % bound;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53 < p;
+    }
+
+    /** A vector of @p n random bytes. */
+    std::vector<uint8_t>
+    bytes(size_t n)
+    {
+        std::vector<uint8_t> out(n);
+        for (auto &b : out)
+            b = nextByte();
+        return out;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace gfp
+
+#endif // GFP_COMMON_RANDOM_H

@@ -1,0 +1,127 @@
+#include "common/strutil.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gfp {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<size_t>(len));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    }
+    va_end(args2);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim, bool keep_empty)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            if (keep_empty || !cur.empty())
+                fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (keep_empty || !cur.empty())
+        fields.push_back(cur);
+    return fields;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toHex(const std::vector<uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+std::vector<uint8_t>
+fromHex(const std::string &hex)
+{
+    std::vector<uint8_t> out;
+    if (hex.size() % 2 != 0) {
+        std::fprintf(stderr, "fromHex: odd-length hex string '%s'\n",
+                     hex.c_str());
+        std::exit(1);
+    }
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexVal(hex[i]);
+        int lo = hexVal(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            std::fprintf(stderr, "fromHex: bad hex digit in '%s'\n",
+                         hex.c_str());
+            std::exit(1);
+        }
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace gfp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string helpers shared across the library: printf-style formatting
+ * into std::string, trimming, splitting, and hex rendering.
+ */
+
+#ifndef GFP_COMMON_STRUTIL_H
+#define GFP_COMMON_STRUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gfp {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Remove leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split @p s on @p delim, optionally dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char delim,
+                               bool keep_empty = false);
+
+/** Lower-case a copy of @p s. */
+std::string toLower(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Render @p bytes as lower-case hex, no separators. */
+std::string toHex(const std::vector<uint8_t> &bytes);
+
+/** Parse a hex string (no separators) into bytes; fatal on bad input. */
+std::vector<uint8_t> fromHex(const std::string &hex);
+
+} // namespace gfp
+
+#endif // GFP_COMMON_STRUTIL_H

@@ -1,0 +1,273 @@
+#include "crypto/aes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gf/field.h"
+#include "gf/polys.h"
+
+namespace gfp {
+
+namespace {
+
+/** The shared AES field GF(2^8) / 0x11b. */
+const GFField &
+aesField()
+{
+    static const GFField field(8, kAesPoly);
+    return field;
+}
+
+/** Rotate a byte left by @p k. */
+uint8_t
+rotl8(uint8_t v, unsigned k)
+{
+    return static_cast<uint8_t>((v << k) | (v >> (8 - k)));
+}
+
+uint32_t
+subWord(uint32_t w)
+{
+    return static_cast<uint32_t>(Aes::sbox(w & 0xff)) |
+           (static_cast<uint32_t>(Aes::sbox((w >> 8) & 0xff)) << 8) |
+           (static_cast<uint32_t>(Aes::sbox((w >> 16) & 0xff)) << 16) |
+           (static_cast<uint32_t>(Aes::sbox((w >> 24) & 0xff)) << 24);
+}
+
+uint32_t
+rotWord(uint32_t w)
+{
+    // Words are stored big-endian ([a0,a1,a2,a3] == 0xa0a1a2a3), so the
+    // FIPS rotation [a1,a2,a3,a0] is a left byte-rotate.
+    return (w << 8) | (w >> 24);
+}
+
+} // anonymous namespace
+
+uint8_t
+Aes::gfMul(uint8_t a, uint8_t b)
+{
+    return static_cast<uint8_t>(aesField().mul(a, b));
+}
+
+uint8_t
+Aes::sbox(uint8_t x)
+{
+    // Multiplicative inverse (0 -> 0), then the affine transform
+    // b' = b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+    uint8_t inv = static_cast<uint8_t>(aesField().inv(x));
+    return static_cast<uint8_t>(inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^
+                                rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63);
+}
+
+uint8_t
+Aes::invSbox(uint8_t x)
+{
+    // Inverse affine: b = rotl(x,1) ^ rotl(x,3) ^ rotl(x,6) ^ 0x05,
+    // then the field inverse.
+    uint8_t pre = static_cast<uint8_t>(rotl8(x, 1) ^ rotl8(x, 3) ^
+                                       rotl8(x, 6) ^ 0x05);
+    return static_cast<uint8_t>(aesField().inv(pre));
+}
+
+void
+Aes::addRoundKey(AesBlock &state, const uint32_t *round_key)
+{
+    for (unsigned c = 0; c < 4; ++c) {
+        uint32_t w = round_key[c];
+        // FIPS-197 stores word c big-endian across rows 0..3.
+        state[4 * c + 0] ^= static_cast<uint8_t>(w >> 24);
+        state[4 * c + 1] ^= static_cast<uint8_t>(w >> 16);
+        state[4 * c + 2] ^= static_cast<uint8_t>(w >> 8);
+        state[4 * c + 3] ^= static_cast<uint8_t>(w);
+    }
+}
+
+void
+Aes::subBytes(AesBlock &state)
+{
+    for (auto &b : state)
+        b = sbox(b);
+}
+
+void
+Aes::invSubBytes(AesBlock &state)
+{
+    for (auto &b : state)
+        b = invSbox(b);
+}
+
+void
+Aes::shiftRows(AesBlock &state)
+{
+    // Row r rotates left by r (state index = r + 4c).
+    AesBlock out;
+    for (unsigned r = 0; r < 4; ++r)
+        for (unsigned c = 0; c < 4; ++c)
+            out[r + 4 * c] = state[r + 4 * ((c + r) % 4)];
+    state = out;
+}
+
+void
+Aes::invShiftRows(AesBlock &state)
+{
+    AesBlock out;
+    for (unsigned r = 0; r < 4; ++r)
+        for (unsigned c = 0; c < 4; ++c)
+            out[r + 4 * ((c + r) % 4)] = state[r + 4 * c];
+    state = out;
+}
+
+void
+Aes::mixColumns(AesBlock &state)
+{
+    for (unsigned c = 0; c < 4; ++c) {
+        uint8_t a0 = state[4 * c], a1 = state[4 * c + 1];
+        uint8_t a2 = state[4 * c + 2], a3 = state[4 * c + 3];
+        state[4 * c + 0] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3;
+        state[4 * c + 1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3;
+        state[4 * c + 2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3);
+        state[4 * c + 3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2);
+    }
+}
+
+void
+Aes::invMixColumns(AesBlock &state)
+{
+    // Coefficients {0e,0b,0d,09} — the paper's Sec. 3.3.3 prints these
+    // with a typo'd radix; FIPS-197 is authoritative.
+    for (unsigned c = 0; c < 4; ++c) {
+        uint8_t a0 = state[4 * c], a1 = state[4 * c + 1];
+        uint8_t a2 = state[4 * c + 2], a3 = state[4 * c + 3];
+        state[4 * c + 0] = gfMul(a0, 0x0e) ^ gfMul(a1, 0x0b) ^
+                           gfMul(a2, 0x0d) ^ gfMul(a3, 0x09);
+        state[4 * c + 1] = gfMul(a0, 0x09) ^ gfMul(a1, 0x0e) ^
+                           gfMul(a2, 0x0b) ^ gfMul(a3, 0x0d);
+        state[4 * c + 2] = gfMul(a0, 0x0d) ^ gfMul(a1, 0x09) ^
+                           gfMul(a2, 0x0e) ^ gfMul(a3, 0x0b);
+        state[4 * c + 3] = gfMul(a0, 0x0b) ^ gfMul(a1, 0x0d) ^
+                           gfMul(a2, 0x09) ^ gfMul(a3, 0x0e);
+    }
+}
+
+Aes::Aes(const std::vector<uint8_t> &key)
+{
+    switch (key.size()) {
+      case 16: nk_ = 4; rounds_ = 10; break;
+      case 24: nk_ = 6; rounds_ = 12; break;
+      case 32: nk_ = 8; rounds_ = 14; break;
+      default:
+        GFP_FATAL("AES key must be 16/24/32 bytes, got %zu", key.size());
+    }
+    expandKey(key);
+}
+
+void
+Aes::expandKey(const std::vector<uint8_t> &key)
+{
+    const unsigned total = 4 * (rounds_ + 1);
+    round_keys_.resize(total);
+    for (unsigned i = 0; i < nk_; ++i) {
+        round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
+                         (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
+                         (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
+                         static_cast<uint32_t>(key[4 * i + 3]);
+    }
+    // Round constants are powers of x in the AES field.
+    uint8_t rcon = 1;
+    for (unsigned i = nk_; i < total; ++i) {
+        uint32_t temp = round_keys_[i - 1];
+        if (i % nk_ == 0) {
+            temp = subWord(rotWord(temp)) ^
+                   (static_cast<uint32_t>(rcon) << 24);
+            rcon = gfMul(rcon, 2);
+        } else if (nk_ > 6 && i % nk_ == 4) {
+            temp = subWord(temp);
+        }
+        round_keys_[i] = round_keys_[i - nk_] ^ temp;
+    }
+}
+
+AesBlock
+Aes::encryptBlock(const AesBlock &plaintext) const
+{
+    AesBlock state = plaintext;
+    addRoundKey(state, &round_keys_[0]);
+    for (unsigned round = 1; round < rounds_; ++round) {
+        subBytes(state);
+        shiftRows(state);
+        mixColumns(state);
+        addRoundKey(state, &round_keys_[4 * round]);
+    }
+    subBytes(state);
+    shiftRows(state);
+    addRoundKey(state, &round_keys_[4 * rounds_]);
+    return state;
+}
+
+AesBlock
+Aes::decryptBlock(const AesBlock &ciphertext) const
+{
+    AesBlock state = ciphertext;
+    addRoundKey(state, &round_keys_[4 * rounds_]);
+    for (unsigned round = rounds_ - 1; round >= 1; --round) {
+        invShiftRows(state);
+        invSubBytes(state);
+        addRoundKey(state, &round_keys_[4 * round]);
+        invMixColumns(state);
+    }
+    invShiftRows(state);
+    invSubBytes(state);
+    addRoundKey(state, &round_keys_[0]);
+    return state;
+}
+
+std::vector<uint8_t>
+Aes::encryptEcb(const std::vector<uint8_t> &data) const
+{
+    if (data.size() % 16 != 0)
+        GFP_FATAL("ECB needs a multiple of 16 bytes, got %zu", data.size());
+    std::vector<uint8_t> out(data.size());
+    for (size_t off = 0; off < data.size(); off += 16) {
+        AesBlock block;
+        std::copy_n(data.begin() + off, 16, block.begin());
+        AesBlock enc = encryptBlock(block);
+        std::copy(enc.begin(), enc.end(), out.begin() + off);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+Aes::decryptEcb(const std::vector<uint8_t> &data) const
+{
+    if (data.size() % 16 != 0)
+        GFP_FATAL("ECB needs a multiple of 16 bytes, got %zu", data.size());
+    std::vector<uint8_t> out(data.size());
+    for (size_t off = 0; off < data.size(); off += 16) {
+        AesBlock block;
+        std::copy_n(data.begin() + off, 16, block.begin());
+        AesBlock dec = decryptBlock(block);
+        std::copy(dec.begin(), dec.end(), out.begin() + off);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+Aes::applyCtr(const std::vector<uint8_t> &data, const AesBlock &iv) const
+{
+    std::vector<uint8_t> out(data.size());
+    AesBlock counter = iv;
+    for (size_t off = 0; off < data.size(); off += 16) {
+        AesBlock keystream = encryptBlock(counter);
+        size_t chunk = std::min<size_t>(16, data.size() - off);
+        for (size_t i = 0; i < chunk; ++i)
+            out[off + i] = data[off + i] ^ keystream[i];
+        // Big-endian increment of the counter block.
+        for (int i = 15; i >= 0; --i)
+            if (++counter[i] != 0)
+                break;
+    }
+    return out;
+}
+
+} // namespace gfp

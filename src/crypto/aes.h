@@ -1,0 +1,82 @@
+/**
+ * @file
+ * AES-128/192/256 built from GF(2^8) arithmetic — the symmetric
+ * cryptography workload of the paper (Sec. 1.3 / 3.3.3).
+ *
+ * Every byte-level nonlinearity is expressed through field operations
+ * under the AES polynomial x^8+x^4+x^3+x+1:
+ *  - SubBytes is the GF(2^8) multiplicative inverse followed by the
+ *    GF(2)-affine transform (the mapping the paper's gfMultInv_simd
+ *    instruction accelerates);
+ *  - MixColumns / InvMixColumns are inner products with the constant
+ *    vectors {02,03,01,01} / {0e,0b,0d,09}.
+ *
+ * Individual round kernels are exposed (AddRoundKey, SubBytes,
+ * ShiftRows, MixColumns, key expansion) because the evaluation (Fig. 10)
+ * measures them separately, and the assembly kernels validate against
+ * them one by one.
+ *
+ * The state is stored FIPS-197 style: byte index r + 4c (column-major).
+ */
+
+#ifndef GFP_CRYPTO_AES_H
+#define GFP_CRYPTO_AES_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gfp {
+
+using AesBlock = std::array<uint8_t, 16>;
+
+class Aes
+{
+  public:
+    /** @param key 16, 24, or 32 bytes (AES-128/192/256). */
+    explicit Aes(const std::vector<uint8_t> &key);
+
+    unsigned rounds() const { return rounds_; }
+
+    /** The full expanded key schedule: 4*(rounds+1) little words. */
+    const std::vector<uint32_t> &roundKeys() const { return round_keys_; }
+
+    AesBlock encryptBlock(const AesBlock &plaintext) const;
+    AesBlock decryptBlock(const AesBlock &ciphertext) const;
+
+    /** ECB over a multiple-of-16-byte buffer (building block only). */
+    std::vector<uint8_t> encryptEcb(const std::vector<uint8_t> &data) const;
+    std::vector<uint8_t> decryptEcb(const std::vector<uint8_t> &data) const;
+
+    /** CTR mode: same operation encrypts and decrypts; any length. */
+    std::vector<uint8_t> applyCtr(const std::vector<uint8_t> &data,
+                                  const AesBlock &iv) const;
+
+    // --- round kernels (public for per-kernel validation/benching) ---
+
+    /** S-box of one byte: GF(2^8) inverse then the affine transform. */
+    static uint8_t sbox(uint8_t x);
+    static uint8_t invSbox(uint8_t x);
+
+    static void addRoundKey(AesBlock &state, const uint32_t *round_key);
+    static void subBytes(AesBlock &state);
+    static void invSubBytes(AesBlock &state);
+    static void shiftRows(AesBlock &state);
+    static void invShiftRows(AesBlock &state);
+    static void mixColumns(AesBlock &state);
+    static void invMixColumns(AesBlock &state);
+
+    /** xtime-free field multiply under 0x11b (delegates to GFField). */
+    static uint8_t gfMul(uint8_t a, uint8_t b);
+
+  private:
+    void expandKey(const std::vector<uint8_t> &key);
+
+    unsigned nk_;     // key length in words
+    unsigned rounds_; // 10/12/14
+    std::vector<uint32_t> round_keys_;
+};
+
+} // namespace gfp
+
+#endif // GFP_CRYPTO_AES_H

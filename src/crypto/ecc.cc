@@ -1,0 +1,408 @@
+#include "crypto/ecc.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gfp {
+
+bool
+EcPoint::operator==(const EcPoint &o) const
+{
+    if (infinity || o.infinity)
+        return infinity == o.infinity;
+    return x == o.x && y == o.y;
+}
+
+EllipticCurve::EllipticCurve(BinaryField field, Gf2x a, Gf2x b)
+    : field_(std::move(field)), a_(std::move(a)), b_(std::move(b))
+{
+    if (b_.isZero())
+        GFP_FATAL("binary curve requires b != 0 (otherwise singular)");
+}
+
+EllipticCurve
+EllipticCurve::nist(const std::string &name)
+{
+    auto make = [](const std::string &n, const char *fld, Gf2x a, Gf2x b,
+                   const char *gx, const char *gy, const char *order) {
+        EllipticCurve c(BinaryField::nist(fld), std::move(a), std::move(b));
+        c.base_ = EcPoint{Gf2x::fromHexString(gx), Gf2x::fromHexString(gy),
+                          false};
+        c.order_ = Gf2x::fromHexString(order);
+        c.name_ = n;
+        GFP_ASSERT(c.isOnCurve(c.base_), "base point of %s not on curve",
+                   n.c_str());
+        return c;
+    };
+
+    if (name == "K-163") {
+        return make("K-163", "163", Gf2x(1), Gf2x(1),
+                    "2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8",
+                    "289070fb05d38ff58321f2e800536d538ccdaa3d9",
+                    "4000000000000000000020108a2e0cc0d99f8a5ef");
+    }
+    if (name == "B-163") {
+        return make("B-163", "163", Gf2x(1),
+                    Gf2x::fromHexString(
+                        "20a601907b8c953ca1481eb10512f78744a3205fd"),
+                    "3f0eba16286a2d57ea0991168d4994637e8343e36",
+                    "0d51fbc6c71a0094fa2cdd545b11c5c0c797324f1",
+                    "40000000000000000000292fe77e70c12a4234c33");
+    }
+    if (name == "K-233") {
+        return make("K-233", "233", Gf2x(0), Gf2x(1),
+                    "17232ba853a7e731af129f22ff4149563a419c26bf50a4c9d6ee"
+                    "fad6126",
+                    "1db537dece819b7f70f555a67c427a8cd9bf18aeb9b56e0c1105"
+                    "6fae6a3",
+                    "8000000000000000000000000000069d5bb915bcd46efb1ad5f1"
+                    "73abdf");
+    }
+    if (name == "B-233") {
+        return make("B-233", "233", Gf2x(1),
+                    Gf2x::fromHexString(
+                        "66647ede6c332c7f8c0923bb58213b333b20e9ce4281fe11"
+                        "5f7d8f90ad"),
+                    "fac9dfcbac8313bb2139f1bb755fef65bc391f8b36f8f8eb7371"
+                    "fd558b",
+                    "1006a08a41903350678e58528bebf8a0beff867a7ca36716f7e0"
+                    "1f81052",
+                    "1000000000000000000000000000013e974e72f8a6922031d260"
+                    "3cfe0d7");
+    }
+    if (name == "K-283") {
+        return make("K-283", "283", Gf2x(0), Gf2x(1),
+                    "503213f78ca44883f1a3b8162f188e553cd265f23c1567a16876"
+                    "913b0c2ac2458492836",
+                    "1ccda380f1c9e318d90f95d07e5426fe87e45c0e8184698e4596"
+                    "2364e34116177dd2259",
+                    "1ffffffffffffffffffffffffffffffffffe9ae2ed07577265df"
+                    "f7f94451e061e163c61");
+    }
+    if (name == "B-283") {
+        return make("B-283", "283", Gf2x(1),
+                    Gf2x::fromHexString(
+                        "27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a"
+                        "581485af6263e313b79a2f5"),
+                    "5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e"
+                    "198f8cdbecd86b12053",
+                    "3676854fe24141cb98fe6d4b20d02b4516ff702350eddb082677"
+                    "9c813f0df45be8112f4",
+                    "3ffffffffffffffffffffffffffffffffffef90399660fc938a9"
+                    "0165b042a7cefadb307");
+    }
+    GFP_FATAL("unknown NIST curve '%s'", name.c_str());
+}
+
+Gf2x
+EllipticCurve::fmul(const Gf2x &x, const Gf2x &y) const
+{
+    ++ops_.mul;
+    return field_.mul(x, y);
+}
+
+Gf2x
+EllipticCurve::fsqr(const Gf2x &x) const
+{
+    ++ops_.sqr;
+    return field_.sqr(x);
+}
+
+Gf2x
+EllipticCurve::finv(const Gf2x &x) const
+{
+    ++ops_.inv;
+    return field_.inv(x);
+}
+
+Gf2x
+EllipticCurve::fadd(const Gf2x &x, const Gf2x &y) const
+{
+    ++ops_.add;
+    return x ^ y;
+}
+
+Gf2x
+EllipticCurve::fmulConst(const Gf2x &c, const Gf2x &x) const
+{
+    // Curve-constant multiplies: a = 0 or b = 1 on Koblitz curves make
+    // these free, exactly the optimization a real kernel applies.
+    if (c.isZero())
+        return Gf2x();
+    if (c.isOne())
+        return x;
+    return fmul(c, x);
+}
+
+bool
+EllipticCurve::isOnCurve(const EcPoint &p) const
+{
+    if (p.infinity)
+        return true;
+    if (!field_.contains(p.x) || !field_.contains(p.y))
+        return false;
+    // y^2 + xy == x^3 + a x^2 + b
+    Gf2x lhs = field_.sqr(p.y) ^ field_.mul(p.x, p.y);
+    Gf2x x2 = field_.sqr(p.x);
+    Gf2x rhs = field_.mul(x2, p.x) ^ field_.mul(a_, x2) ^ b_;
+    return lhs == rhs;
+}
+
+EcPoint
+EllipticCurve::negate(const EcPoint &p) const
+{
+    if (p.infinity)
+        return p;
+    return EcPoint{p.x, p.x ^ p.y, false};
+}
+
+EcPoint
+EllipticCurve::addAffine(const EcPoint &p, const EcPoint &q) const
+{
+    if (p.infinity)
+        return q;
+    if (q.infinity)
+        return p;
+    if (p.x == q.x) {
+        if (p.y == q.y)
+            return doubleAffine(p);
+        return EcPoint::infinityPoint(); // q == -p
+    }
+    // lambda = (y1 + y2) / (x1 + x2)
+    Gf2x lambda = fmul(fadd(p.y, q.y), finv(fadd(p.x, q.x)));
+    Gf2x x3 = fadd(fadd(fadd(fadd(fsqr(lambda), lambda), p.x), q.x), a_);
+    Gf2x y3 = fadd(fadd(fmul(lambda, fadd(p.x, x3)), x3), p.y);
+    return EcPoint{x3, y3, false};
+}
+
+EcPoint
+EllipticCurve::doubleAffine(const EcPoint &p) const
+{
+    if (p.infinity)
+        return p;
+    if (p.x.isZero())
+        return EcPoint::infinityPoint(); // 2-torsion: P == -P
+    // lambda = x + y/x
+    Gf2x lambda = fadd(p.x, fmul(p.y, finv(p.x)));
+    Gf2x x3 = fadd(fadd(fsqr(lambda), lambda), a_);
+    Gf2x y3 = fadd(fmul(fadd(lambda, Gf2x(uint64_t{1})), x3), fsqr(p.x));
+    return EcPoint{x3, y3, false};
+}
+
+LdPoint
+EllipticCurve::toProjective(const EcPoint &p) const
+{
+    if (p.infinity)
+        return LdPoint{Gf2x(uint64_t{1}), Gf2x(), Gf2x(), true};
+    return LdPoint{p.x, p.y, Gf2x(uint64_t{1}), false};
+}
+
+EcPoint
+EllipticCurve::toAffine(const LdPoint &p) const
+{
+    if (p.infinity || p.z.isZero())
+        return EcPoint::infinityPoint();
+    // x = X/Z, y = Y/Z^2 — one field inversion per conversion, which is
+    // why projective coordinates pay off (Sec. 3.3.4).
+    Gf2x zinv = finv(p.z);
+    Gf2x x = fmul(p.x, zinv);
+    Gf2x y = fmul(p.y, fsqr(zinv));
+    return EcPoint{x, y, false};
+}
+
+LdPoint
+EllipticCurve::doubleLd(const LdPoint &p) const
+{
+    if (p.infinity || p.z.isZero() || p.x.isZero())
+        return LdPoint{Gf2x(uint64_t{1}), Gf2x(), Gf2x(), true};
+
+    // López-Dahab doubling:
+    //   Z3 = X1^2 * Z1^2
+    //   X3 = X1^4 + b * Z1^4
+    //   Y3 = b*Z1^4*Z3 + X3*(a*Z3 + Y1^2 + b*Z1^4)
+    Gf2x x2 = fsqr(p.x);
+    Gf2x z2 = fsqr(p.z);
+    Gf2x z4b = fmulConst(b_, fsqr(z2));
+    Gf2x z3 = fmul(x2, z2);
+    Gf2x x3 = fadd(fsqr(x2), z4b);
+    Gf2x inner = fadd(fadd(fmulConst(a_, z3), fsqr(p.y)), z4b);
+    Gf2x y3 = fadd(fmul(z4b, z3), fmul(x3, inner));
+    return LdPoint{x3, y3, z3, false};
+}
+
+LdPoint
+EllipticCurve::addMixed(const LdPoint &p, const EcPoint &q) const
+{
+    if (p.infinity || p.z.isZero())
+        return toProjective(q);
+    if (q.infinity)
+        return p;
+
+    // Guide-to-ECC style mixed addition (P projective, Q affine):
+    //   A = Y2*Z1^2 + Y1        B = X2*Z1 + X1
+    Gf2x z1sq = fsqr(p.z);
+    Gf2x a_val = fadd(fmul(q.y, z1sq), p.y);
+    Gf2x b_val = fadd(fmul(q.x, p.z), p.x);
+
+    if (b_val.isZero()) {
+        if (a_val.isZero()) {
+            // Same point: fall back to doubling.
+            return doubleLd(p);
+        }
+        // Q == -P.
+        return LdPoint{Gf2x(uint64_t{1}), Gf2x(), Gf2x(), true};
+    }
+
+    //   C = Z1*B    D = B^2*(C + a*Z1^2)    Z3 = C^2    E = A*C
+    Gf2x c_val = fmul(p.z, b_val);
+    Gf2x d_val = fmul(fsqr(b_val), fadd(c_val, fmulConst(a_, z1sq)));
+    Gf2x z3 = fsqr(c_val);
+    Gf2x e_val = fmul(a_val, c_val);
+    //   X3 = A^2 + D + E
+    Gf2x x3 = fadd(fadd(fsqr(a_val), d_val), e_val);
+    //   F = X3 + X2*Z3    G = (X2 + Y2)*Z3^2
+    Gf2x f_val = fadd(x3, fmul(q.x, z3));
+    Gf2x g_val = fmul(fadd(q.x, q.y), fsqr(z3));
+    //   Y3 = (E + Z3)*F + G
+    Gf2x y3 = fadd(fmul(fadd(e_val, z3), f_val), g_val);
+    return LdPoint{x3, y3, z3, false};
+}
+
+EcPoint
+EllipticCurve::scalarMult(const Gf2x &k, const EcPoint &p) const
+{
+    if (k.isZero() || p.infinity)
+        return EcPoint::infinityPoint();
+
+    // MSB-first double-and-add over López-Dahab coordinates: one
+    // conversion in (free), one inversion-bearing conversion out.
+    int top = k.degree();
+    LdPoint acc = toProjective(p);
+    for (int i = top - 1; i >= 0; --i) {
+        acc = doubleLd(acc);
+        if (k.getBit(i))
+            acc = addMixed(acc, p);
+    }
+    return toAffine(acc);
+}
+
+EcPoint
+EllipticCurve::scalarMultAffine(const Gf2x &k, const EcPoint &p) const
+{
+    if (k.isZero() || p.infinity)
+        return EcPoint::infinityPoint();
+    int top = k.degree();
+    EcPoint acc = p;
+    for (int i = top - 1; i >= 0; --i) {
+        acc = doubleAffine(acc);
+        if (k.getBit(i))
+            acc = addAffine(acc, p);
+    }
+    return acc;
+}
+
+EcPoint
+EllipticCurve::scalarMultMontgomery(const Gf2x &k, const EcPoint &p) const
+{
+    if (k.isZero() || p.infinity)
+        return EcPoint::infinityPoint();
+    if (k.isOne())
+        return p;
+
+    // López-Dahab x-only ladder.  State: P1 = (X1 : Z1), P2 = (X2 : Z2)
+    // with P2 - P1 == P throughout; every bit performs one Madd and one
+    // Mdouble (uniform control flow).
+    const Gf2x &x = p.x;
+    Gf2x x1 = x, z1(uint64_t{1});
+    Gf2x x2 = fadd(fsqr(fsqr(x)), b_); // x^4 + b
+    Gf2x z2 = fsqr(x);
+
+    auto mdouble = [&](Gf2x &xx, Gf2x &zz) {
+        // X' = X^4 + b Z^4 ; Z' = X^2 Z^2
+        Gf2x xs = fsqr(xx), zs = fsqr(zz);
+        Gf2x newx = fadd(fsqr(xs), fmulConst(b_, fsqr(zs)));
+        zz = fmul(xs, zs);
+        xx = newx;
+    };
+    auto madd = [&](Gf2x &xa, Gf2x &za, const Gf2x &xb, const Gf2x &zb) {
+        // Z' = (Xa Zb + Xb Za)^2 ; X' = x Z' + (Xa Zb)(Xb Za)
+        Gf2x t1 = fmul(xa, zb);
+        Gf2x t2 = fmul(xb, za);
+        Gf2x newz = fsqr(fadd(t1, t2));
+        xa = fadd(fmul(x, newz), fmul(t1, t2));
+        za = newz;
+    };
+
+    for (int i = k.degree() - 1; i >= 0; --i) {
+        if (k.getBit(i)) {
+            madd(x1, z1, x2, z2);
+            mdouble(x2, z2);
+        } else {
+            madd(x2, z2, x1, z1);
+            mdouble(x1, z1);
+        }
+    }
+
+    if (z1.isZero())
+        return EcPoint::infinityPoint();
+    if (z2.isZero()) {
+        // P2 hit infinity: P1 == (order-1) P == -P.
+        return negate(p);
+    }
+
+    // y-recovery (López-Dahab): with x3 = X1/Z1,
+    // y3 = (x + x3) [ (X1 + x Z1)(X2 + x Z2) + (x^2 + y)(Z1 Z2) ]
+    //      / (x Z1 Z2) + y
+    Gf2x x3 = fmul(x1, finv(z1));
+    Gf2x t1 = fadd(x1, fmul(x, z1));
+    Gf2x t2 = fadd(x2, fmul(x, z2));
+    Gf2x z1z2 = fmul(z1, z2);
+    Gf2x num = fadd(fmul(t1, t2),
+                    fmul(fadd(fsqr(x), p.y), z1z2));
+    Gf2x den = fmul(x, z1z2);
+    Gf2x y3 = fadd(fmul(fmul(fadd(x, x3), num), finv(den)), p.y);
+    return EcPoint{x3, y3, false};
+}
+
+Gf2x
+EllipticCurve::evaluationScalar(uint64_t seed)
+{
+    // 113-bit scalar, top bit set, exactly 56 of the lower 112 bits set
+    // (Sec. 3.3.4's 112-bit-security workload: 112 PD + 56 PA).
+    Rng rng(seed);
+    Gf2x k = Gf2x::monomial(112);
+    unsigned placed = 0;
+    while (placed < 56) {
+        unsigned pos = static_cast<unsigned>(rng.below(112));
+        if (!k.getBit(pos)) {
+            k.setBit(pos, 1);
+            ++placed;
+        }
+    }
+    return k;
+}
+
+Ecdh::KeyPair
+Ecdh::generate(uint64_t seed) const
+{
+    // Reduce a random scalar below the group order by clamping its bit
+    // length; good enough for protocol correctness experiments.
+    unsigned bits = curve_->order().isZero()
+                        ? curve_->field().m() - 1
+                        : curve_->order().bitLength() - 1;
+    Gf2x d = Gf2x::random(bits, seed);
+    if (d.isZero())
+        d = Gf2x(uint64_t{1});
+    return KeyPair{d, curve_->scalarMult(d, curve_->basePoint())};
+}
+
+Gf2x
+Ecdh::sharedSecret(const Gf2x &my_private, const EcPoint &their_public) const
+{
+    EcPoint s = curve_->scalarMult(my_private, their_public);
+    if (s.infinity)
+        GFP_FATAL("ECDH produced the point at infinity");
+    return s.x;
+}
+
+} // namespace gfp

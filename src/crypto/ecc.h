@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Elliptic-curve cryptography over binary fields (ECC_l in the paper):
+ * NIST curves y^2 + xy = x^3 + a x^2 + b over GF(2^m), with the
+ * López-Dahab projective point arithmetic the paper implements
+ * (Sec. 3.3.4 references [34]) and double-and-add scalar multiplication.
+ *
+ * Field operation counters are kept per curve instance so Table 9's
+ * multiply/square/inverse budgets per point operation can be verified.
+ */
+
+#ifndef GFP_CRYPTO_ECC_H
+#define GFP_CRYPTO_ECC_H
+
+#include <memory>
+#include <string>
+
+#include "gf/binary_field.h"
+
+namespace gfp {
+
+/** An affine point; (infinity == true) is the group identity. */
+struct EcPoint
+{
+    Gf2x x, y;
+    bool infinity = false;
+
+    static EcPoint infinityPoint() { return EcPoint{{}, {}, true}; }
+    bool operator==(const EcPoint &o) const;
+};
+
+/** A López-Dahab projective point: x = X/Z, y = Y/Z^2. */
+struct LdPoint
+{
+    Gf2x x, y, z;
+    bool infinity = false;
+};
+
+/** Running count of field operations (for the Table 9 budgets). */
+struct FieldOpCount
+{
+    uint64_t mul = 0;
+    uint64_t sqr = 0;
+    uint64_t inv = 0;
+    uint64_t add = 0;
+};
+
+class EllipticCurve
+{
+  public:
+    /** y^2 + xy = x^3 + a x^2 + b over @p field; b must be nonzero. */
+    EllipticCurve(BinaryField field, Gf2x a, Gf2x b);
+
+    /**
+     * A named NIST binary curve with its standard base point:
+     * "K-163", "B-163", "K-233", "B-233", "K-283", "B-283".
+     */
+    static EllipticCurve nist(const std::string &name);
+
+    const BinaryField &field() const { return field_; }
+    const Gf2x &a() const { return a_; }
+    const Gf2x &b() const { return b_; }
+    /** The standard base point (only for nist() curves). */
+    const EcPoint &basePoint() const { return base_; }
+    /** The base point order (only for nist() curves). */
+    const Gf2x &order() const { return order_; }
+    const std::string &name() const { return name_; }
+
+    bool isOnCurve(const EcPoint &p) const;
+
+    EcPoint negate(const EcPoint &p) const;
+
+    /** Affine group law (reference path). */
+    EcPoint addAffine(const EcPoint &p, const EcPoint &q) const;
+    EcPoint doubleAffine(const EcPoint &p) const;
+
+    /** López-Dahab projective arithmetic (the fast path). */
+    LdPoint toProjective(const EcPoint &p) const;
+    EcPoint toAffine(const LdPoint &p) const; ///< costs one inversion
+    LdPoint doubleLd(const LdPoint &p) const;
+    /** Mixed addition: projective P + affine Q. */
+    LdPoint addMixed(const LdPoint &p, const EcPoint &q) const;
+
+    /**
+     * k * P by MSB-first double-and-add over López-Dahab coordinates
+     * (the paper's method).  @p k is a bit string (Gf2x); k = 0 gives
+     * the point at infinity.
+     */
+    EcPoint scalarMult(const Gf2x &k, const EcPoint &p) const;
+
+    /** k * P on affine coordinates only (golden reference). */
+    EcPoint scalarMultAffine(const Gf2x &k, const EcPoint &p) const;
+
+    /**
+     * k * P by the López-Dahab Montgomery ladder (x-coordinate-only,
+     * uniform double+add per bit — the standard side-channel-hardened
+     * alternative to double-and-add).  Requires p not of order 2.
+     */
+    EcPoint scalarMultMontgomery(const Gf2x &k, const EcPoint &p) const;
+
+    /**
+     * The evaluation scalar of Sec. 3.3.4: a 113-bit value whose top
+     * bit is 1 and whose remaining 112 bits hold exactly 56 ones —
+     * 112 point doublings + 56 point additions.
+     */
+    static Gf2x evaluationScalar(uint64_t seed = 1);
+
+    const FieldOpCount &opCount() const { return ops_; }
+    void resetOpCount() { ops_ = FieldOpCount(); }
+
+  private:
+    Gf2x fmul(const Gf2x &x, const Gf2x &y) const;
+    Gf2x fsqr(const Gf2x &x) const;
+    Gf2x finv(const Gf2x &x) const;
+    Gf2x fadd(const Gf2x &x, const Gf2x &y) const;
+    /** Multiply by a curve constant; free for 0 and 1 (Koblitz). */
+    Gf2x fmulConst(const Gf2x &c, const Gf2x &x) const;
+
+    BinaryField field_;
+    Gf2x a_, b_;
+    EcPoint base_;
+    Gf2x order_;
+    std::string name_;
+    mutable FieldOpCount ops_;
+};
+
+/**
+ * Elliptic-Curve Diffie-Hellman on a binary curve — the key-exchange
+ * protocol the paper evaluates (one scalar multiplication per side
+ * per session, Sec. 3.3.4).
+ */
+class Ecdh
+{
+  public:
+    explicit Ecdh(const EllipticCurve &curve) : curve_(&curve) {}
+
+    struct KeyPair
+    {
+        Gf2x private_scalar;
+        EcPoint public_point;
+    };
+
+    /** Generate a key pair from a deterministic seed. */
+    KeyPair generate(uint64_t seed) const;
+
+    /** Shared secret: my_private * their_public (x-coordinate). */
+    Gf2x sharedSecret(const Gf2x &my_private,
+                      const EcPoint &their_public) const;
+
+  private:
+    const EllipticCurve *curve_;
+};
+
+} // namespace gfp
+
+#endif // GFP_CRYPTO_ECC_H

@@ -1,0 +1,175 @@
+#include "gf/binary_field.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace gfp {
+
+BinaryField::BinaryField(unsigned m, std::vector<unsigned> exponents)
+    : m_(m), exponents_(std::move(exponents))
+{
+    GFP_ASSERT(m_ >= 2, "field degree too small");
+    std::sort(exponents_.rbegin(), exponents_.rend());
+    if (exponents_.empty() || exponents_.front() != m_ ||
+        exponents_.back() != 0) {
+        GFP_FATAL("binary field polynomial must include x^m and 1");
+    }
+    for (size_t i = 1; i + 1 < exponents_.size(); ++i) {
+        if (exponents_[i] >= m_)
+            GFP_FATAL("middle term exponent %u >= m", exponents_[i]);
+    }
+    modulus_ = Gf2x::fromExponents(exponents_);
+}
+
+BinaryField
+BinaryField::nist(const std::string &name)
+{
+    if (name == "113")
+        return BinaryField(113, {113, 9, 0});
+    if (name == "131")
+        return BinaryField(131, {131, 8, 3, 2, 0});
+    if (name == "163")
+        return BinaryField(163, {163, 7, 6, 3, 0});
+    if (name == "233")
+        return BinaryField(233, {233, 74, 0});
+    if (name == "283")
+        return BinaryField(283, {283, 12, 7, 5, 0});
+    if (name == "409")
+        return BinaryField(409, {409, 87, 0});
+    if (name == "571")
+        return BinaryField(571, {571, 10, 5, 2, 0});
+    GFP_FATAL("unknown NIST binary field '%s'", name.c_str());
+}
+
+Gf2x
+BinaryField::reduce(const Gf2x &v) const
+{
+    // Sparse fold: with p(x) = x^m + t(x), any high part H * x^m is
+    // congruent to H * t(x).  For a trinomial/pentanomial the loop
+    // terminates after a couple of passes.
+    Gf2x r(v);
+    while (r.degree() >= static_cast<int>(m_)) {
+        Gf2x high = r.shiftRight(m_);
+        r = r.truncated(m_);
+        for (size_t i = 1; i < exponents_.size(); ++i)
+            r ^= high.shiftLeft(exponents_[i]);
+    }
+    return r;
+}
+
+Gf2x
+BinaryField::mul(const Gf2x &a, const Gf2x &b) const
+{
+    return reduce(a.mulSchoolbook(b));
+}
+
+Gf2x
+BinaryField::mulKaratsuba(const Gf2x &a, const Gf2x &b) const
+{
+    return reduce(a.mulKaratsuba(b));
+}
+
+Gf2x
+BinaryField::sqr(const Gf2x &a) const
+{
+    return reduce(a.square());
+}
+
+Gf2x
+BinaryField::sqrN(const Gf2x &a, unsigned k) const
+{
+    Gf2x r(a);
+    for (unsigned i = 0; i < k; ++i)
+        r = sqr(r);
+    return r;
+}
+
+Gf2x
+BinaryField::invItohTsujii(const Gf2x &a, unsigned *mults,
+                           unsigned *sqrs) const
+{
+    if (mults)
+        *mults = 0;
+    if (sqrs)
+        *sqrs = 0;
+    if (a.isZero())
+        return Gf2x();
+
+    // Itoh-Tsujii: a^-1 = (a^(2^(m-1) - 1))^2.
+    // Build T(k) = a^(2^k - 1) with the addition chain from the binary
+    // expansion of m-1, using T(j + k) = T(j)^(2^k) * T(k).
+    unsigned e = m_ - 1;
+
+    // Decompose e by its binary digits, MSB first.
+    int top = 31 - std::countl_zero(e);
+    Gf2x t = a;       // T(1)
+    unsigned have = 1; // t == T(have)
+    for (int i = top - 1; i >= 0; --i) {
+        // T(2*have) = T(have)^(2^have) * T(have)
+        Gf2x t2 = sqrN(t, have);
+        if (sqrs)
+            *sqrs += have;
+        t = mul(t2, t);
+        if (mults)
+            ++*mults;
+        have *= 2;
+        if ((e >> i) & 1) {
+            // T(have + 1) = T(have)^2 * a
+            t = mul(sqr(t), a);
+            if (sqrs)
+                ++*sqrs;
+            if (mults)
+                ++*mults;
+            have += 1;
+        }
+    }
+    GFP_ASSERT(have == e, "ITA chain mismatch: %u != %u", have, e);
+
+    Gf2x r = sqr(t);
+    if (sqrs)
+        ++*sqrs;
+    return r;
+}
+
+Gf2x
+BinaryField::invEuclid(const Gf2x &a) const
+{
+    if (a.isZero())
+        return Gf2x();
+    // Classic extended Euclid over GF(2)[x]:
+    // maintain g1*a = u (mod p), g2*a = v (mod p).
+    Gf2x u = reduce(a);
+    Gf2x v = modulus_;
+    Gf2x g1(uint64_t{1});
+    Gf2x g2;
+    while (!u.isOne()) {
+        int j = u.degree() - v.degree();
+        if (j < 0) {
+            std::swap(u, v);
+            std::swap(g1, g2);
+            j = -j;
+        }
+        u ^= v.shiftLeft(j);
+        g1 ^= g2.shiftLeft(j);
+        GFP_ASSERT(!u.isZero(), "inverse of non-unit (modulus reducible?)");
+    }
+    return reduce(g1);
+}
+
+Gf2x
+BinaryField::div(const Gf2x &a, const Gf2x &b) const
+{
+    if (b.isZero())
+        GFP_FATAL("binary field division by zero");
+    return mul(a, inv(b));
+}
+
+Gf2x
+BinaryField::randomElement(uint64_t seed) const
+{
+    return Gf2x::random(m_, seed);
+}
+
+} // namespace gfp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Wide binary extension fields GF(2^m), m > 64, defined by sparse
+ * irreducible polynomials — the fields asymmetric cryptography (ECC_l)
+ * runs in.  The paper's running example is the NIST Koblitz curve field
+ * GF(2^233) with x^233 + x^74 + 1.
+ *
+ * Reduction exploits sparsity (trinomials / pentanomials fold in a couple
+ * of passes), inversion offers both the Itoh-Tsujii addition-chain method
+ * the paper implements and an extended-Euclidean reference.
+ */
+
+#ifndef GFP_GF_BINARY_FIELD_H
+#define GFP_GF_BINARY_FIELD_H
+
+#include <string>
+#include <vector>
+
+#include "gf/gf2x.h"
+
+namespace gfp {
+
+class BinaryField
+{
+  public:
+    /**
+     * @param m          field degree (e.g. 233)
+     * @param exponents  exponents of the irreducible polynomial's nonzero
+     *                   terms, e.g. {233, 74, 0}; must include m and 0.
+     */
+    BinaryField(unsigned m, std::vector<unsigned> exponents);
+
+    /** Field for a named NIST binary field: "163", "233", "283", "409",
+     *  "571", or "113". */
+    static BinaryField nist(const std::string &name);
+
+    unsigned m() const { return m_; }
+    const Gf2x &modulus() const { return modulus_; }
+    const std::vector<unsigned> &exponents() const { return exponents_; }
+
+    /** True if @p v is a reduced field element (degree < m). */
+    bool contains(const Gf2x &v) const { return v.degree() < int(m_); }
+
+    /** Reduce an up-to-(2m-1)-bit polynomial using the sparse fold. */
+    Gf2x reduce(const Gf2x &v) const;
+
+    Gf2x add(const Gf2x &a, const Gf2x &b) const { return a ^ b; }
+
+    /** Product (schoolbook 32-bit partial products + sparse reduction). */
+    Gf2x mul(const Gf2x &a, const Gf2x &b) const;
+
+    /** Product with Karatsuba full multiply. */
+    Gf2x mulKaratsuba(const Gf2x &a, const Gf2x &b) const;
+
+    /** Square (bit-spread + sparse reduction). */
+    Gf2x sqr(const Gf2x &a) const;
+
+    /** a^(2^k) by k repeated squarings. */
+    Gf2x sqrN(const Gf2x &a, unsigned k) const;
+
+    /**
+     * Multiplicative inverse by the Itoh-Tsujii addition chain
+     * (the method the paper's processor uses; Sec. 2.4.3 / 3.3.4).
+     * inv(0) == 0.  Counts field mults/squarings if pointers given.
+     */
+    Gf2x invItohTsujii(const Gf2x &a, unsigned *mults = nullptr,
+                       unsigned *sqrs = nullptr) const;
+
+    /** Multiplicative inverse by the binary extended Euclidean algorithm
+     *  (reference implementation; systolic-EA analog). inv(0) == 0. */
+    Gf2x invEuclid(const Gf2x &a) const;
+
+    /** Default inverse (Itoh-Tsujii). */
+    Gf2x inv(const Gf2x &a) const { return invItohTsujii(a); }
+
+    /** a / b; fatal if b == 0. */
+    Gf2x div(const Gf2x &a, const Gf2x &b) const;
+
+    /** A reproducible pseudo-random field element. */
+    Gf2x randomElement(uint64_t seed) const;
+
+  private:
+    unsigned m_;
+    std::vector<unsigned> exponents_; // descending, includes m and 0
+    Gf2x modulus_;
+};
+
+} // namespace gfp
+
+#endif // GFP_GF_BINARY_FIELD_H

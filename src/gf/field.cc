@@ -1,0 +1,167 @@
+#include "gf/field.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "gf/polys.h"
+
+namespace gfp {
+
+GFField::GFField(unsigned m, uint32_t poly) : m_(m), poly_(poly)
+{
+    if (m < 2 || m > 16)
+        GFP_FATAL("GF(2^m) supports m in 2..16, got m=%u", m);
+    if (poly_ == 0)
+        poly_ = defaultPrimitivePoly(m);
+    if (!isIrreducible(poly_, m))
+        GFP_FATAL("polynomial 0x%x is not irreducible of degree %u",
+                  poly_, m);
+    primitive_ = isPrimitive(poly_, m);
+    buildTables();
+}
+
+GFElem
+GFField::reduce(uint32_t full_product) const
+{
+    // Polynomial reduction: repeatedly cancel the leading term with a
+    // shifted copy of the field polynomial.  The input has at most
+    // 2m - 1 significant bits.
+    int dp = static_cast<int>(m_);
+    int d = degree(full_product);
+    while (d >= dp) {
+        full_product ^= poly_ << (d - dp);
+        d = degree(full_product);
+    }
+    return static_cast<GFElem>(full_product);
+}
+
+GFElem
+GFField::mul(GFElem a, GFElem b) const
+{
+    uint32_t full = clmul16(a, b);
+    return reduce(full);
+}
+
+GFElem
+GFField::mulTable(GFElem a, GFElem b) const
+{
+    // The software-baseline path (paper Table 6, left column):
+    //   idx = (log[a] + log[b]) mod (2^m - 1);  result = exp[idx]
+    if (a == 0 || b == 0)
+        return 0;
+    uint32_t idx = log_[a] + log_[b];
+    // exp_ is doubled in length so no explicit modulo is needed here;
+    // kernels on the baseline core do pay for the modulo.
+    return exp_[idx];
+}
+
+GFElem
+GFField::sqr(GFElem a) const
+{
+    // Squaring in GF(2^m) spreads the input bits into even positions
+    // (the "thinned" product of Fig. 5(c)) and reduces.
+    uint32_t spread = 0;
+    for (unsigned i = 0; i < m_; ++i)
+        spread |= bit(a, i) << (2 * i);
+    return reduce(spread);
+}
+
+GFElem
+GFField::inv(GFElem a) const
+{
+    if (a == 0)
+        return 0;
+    // a^-1 = a^(2^m - 2); computed Itoh-Tsujii style with squarings and
+    // multiplies, the same dataflow the hardware inverse network uses.
+    GFElem result = 1;
+    GFElem sq = a;                 // a^(2^0)
+    for (unsigned i = 1; i < m_; ++i) {
+        sq = sqr(sq);              // a^(2^i)
+        result = mul(result, sq);  // accumulate a^(2^1 + ... + 2^(m-1))
+    }
+    return result;                 // = a^(2^m - 2)
+}
+
+GFElem
+GFField::div(GFElem a, GFElem b) const
+{
+    if (b == 0)
+        GFP_FATAL("GF division by zero");
+    return mul(a, inv(b));
+}
+
+GFElem
+GFField::pow(GFElem a, uint32_t e) const
+{
+    if (e == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    GFElem result = 1;
+    GFElem base = a;
+    while (e) {
+        if (e & 1)
+            result = mul(result, base);
+        base = sqr(base);
+        e >>= 1;
+    }
+    return result;
+}
+
+uint32_t
+GFField::log(GFElem a) const
+{
+    if (a == 0)
+        GFP_FATAL("log of zero in GF(2^%u)", m_);
+    return log_[a];
+}
+
+GFElem
+GFField::exp(uint32_t i) const
+{
+    return exp_[i % groupOrder()];
+}
+
+void
+GFField::buildTables()
+{
+    const uint32_t group = groupOrder();
+
+    // Find a generator: x (== 2) when the polynomial is primitive;
+    // otherwise search.  Every finite field's multiplicative group is
+    // cyclic, so a generator always exists.
+    auto orderOf = [&](GFElem g) {
+        uint32_t n = 1;
+        GFElem v = g;
+        while (v != 1) {
+            v = mul(v, g);
+            ++n;
+            GFP_ASSERT(n <= group);
+        }
+        return n;
+    };
+
+    generator_ = 2;
+    if (!primitive_) {
+        generator_ = 0;
+        for (GFElem g = 2; g < order(); ++g) {
+            if (orderOf(g) == group) {
+                generator_ = g;
+                break;
+            }
+        }
+        GFP_ASSERT(generator_ != 0, "no generator found (not a field?)");
+    }
+
+    exp_.assign(2 * group, 0);
+    log_.assign(order(), 0);
+    GFElem v = 1;
+    for (uint32_t i = 0; i < group; ++i) {
+        exp_[i] = v;
+        exp_[i + group] = v; // doubled table: skip the mod in lookups
+        log_[v] = static_cast<uint16_t>(i);
+        v = mul(v, generator_);
+    }
+    GFP_ASSERT(v == 1, "generator order mismatch");
+}
+
+} // namespace gfp

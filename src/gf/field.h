@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reference arithmetic for small binary extension fields GF(2^m).
+ *
+ * This is the *golden model* the structural GFAU hardware model
+ * (src/gfau) and the simulator kernels are verified against.  It supports
+ * every field size the paper's datapath handles (m = 2..8) plus larger
+ * fields (up to m = 16) needed to construct long BCH/RS codes, and any
+ * irreducible polynomial — the paper's headline flexibility claim.
+ *
+ * Two multiplication paths are provided:
+ *  - mul():      carry-less product + polynomial reduction (the way the
+ *                paper's hardware computes it), and
+ *  - mulTable(): log/antilog table lookup (the way the paper's *software
+ *                baseline* computes it, Table 6 left column).
+ * Both must agree; tests enforce it.
+ */
+
+#ifndef GFP_GF_FIELD_H
+#define GFP_GF_FIELD_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gfp {
+
+/** An element of GF(2^m), m <= 16; value fits in the low m bits. */
+using GFElem = uint16_t;
+
+class GFField
+{
+  public:
+    /**
+     * Construct GF(2^m) with the given irreducible polynomial.
+     * @param m     field degree, 2 <= m <= 16
+     * @param poly  irreducible polynomial encoded as an integer
+     *              (bit i = coefficient of x^i); defaults to the standard
+     *              primitive polynomial for m when 0 is passed.
+     */
+    explicit GFField(unsigned m, uint32_t poly = 0);
+
+    unsigned m() const { return m_; }
+    uint32_t poly() const { return poly_; }
+    /** Number of field elements, 2^m. */
+    uint32_t order() const { return 1u << m_; }
+    /** Size of the multiplicative group, 2^m - 1. */
+    uint32_t groupOrder() const { return (1u << m_) - 1; }
+    /** True if x itself generates the multiplicative group. */
+    bool primitive() const { return primitive_; }
+    /** A generator of the multiplicative group (x when primitive). */
+    GFElem generator() const { return generator_; }
+
+    /** Addition == subtraction == XOR in characteristic 2. */
+    static GFElem add(GFElem a, GFElem b) { return a ^ b; }
+
+    /** Product via carry-less multiply + reduction (hardware path). */
+    GFElem mul(GFElem a, GFElem b) const;
+
+    /** Product via log/antilog tables (software-baseline path). */
+    GFElem mulTable(GFElem a, GFElem b) const;
+
+    /** Square (uses the thinned carry-less square + reduction). */
+    GFElem sqr(GFElem a) const;
+
+    /**
+     * Multiplicative inverse.  inv(0) == 0, matching the hardware's ITA
+     * network (an all-zero input propagates zeros), which is also the
+     * convention the AES S-box requires.
+     */
+    GFElem inv(GFElem a) const;
+
+    /** a / b; fatal if b == 0. */
+    GFElem div(GFElem a, GFElem b) const;
+
+    /** a raised to the (ordinary integer) power e; pow(0,0) == 1. */
+    GFElem pow(GFElem a, uint32_t e) const;
+
+    /** Discrete log base generator(); fatal for log(0). */
+    uint32_t log(GFElem a) const;
+
+    /** generator() raised to the power i (i taken mod 2^m - 1). */
+    GFElem exp(uint32_t i) const;
+
+    /** Reduce a raw carry-less product (up to 2m-1 bits) mod poly. */
+    GFElem reduce(uint32_t full_product) const;
+
+    /** True for a representable element of this field. */
+    bool contains(uint32_t v) const { return v < order(); }
+
+    /** The log table (BIN2Idx in the paper's Table 6); log[0] unused. */
+    const std::vector<uint16_t> &logTable() const { return log_; }
+    /** The antilog table (Idx2BIN in the paper's Table 6). */
+    const std::vector<GFElem> &expTable() const { return exp_; }
+
+    bool operator==(const GFField &o) const
+    {
+        return m_ == o.m_ && poly_ == o.poly_;
+    }
+
+  private:
+    void buildTables();
+
+    unsigned m_;
+    uint32_t poly_;
+    bool primitive_;
+    GFElem generator_;
+    std::vector<GFElem> exp_;   // exp_[i] = g^i, length 2*(2^m - 1)
+    std::vector<uint16_t> log_; // log_[v] = i with g^i == v; log_[0] = 0
+};
+
+} // namespace gfp
+
+#endif // GFP_GF_FIELD_H

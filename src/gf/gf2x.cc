@@ -1,0 +1,402 @@
+#include "gf/gf2x.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gfp {
+
+Gf2x::Gf2x(uint64_t bits)
+{
+    if (bits)
+        words_.push_back(bits);
+}
+
+Gf2x::Gf2x(std::vector<uint64_t> words) : words_(std::move(words))
+{
+    trim();
+}
+
+Gf2x
+Gf2x::monomial(unsigned e)
+{
+    Gf2x p;
+    p.setBit(e, 1);
+    return p;
+}
+
+Gf2x
+Gf2x::fromExponents(const std::vector<unsigned> &exponents)
+{
+    Gf2x p;
+    for (unsigned e : exponents)
+        p.setBit(e, p.getBit(e) ^ 1);
+    return p;
+}
+
+Gf2x
+Gf2x::random(unsigned nbits, uint64_t seed)
+{
+    Rng rng(seed);
+    Gf2x p;
+    if (nbits == 0)
+        return p;
+    p.words_.resize((nbits + 63) / 64);
+    for (auto &w : p.words_)
+        w = rng.next64();
+    unsigned slack = p.words_.size() * 64 - nbits;
+    if (slack)
+        p.words_.back() &= ~uint64_t{0} >> slack;
+    p.trim();
+    return p;
+}
+
+void
+Gf2x::trim()
+{
+    while (!words_.empty() && words_.back() == 0)
+        words_.pop_back();
+}
+
+int
+Gf2x::degree() const
+{
+    if (words_.empty())
+        return -1;
+    return static_cast<int>((words_.size() - 1) * 64) +
+           gfp::degree(words_.back());
+}
+
+uint32_t
+Gf2x::getBit(unsigned i) const
+{
+    size_t w = i / 64;
+    if (w >= words_.size())
+        return 0;
+    return bit(words_[w], i % 64);
+}
+
+void
+Gf2x::setBit(unsigned i, uint32_t v)
+{
+    size_t w = i / 64;
+    if (w >= words_.size()) {
+        if (!(v & 1))
+            return;
+        words_.resize(w + 1, 0);
+    }
+    words_[w] = gfp::setBit(words_[w], i % 64, v);
+    trim();
+}
+
+std::vector<uint32_t>
+Gf2x::toWords32(size_t n) const
+{
+    std::vector<uint32_t> out(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        size_t w = i / 2;
+        if (w >= words_.size())
+            break;
+        out[i] = static_cast<uint32_t>(words_[w] >> ((i % 2) * 32));
+    }
+    return out;
+}
+
+Gf2x
+Gf2x::fromWords32(const std::vector<uint32_t> &w)
+{
+    std::vector<uint64_t> words((w.size() + 1) / 2, 0);
+    for (size_t i = 0; i < w.size(); ++i)
+        words[i / 2] |= static_cast<uint64_t>(w[i]) << ((i % 2) * 32);
+    return Gf2x(std::move(words));
+}
+
+Gf2x
+Gf2x::operator^(const Gf2x &o) const
+{
+    Gf2x out(*this);
+    out ^= o;
+    return out;
+}
+
+Gf2x &
+Gf2x::operator^=(const Gf2x &o)
+{
+    if (o.words_.size() > words_.size())
+        words_.resize(o.words_.size(), 0);
+    for (size_t i = 0; i < o.words_.size(); ++i)
+        words_[i] ^= o.words_[i];
+    trim();
+    return *this;
+}
+
+Gf2x
+Gf2x::shiftLeft(unsigned k) const
+{
+    if (isZero() || k == 0)
+        return *this;
+    unsigned word_shift = k / 64;
+    unsigned bit_shift = k % 64;
+    std::vector<uint64_t> out(words_.size() + word_shift + 1, 0);
+    for (size_t i = 0; i < words_.size(); ++i) {
+        out[i + word_shift] ^= words_[i] << bit_shift;
+        if (bit_shift)
+            out[i + word_shift + 1] ^= words_[i] >> (64 - bit_shift);
+    }
+    return Gf2x(std::move(out));
+}
+
+Gf2x
+Gf2x::shiftRight(unsigned k) const
+{
+    unsigned word_shift = k / 64;
+    unsigned bit_shift = k % 64;
+    if (word_shift >= words_.size())
+        return Gf2x();
+    std::vector<uint64_t> out(words_.size() - word_shift, 0);
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = words_[i + word_shift] >> bit_shift;
+        if (bit_shift && i + word_shift + 1 < words_.size())
+            out[i] |= words_[i + word_shift + 1] << (64 - bit_shift);
+    }
+    return Gf2x(std::move(out));
+}
+
+Gf2x
+Gf2x::truncated(unsigned k) const
+{
+    size_t nwords = (k + 63) / 64;
+    std::vector<uint64_t> out(words_.begin(),
+                              words_.begin() +
+                                  std::min(nwords, words_.size()));
+    if (!out.empty() && k % 64 && out.size() == nwords)
+        out.back() &= (uint64_t{1} << (k % 64)) - 1;
+    return Gf2x(std::move(out));
+}
+
+namespace {
+
+using Limbs = std::vector<uint32_t>;
+
+/** Schoolbook carry-less multiply over 32-bit limbs. */
+Limbs
+limbMulSchoolbook(const Limbs &a, const Limbs &b, unsigned *count)
+{
+    Limbs r(a.size() + b.size(), 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (size_t j = 0; j < b.size(); ++j) {
+            uint64_t p = clmul32(a[i], b[j]);
+            r[i + j] ^= static_cast<uint32_t>(p);
+            r[i + j + 1] ^= static_cast<uint32_t>(p >> 32);
+            if (count)
+                ++*count;
+        }
+    }
+    return r;
+}
+
+void
+limbXorInto(Limbs &dst, const Limbs &src, size_t offset)
+{
+    if (dst.size() < src.size() + offset)
+        dst.resize(src.size() + offset, 0);
+    for (size_t i = 0; i < src.size(); ++i)
+        dst[i + offset] ^= src[i];
+}
+
+/** Karatsuba over 32-bit limbs with a bounded recursion depth. */
+Limbs
+limbMulKaratsuba(const Limbs &a, const Limbs &b, unsigned levels,
+                 unsigned *count)
+{
+    if (levels == 0 || a.size() <= 1 || b.size() <= 1)
+        return limbMulSchoolbook(a, b, count);
+
+    size_t n = std::max(a.size(), b.size());
+    size_t h = (n + 1) / 2;
+
+    auto low = [&](const Limbs &v) {
+        return Limbs(v.begin(), v.begin() + std::min(h, v.size()));
+    };
+    auto high = [&](const Limbs &v) {
+        return v.size() > h ? Limbs(v.begin() + h, v.end()) : Limbs{};
+    };
+    auto xorLimbs = [](Limbs x, const Limbs &y) {
+        if (x.size() < y.size())
+            x.resize(y.size(), 0);
+        for (size_t i = 0; i < y.size(); ++i)
+            x[i] ^= y[i];
+        return x;
+    };
+
+    Limbs a0 = low(a), a1 = high(a);
+    Limbs b0 = low(b), b1 = high(b);
+
+    Limbs p0 = limbMulKaratsuba(a0, b0, levels - 1, count);
+    Limbs p2 = a1.empty() || b1.empty()
+                   ? Limbs{}
+                   : limbMulKaratsuba(a1, b1, levels - 1, count);
+    Limbs p1 = limbMulKaratsuba(xorLimbs(a0, a1), xorLimbs(b0, b1),
+                                levels - 1, count);
+
+    // result = p0 + (p0 + p1 + p2) * X^h + p2 * X^(2h)
+    Limbs mid = xorLimbs(xorLimbs(p1, p0), p2);
+    Limbs r(a.size() + b.size(), 0);
+    limbXorInto(r, p0, 0);
+    limbXorInto(r, mid, h);
+    limbXorInto(r, p2, 2 * h);
+    return r;
+}
+
+Limbs
+toLimbs(const Gf2x &p)
+{
+    unsigned nbits = p.bitLength();
+    return p.toWords32(std::max<size_t>(1, (nbits + 31) / 32));
+}
+
+} // anonymous namespace
+
+Gf2x
+Gf2x::mulSchoolbook(const Gf2x &o, unsigned *partial_products) const
+{
+    if (partial_products)
+        *partial_products = 0;
+    if (isZero() || o.isZero())
+        return Gf2x();
+    Limbs r = limbMulSchoolbook(toLimbs(*this), toLimbs(o),
+                                partial_products);
+    return fromWords32(r);
+}
+
+Gf2x
+Gf2x::mulKaratsuba(const Gf2x &o, unsigned levels,
+                   unsigned *partial_products) const
+{
+    if (partial_products)
+        *partial_products = 0;
+    if (isZero() || o.isZero())
+        return Gf2x();
+    Limbs r = limbMulKaratsuba(toLimbs(*this), toLimbs(o), levels,
+                               partial_products);
+    return fromWords32(r);
+}
+
+Gf2x
+Gf2x::square() const
+{
+    // Spread each 32-bit half-word into 64 bits with zeros interleaved.
+    auto spread32 = [](uint32_t v) {
+        uint64_t x = v;
+        x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+        x = (x | (x << 8)) & 0x00ff00ff00ff00ffull;
+        x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0full;
+        x = (x | (x << 2)) & 0x3333333333333333ull;
+        x = (x | (x << 1)) & 0x5555555555555555ull;
+        return x;
+    };
+    std::vector<uint64_t> out(words_.size() * 2, 0);
+    for (size_t i = 0; i < words_.size(); ++i) {
+        out[2 * i] = spread32(static_cast<uint32_t>(words_[i]));
+        out[2 * i + 1] = spread32(static_cast<uint32_t>(words_[i] >> 32));
+    }
+    return Gf2x(std::move(out));
+}
+
+Gf2x
+Gf2x::mod(const Gf2x &modulus) const
+{
+    if (modulus.isZero())
+        GFP_FATAL("Gf2x reduction modulo zero");
+    Gf2x rem(*this);
+    int dm = modulus.degree();
+    int dr = rem.degree();
+    while (dr >= dm) {
+        rem ^= modulus.shiftLeft(dr - dm);
+        dr = rem.degree();
+    }
+    return rem;
+}
+
+void
+Gf2x::divmod(const Gf2x &divisor, Gf2x &quotient, Gf2x &remainder) const
+{
+    if (divisor.isZero())
+        GFP_FATAL("Gf2x division by zero");
+    Gf2x rem(*this);
+    Gf2x quot;
+    int dd = divisor.degree();
+    int dr = rem.degree();
+    while (dr >= dd) {
+        unsigned shift = dr - dd;
+        rem ^= divisor.shiftLeft(shift);
+        quot.setBit(shift, 1);
+        dr = rem.degree();
+    }
+    quotient = quot;
+    remainder = rem;
+}
+
+Gf2x
+Gf2x::gcd(Gf2x a, Gf2x b)
+{
+    while (!b.isZero()) {
+        Gf2x r = a.mod(b);
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+bool
+Gf2x::operator==(const Gf2x &o) const
+{
+    return words_ == o.words_;
+}
+
+std::string
+Gf2x::toHexString() const
+{
+    if (isZero())
+        return "0";
+    std::string out;
+    bool leading = true;
+    for (size_t w = words_.size(); w-- > 0;) {
+        for (int nib = 15; nib >= 0; --nib) {
+            unsigned v = (words_[w] >> (nib * 4)) & 0xf;
+            if (leading && v == 0)
+                continue;
+            leading = false;
+            out.push_back("0123456789abcdef"[v]);
+        }
+    }
+    return out;
+}
+
+Gf2x
+Gf2x::fromHexString(const std::string &hex)
+{
+    Gf2x p;
+    unsigned pos = 0;
+    for (size_t i = hex.size(); i-- > 0;) {
+        char c = hex[i];
+        unsigned v;
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            v = c - 'A' + 10;
+        else
+            GFP_FATAL("bad hex digit '%c'", c);
+        for (unsigned b = 0; b < 4; ++b)
+            if ((v >> b) & 1)
+                p.setBit(pos + b, 1);
+        pos += 4;
+    }
+    return p;
+}
+
+} // namespace gfp

@@ -1,0 +1,199 @@
+#include "gf/poly.h"
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace gfp {
+
+GFPoly::GFPoly(const GFField &field) : field_(&field) {}
+
+GFPoly::GFPoly(const GFField &field, std::vector<GFElem> coeffs)
+    : field_(&field), coeffs_(std::move(coeffs))
+{
+    for (GFElem c : coeffs_)
+        GFP_ASSERT(field_->contains(c), "coefficient 0x%x out of field", c);
+    normalize();
+}
+
+GFPoly::GFPoly(const GFField &field, std::initializer_list<GFElem> coeffs)
+    : GFPoly(field, std::vector<GFElem>(coeffs))
+{
+}
+
+GFPoly
+GFPoly::constant(const GFField &field, GFElem c)
+{
+    return GFPoly(field, {c});
+}
+
+GFPoly
+GFPoly::monomial(const GFField &field, GFElem c, unsigned degree)
+{
+    std::vector<GFElem> coeffs(degree + 1, 0);
+    coeffs[degree] = c;
+    return GFPoly(field, std::move(coeffs));
+}
+
+void
+GFPoly::setCoeff(unsigned i, GFElem value)
+{
+    GFP_ASSERT(field_->contains(value));
+    if (i >= coeffs_.size()) {
+        if (value == 0)
+            return;
+        coeffs_.resize(i + 1, 0);
+    }
+    coeffs_[i] = value;
+    normalize();
+}
+
+void
+GFPoly::normalize()
+{
+    while (!coeffs_.empty() && coeffs_.back() == 0)
+        coeffs_.pop_back();
+}
+
+GFPoly
+GFPoly::operator+(const GFPoly &o) const
+{
+    GFP_ASSERT(*field_ == *o.field_);
+    std::vector<GFElem> out(std::max(coeffs_.size(), o.coeffs_.size()), 0);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = coeff(i) ^ o.coeff(i);
+    return GFPoly(*field_, std::move(out));
+}
+
+GFPoly
+GFPoly::operator*(const GFPoly &o) const
+{
+    GFP_ASSERT(*field_ == *o.field_);
+    if (isZero() || o.isZero())
+        return GFPoly(*field_);
+    std::vector<GFElem> out(coeffs_.size() + o.coeffs_.size() - 1, 0);
+    for (size_t i = 0; i < coeffs_.size(); ++i) {
+        if (coeffs_[i] == 0)
+            continue;
+        for (size_t j = 0; j < o.coeffs_.size(); ++j)
+            out[i + j] ^= field_->mul(coeffs_[i], o.coeffs_[j]);
+    }
+    return GFPoly(*field_, std::move(out));
+}
+
+GFPoly
+GFPoly::operator*(GFElem scalar) const
+{
+    std::vector<GFElem> out(coeffs_.size());
+    for (size_t i = 0; i < coeffs_.size(); ++i)
+        out[i] = field_->mul(coeffs_[i], scalar);
+    return GFPoly(*field_, std::move(out));
+}
+
+GFPoly
+GFPoly::shift(unsigned k) const
+{
+    if (isZero())
+        return *this;
+    std::vector<GFElem> out(coeffs_.size() + k, 0);
+    std::copy(coeffs_.begin(), coeffs_.end(), out.begin() + k);
+    return GFPoly(*field_, std::move(out));
+}
+
+void
+GFPoly::divmod(const GFPoly &divisor, GFPoly &quotient,
+               GFPoly &remainder) const
+{
+    GFP_ASSERT(*field_ == *divisor.field_);
+    if (divisor.isZero())
+        GFP_FATAL("polynomial division by zero");
+
+    std::vector<GFElem> rem = coeffs_;
+    int dd = divisor.degree();
+    GFElem lead_inv = field_->inv(divisor.leading());
+    std::vector<GFElem> quot;
+    int dr = static_cast<int>(rem.size()) - 1;
+    if (dr >= dd)
+        quot.assign(dr - dd + 1, 0);
+
+    while (dr >= dd) {
+        if (rem[dr] != 0) {
+            GFElem factor = field_->mul(rem[dr], lead_inv);
+            quot[dr - dd] = factor;
+            for (int i = 0; i <= dd; ++i)
+                rem[dr - dd + i] ^=
+                    field_->mul(factor, divisor.coeff(i));
+        }
+        --dr;
+    }
+    quotient = GFPoly(*field_, std::move(quot));
+    remainder = GFPoly(*field_, std::move(rem));
+}
+
+GFPoly
+GFPoly::mod(const GFPoly &divisor) const
+{
+    GFPoly q(*field_), r(*field_);
+    divmod(divisor, q, r);
+    return r;
+}
+
+GFPoly
+GFPoly::truncated(unsigned k) const
+{
+    std::vector<GFElem> out(coeffs_.begin(),
+                            coeffs_.begin() +
+                                std::min<size_t>(k, coeffs_.size()));
+    return GFPoly(*field_, std::move(out));
+}
+
+GFElem
+GFPoly::eval(GFElem x) const
+{
+    GFElem acc = 0;
+    for (size_t i = coeffs_.size(); i-- > 0;)
+        acc = field_->mul(acc, x) ^ coeffs_[i];
+    return acc;
+}
+
+GFPoly
+GFPoly::derivative() const
+{
+    // In characteristic 2 the derivative keeps exactly the odd-degree
+    // terms: d/dx x^(2k+1) = x^(2k), d/dx x^(2k) = 0.
+    if (coeffs_.size() <= 1)
+        return GFPoly(*field_);
+    std::vector<GFElem> out(coeffs_.size() - 1, 0);
+    for (size_t i = 1; i < coeffs_.size(); i += 2)
+        out[i - 1] = coeffs_[i];
+    return GFPoly(*field_, std::move(out));
+}
+
+bool
+GFPoly::operator==(const GFPoly &o) const
+{
+    return *field_ == *o.field_ && coeffs_ == o.coeffs_;
+}
+
+std::string
+GFPoly::toString() const
+{
+    if (isZero())
+        return "0";
+    std::string out;
+    for (size_t i = coeffs_.size(); i-- > 0;) {
+        if (coeffs_[i] == 0)
+            continue;
+        if (!out.empty())
+            out += " + ";
+        if (i == 0 || coeffs_[i] != 1)
+            out += strprintf("%u", coeffs_[i]);
+        if (i >= 1) {
+            if (coeffs_[i] != 1)
+                out += "*";
+            out += (i == 1) ? "x" : strprintf("x^%zu", i);
+        }
+    }
+    return out;
+}
+
+} // namespace gfp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dense polynomials with coefficients in a small GF(2^m) field.
+ *
+ * Used by the RS/BCH coding layer: generator polynomials, syndromes as a
+ * polynomial, the error-locator polynomial Lambda(x), the error-evaluator
+ * polynomial Omega(x), and their evaluation/derivative for Chien search
+ * and Forney's algorithm.
+ *
+ * Coefficients are stored low-degree-first: coeff(i) multiplies x^i.
+ */
+
+#ifndef GFP_GF_POLY_H
+#define GFP_GF_POLY_H
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "gf/field.h"
+
+namespace gfp {
+
+class GFPoly
+{
+  public:
+    /** The zero polynomial over @p field. */
+    explicit GFPoly(const GFField &field);
+
+    /** Polynomial from low-degree-first coefficients. */
+    GFPoly(const GFField &field, std::vector<GFElem> coeffs);
+
+    GFPoly(const GFField &field, std::initializer_list<GFElem> coeffs);
+
+    /** The constant polynomial c. */
+    static GFPoly constant(const GFField &field, GFElem c);
+
+    /** The monomial c * x^degree. */
+    static GFPoly monomial(const GFField &field, GFElem c, unsigned degree);
+
+    const GFField &field() const { return *field_; }
+
+    /** Degree; -1 for the zero polynomial. */
+    int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+    bool isZero() const { return coeffs_.empty(); }
+
+    /** Coefficient of x^i (0 beyond the stored degree). */
+    GFElem coeff(unsigned i) const
+    {
+        return i < coeffs_.size() ? coeffs_[i] : 0;
+    }
+
+    /** Leading coefficient; 0 for the zero polynomial. */
+    GFElem leading() const { return coeffs_.empty() ? 0 : coeffs_.back(); }
+
+    const std::vector<GFElem> &coeffs() const { return coeffs_; }
+
+    /** Set coefficient of x^i, extending or trimming as needed. */
+    void setCoeff(unsigned i, GFElem value);
+
+    GFPoly operator+(const GFPoly &o) const; // == subtraction in char 2
+    GFPoly operator*(const GFPoly &o) const;
+    GFPoly operator*(GFElem scalar) const;
+
+    /** Multiply by x^k. */
+    GFPoly shift(unsigned k) const;
+
+    /** Quotient and remainder of division by @p divisor. */
+    void divmod(const GFPoly &divisor, GFPoly &quotient,
+                GFPoly &remainder) const;
+
+    GFPoly mod(const GFPoly &divisor) const;
+
+    /** Truncate to terms of degree < @p k (i.e. mod x^k). */
+    GFPoly truncated(unsigned k) const;
+
+    /** Evaluate at @p x by Horner's rule. */
+    GFElem eval(GFElem x) const;
+
+    /** Formal derivative (odd-degree terms drop an x; even terms vanish). */
+    GFPoly derivative() const;
+
+    bool operator==(const GFPoly &o) const;
+
+    /** Human-readable rendering, e.g. "3*x^2 + x + 5". */
+    std::string toString() const;
+
+  private:
+    void normalize();
+
+    const GFField *field_;
+    std::vector<GFElem> coeffs_; // low-degree first, no trailing zeros
+};
+
+} // namespace gfp
+
+#endif // GFP_GF_POLY_H

@@ -1,0 +1,113 @@
+#include "gf/polys.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace gfp {
+
+uint32_t
+defaultPrimitivePoly(unsigned m)
+{
+    switch (m) {
+      case 2: return 0x7;          // x^2 + x + 1
+      case 3: return 0xb;          // x^3 + x + 1
+      case 4: return 0x13;         // x^4 + x + 1
+      case 5: return 0x25;         // x^5 + x^2 + 1
+      case 6: return 0x43;         // x^6 + x + 1
+      case 7: return 0x89;         // x^7 + x^3 + 1
+      case 8: return 0x11d;        // x^8 + x^4 + x^3 + x^2 + 1
+      case 9: return 0x211;        // x^9 + x^4 + 1
+      case 10: return 0x409;       // x^10 + x^3 + 1
+      case 11: return 0x805;       // x^11 + x^2 + 1
+      case 12: return 0x1053;      // x^12 + x^6 + x^4 + x + 1
+      case 13: return 0x201b;      // x^13 + x^4 + x^3 + x + 1
+      case 14: return 0x4443;      // x^14 + x^10 + x^6 + x + 1
+      case 15: return 0x8003;      // x^15 + x + 1
+      case 16: return 0x1100b;     // x^16 + x^12 + x^3 + x + 1
+      default:
+        GFP_FATAL("no default primitive polynomial for m=%u "
+                  "(supported: 2..16)", m);
+    }
+}
+
+namespace {
+
+/** Remainder of GF(2) polynomial division a mod b. */
+uint64_t
+gf2Mod(uint64_t a, uint64_t b)
+{
+    GFP_ASSERT(b != 0);
+    int db = degree(b);
+    int da = degree(a);
+    while (da >= db) {
+        a ^= b << (da - db);
+        da = degree(a);
+    }
+    return a;
+}
+
+/** Carry-less 64-bit truncated product (low 64 bits). */
+uint64_t
+gf2MulLow(uint64_t a, uint64_t b)
+{
+    uint64_t acc = 0;
+    while (b) {
+        unsigned i = static_cast<unsigned>(std::countr_zero(b));
+        acc ^= a << i;
+        b &= b - 1;
+    }
+    return acc;
+}
+
+} // anonymous namespace
+
+bool
+isIrreducible(uint32_t poly, unsigned m)
+{
+    if (m == 0 || degree(poly) != static_cast<int>(m))
+        return false;
+    if ((poly & 1) == 0)
+        return false; // divisible by x
+    // Trial division by every polynomial of degree 1 .. m/2.  For the
+    // degrees this library supports (m <= 16) this is at most 2^8 trial
+    // divisors and is plenty fast.
+    for (unsigned d = 1; d <= m / 2; ++d) {
+        for (uint32_t q = (1u << d); q < (2u << d); ++q) {
+            if (gf2Mod(poly, q) == 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+isPrimitive(uint32_t poly, unsigned m)
+{
+    if (!isIrreducible(poly, m))
+        return false;
+    // x is a generator iff its multiplicative order is 2^m - 1.
+    // Walk powers of x; the order always divides 2^m - 1, so it is enough
+    // to check that no earlier power returns to 1.
+    uint64_t order = (uint64_t{1} << m) - 1;
+    uint64_t v = 2; // the element x
+    for (uint64_t i = 1; i < order; ++i) {
+        if (v == 1)
+            return false;
+        v = gf2Mod(gf2MulLow(v, 2), poly);
+    }
+    return v == 1;
+}
+
+std::vector<uint32_t>
+irreduciblePolys(unsigned m)
+{
+    GFP_ASSERT(m >= 2 && m <= 8, "m=%u", m);
+    std::vector<uint32_t> out;
+    for (uint32_t p = (1u << m) | 1; p < (2u << m); p += 2) {
+        if (isIrreducible(p, m))
+            out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace gfp

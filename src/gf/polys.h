@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Catalog of irreducible / primitive polynomials over GF(2).
+ *
+ * Polynomials are encoded as integers: bit i set means the x^i term is
+ * present, so x^8 + x^4 + x^3 + x + 1 is 0x11b.  The catalog covers the
+ * small fields the GF processor's 8-bit datapath supports (m = 2..8, the
+ * paper's configurable range) plus larger fields used by BCH/RS code
+ * construction (m up to 16).
+ */
+
+#ifndef GFP_GF_POLYS_H
+#define GFP_GF_POLYS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gfp {
+
+/** The AES field polynomial x^8 + x^4 + x^3 + x + 1 (irreducible, not
+ *  primitive). */
+constexpr uint32_t kAesPoly = 0x11b;
+
+/** The conventional RS/BCH GF(2^8) primitive polynomial
+ *  x^8 + x^4 + x^3 + x^2 + 1. */
+constexpr uint32_t kRsPoly = 0x11d;
+
+/**
+ * Default primitive polynomial for GF(2^m), 2 <= m <= 16.
+ * These are the standard tables used by most coding-theory texts.
+ */
+uint32_t defaultPrimitivePoly(unsigned m);
+
+/** All irreducible polynomials of degree @p m (2 <= m <= 8). */
+std::vector<uint32_t> irreduciblePolys(unsigned m);
+
+/** True if @p poly (degree @p m) is irreducible over GF(2). */
+bool isIrreducible(uint32_t poly, unsigned m);
+
+/** True if @p poly (degree @p m) is primitive (x generates GF(2^m)^*). */
+bool isPrimitive(uint32_t poly, unsigned m);
+
+} // namespace gfp
+
+#endif // GFP_GF_POLYS_H

@@ -1,0 +1,73 @@
+#include "gfau/config_reg.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "gf/polys.h"
+
+namespace gfp {
+
+GFConfig
+GFConfig::derive(unsigned m, uint32_t poly)
+{
+    if (m < 2 || m > 8)
+        GFP_FATAL("GFAU supports field widths 2..8, got m=%u", m);
+    if (!isIrreducible(poly, m))
+        GFP_FATAL("polynomial 0x%x is not irreducible of degree %u",
+                  poly, m);
+
+    GFConfig cfg;
+    cfg.m = m;
+    cfg.poly = poly;
+
+    // Column j of P is x^(m+j) mod r(x), computed by the standard
+    // shift-and-cancel reduction.  Only columns 0 .. m-2 are ever
+    // selected by the mapping circuit.
+    for (unsigned j = 0; j + 1 < m; ++j) {
+        uint32_t v = 1u << (m + j);
+        int d = degree(v);
+        while (d >= static_cast<int>(m)) {
+            v ^= poly << (d - m);
+            d = degree(v);
+        }
+        cfg.p_cols[j] = static_cast<uint8_t>(v);
+    }
+    return cfg;
+}
+
+GFConfig
+GFConfig::circulant(unsigned m)
+{
+    if (m < 2 || m > 8)
+        GFP_FATAL("GFAU supports field widths 2..8, got m=%u", m);
+    GFConfig cfg;
+    cfg.m = m;
+    cfg.poly = (1u << m) | 1; // x^m + 1 (reducible: a ring config)
+    for (unsigned j = 0; j + 1 < m; ++j)
+        cfg.p_cols[j] = static_cast<uint8_t>(1u << j);
+    return cfg;
+}
+
+uint64_t
+GFConfig::pack() const
+{
+    uint64_t blob = 0;
+    for (unsigned j = 0; j < 7; ++j)
+        blob |= static_cast<uint64_t>(p_cols[j]) << (8 * j);
+    blob |= static_cast<uint64_t>(m & 0xf) << 56;
+    return blob;
+}
+
+GFConfig
+GFConfig::unpack(uint64_t blob)
+{
+    GFConfig cfg;
+    for (unsigned j = 0; j < 7; ++j)
+        cfg.p_cols[j] = static_cast<uint8_t>(blob >> (8 * j));
+    cfg.m = static_cast<unsigned>((blob >> 56) & 0xf);
+    if (cfg.m < 2 || cfg.m > 8)
+        GFP_FATAL("gfConfig blob carries invalid field width %u", cfg.m);
+    cfg.poly = 0; // not part of the hardware register; P suffices
+    return cfg;
+}
+
+} // namespace gfp

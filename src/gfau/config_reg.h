@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The GF arithmetic unit's centralized configuration register
+ * (paper Sec. 2.4.2).
+ *
+ * When a Galois field GF(2^m) with irreducible polynomial r(x) is
+ * selected, software derives the reduction matrix P a priori
+ * (the r -> P transformation of Fig. 5) and loads it — 56 bits, seven
+ * 8-bit columns — with the gfConfig instruction.  Column j of P is
+ * x^(m+j) mod r(x): the m-bit pattern that bit (m+j) of a carry-less
+ * full product folds down to.
+ *
+ * The register also carries the field bit-width m, which drives the
+ * mapping circuit that routes full-product bits for m < 8 (Sec. 2.3's
+ * "setting the MSBs to zero does not work" problem).
+ */
+
+#ifndef GFP_GFAU_CONFIG_REG_H
+#define GFP_GFAU_CONFIG_REG_H
+
+#include <array>
+#include <cstdint>
+
+namespace gfp {
+
+struct GFConfig
+{
+    /** Field bit width m, 2..8.  Default: GF(2^8). */
+    unsigned m = 8;
+
+    /** Irreducible polynomial (bit i = coefficient of x^i). */
+    uint32_t poly = 0x11d;
+
+    /**
+     * Reduction matrix P: column j (j = 0..6) is the m-bit reduction of
+     * x^(m+j).  Columns at or above m-1 are unused for smaller fields
+     * (a 2m-1-bit product only has m-1 bits above position m-1).
+     */
+    std::array<uint8_t, 7> p_cols{};
+
+    /** Derive the P matrix and pack a config for field (m, poly). */
+    static GFConfig derive(unsigned m, uint32_t poly);
+
+    /**
+     * The circulant-ring configuration: P column j = x^j, i.e. the
+     * reduction modulo x^m + 1 (bit m+j wraps to bit j).  x^m + 1 is
+     * *reducible*, so this is a ring, not a field — but the hardware's
+     * reduction matrix is fully programmable and does not care.  With
+     * it, gfMult_simd computes a circular convolution, which turns
+     * GF(2)-circulant linear maps (notably the AES S-box affine
+     * transform, = multiplication by 0x1f mod x^8 + 1) into a single
+     * multiply.
+     */
+    static GFConfig circulant(unsigned m);
+
+    /**
+     * Serialize to the 64-bit in-memory blob the gfConfig instruction
+     * loads: bits [55:0] are the seven P columns (column j at bits
+     * [8j+7 : 8j]), bits [59:56] the field width m.
+     */
+    uint64_t pack() const;
+
+    /** Deserialize from the 64-bit blob. */
+    static GFConfig unpack(uint64_t blob);
+
+    /** Mask selecting the m low bits of a lane. */
+    uint8_t laneMask() const { return static_cast<uint8_t>((1u << m) - 1); }
+
+    bool operator==(const GFConfig &o) const
+    {
+        return m == o.m && p_cols == o.p_cols;
+    }
+};
+
+} // namespace gfp
+
+#endif // GFP_GFAU_CONFIG_REG_H

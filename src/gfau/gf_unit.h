@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The complete Galois-field arithmetic unit (paper Fig. 4): 16 8-bit GF
+ * multiplication units and 28 8-bit GF square units behind a
+ * program-directed interconnect fabric, sharing one centralized
+ * configuration register.
+ *
+ * Instruction-level operations (paper Table 1):
+ *  - 4-way 8-bit SIMD multiply / square / power / add / multiplicative
+ *    inverse, all single-cycle;
+ *  - a single-cycle 32-bit carry-free partial product that reuses all
+ *    16 multipliers' full-product stages with the reduction stage
+ *    data-gated;
+ *  - gfConfig, which (re)loads the 56-bit reduction-matrix register.
+ *
+ * The SIMD multiplicative inverse is the Itoh-Tsujii network of Fig. 6:
+ * for GF(2^8) each lane chains 7 squares and 4 multiplies, which is
+ * exactly why the preferred design instantiates 4*4 = 16 multipliers and
+ * 4*7 = 28 square units (Sec. 2.4.1).  Unit activations are tracked so
+ * utilization and data-gating effectiveness can be reported.
+ */
+
+#ifndef GFP_GFAU_GF_UNIT_H
+#define GFP_GFAU_GF_UNIT_H
+
+#include <array>
+#include <cstdint>
+
+#include "gfau/config_reg.h"
+#include "gfau/units.h"
+
+namespace gfp {
+
+class GFArithmeticUnit
+{
+  public:
+    static constexpr unsigned kNumMultUnits = 16;
+    static constexpr unsigned kNumSquareUnits = 28;
+    static constexpr unsigned kNumLanes = 4;
+
+    /** Per-operation issue counters. */
+    struct Stats
+    {
+        uint64_t simd_mult = 0;
+        uint64_t simd_square = 0;
+        uint64_t simd_power = 0;
+        uint64_t simd_add = 0;
+        uint64_t simd_inverse = 0;
+        uint64_t mult32 = 0;
+        uint64_t config_loads = 0;
+
+        uint64_t
+        total() const
+        {
+            return simd_mult + simd_square + simd_power + simd_add +
+                   simd_inverse + mult32 + config_loads;
+        }
+    };
+
+    GFArithmeticUnit();
+
+    /** Install a new field configuration (the gfConfig instruction). */
+    void loadConfig(const GFConfig &cfg);
+
+    /** Convenience: derive-and-load for (m, poly). */
+    void configureField(unsigned m, uint32_t poly);
+
+    const GFConfig &config() const { return cfg_; }
+
+    /** gfMult_simd: lane-wise GF multiply of four packed elements. */
+    uint32_t simdMult(uint32_t a, uint32_t b);
+
+    /** gfSq_simd: lane-wise GF square. */
+    uint32_t simdSquare(uint32_t a);
+
+    /** gfPower_simd: lane-wise a^e (e is the ordinary integer exponent
+     *  carried in the matching lane of @p e). */
+    uint32_t simdPower(uint32_t a, uint32_t e);
+
+    /** gfAdd_simd: lane-wise GF addition (XOR). */
+    uint32_t simdAdd(uint32_t a, uint32_t b);
+
+    /** gfMultInv_simd: lane-wise multiplicative inverse (Itoh-Tsujii
+     *  network); inverse of 0 is 0. */
+    uint32_t simdInverse(uint32_t a);
+
+    /** gf32bMult: 32x32 carry-free product; hi:lo = a x b in GF(2)[x].
+     *  Built from the 16 multipliers' full products + the XOR tree of
+     *  Fig. 7; the polynomial-reduction stage is data-gated. */
+    void mult32(uint32_t a, uint32_t b, uint32_t &hi, uint32_t &lo);
+
+    const Stats &stats() const { return stats_; }
+    void resetStats();
+
+    /** Total activations across the 16 multiplication units. */
+    uint64_t multUnitActivations() const;
+    /** Total activations across the 28 square units. */
+    uint64_t squareUnitActivations() const;
+
+  private:
+    /** Inverse of one lane via the ITA chain, drawing on the lane's
+     *  dedicated pool of 4 multipliers and 7 square units. */
+    uint8_t inverseLane(uint8_t a, unsigned lane_idx);
+
+    GFConfig cfg_;
+    std::array<GFMultUnit, kNumMultUnits> mult_units_;
+    std::array<GFSquareUnit, kNumSquareUnits> square_units_;
+    Stats stats_;
+};
+
+} // namespace gfp
+
+#endif // GFP_GFAU_GF_UNIT_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The two primitive computation units of the GF arithmetic unit
+ * (paper Sec. 2.4.1, Fig. 5): the 8-bit GF multiplication unit and the
+ * 8-bit GF square unit, plus the shared polynomial-reduction stage with
+ * its width-dependent mapping circuit.
+ *
+ * These are *structural* models: the reduction is computed exactly the
+ * way the hardware does — split the carry-less full product into the
+ * "remaining vector" (low m bits) and the "reduction vector" (high m-1
+ * bits), then add P * reduction_vector, where P comes from the shared
+ * configuration register.  Each unit instance carries an activation
+ * counter so the interconnect fabric's utilization (and the 16-mult /
+ * 28-square sizing argument) can be measured.
+ */
+
+#ifndef GFP_GFAU_UNITS_H
+#define GFP_GFAU_UNITS_H
+
+#include <cstdint>
+
+#include "gfau/config_reg.h"
+
+namespace gfp {
+
+/**
+ * The shared polynomial-reduction datapath (green/red dashed boxes of
+ * Fig. 5): an 8-by-7 GF(2) matrix-vector product plus the mapping
+ * circuit that selects which full-product bits feed it.
+ */
+class ReductionStage
+{
+  public:
+    /**
+     * Reduce a (2m-1)-bit carry-less full product to an m-bit field
+     * element under @p cfg.
+     *
+     * The mapping circuit routes full-product bit (m+j) to matrix
+     * column j; this is the paper's GF-size-dependent pattern that lets
+     * 5/6/7-bit fields reuse the 8-bit reduction hardware (Fig. 5(b)).
+     */
+    static uint8_t reduce(uint16_t full_product, const GFConfig &cfg);
+};
+
+/** One of the 16 8-bit GF multiplication units. */
+class GFMultUnit
+{
+  public:
+    /** Full 15-bit carry-less product (the first stage of Fig. 5(a));
+     *  this output feeds either the reduction stage or, in gf32bMult
+     *  mode, the partial-product XOR tree with reduction data-gated. */
+    uint16_t fullProduct(uint8_t a, uint8_t b);
+
+    /** Complete modular multiply: full product + reduction. */
+    uint8_t multiply(uint8_t a, uint8_t b, const GFConfig &cfg);
+
+    /** Number of cycles this unit computed something (activity proxy). */
+    uint64_t activations() const { return activations_; }
+    void resetStats() { activations_ = 0; }
+
+  private:
+    uint64_t activations_ = 0;
+};
+
+/** One of the 28 8-bit GF square units. */
+class GFSquareUnit
+{
+  public:
+    /**
+     * Square @p a under @p cfg.  The full product of a square merely
+     * spreads input bits into even positions (Fig. 5(c)), so the unit
+     * is only the reduction stage — roughly a third of a multiplier
+     * (Table 3) — which is why squares get their own primitive.
+     */
+    uint8_t square(uint8_t a, const GFConfig &cfg);
+
+    uint64_t activations() const { return activations_; }
+    void resetStats() { activations_ = 0; }
+
+  private:
+    uint64_t activations_ = 0;
+};
+
+} // namespace gfp
+
+#endif // GFP_GFAU_UNITS_H

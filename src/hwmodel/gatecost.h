@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate-level cost accounting for the GFAU hardware comparisons.
+ *
+ * The paper expresses all of its resource comparisons (Tables 2 and 4)
+ * in counts of AND / XOR / MUX gates and flip-flops, weighted by their
+ * relative area in a 28nm library:
+ *
+ *     AND : MUX : XOR : FF  =  1 : 2.25 : 2.25 : 4
+ *
+ * so a "total area" is reported in AND-gate-equivalent units.  We keep
+ * the same convention; absolute um^2 figures come from the paper's
+ * published synthesis calibration points (unit_model.h).
+ */
+
+#ifndef GFP_HWMODEL_GATECOST_H
+#define GFP_HWMODEL_GATECOST_H
+
+#include <string>
+
+namespace gfp {
+
+struct GateCost
+{
+    double and_gates = 0;
+    double xor_gates = 0;
+    double mux_gates = 0;
+    double flipflops = 0;
+
+    static constexpr double kAndWeight = 1.0;
+    static constexpr double kXorWeight = 2.25;
+    static constexpr double kMuxWeight = 2.25;
+    static constexpr double kFfWeight = 4.0;
+
+    /** Weighted area in AND-gate equivalents. */
+    double
+    areaUnits() const
+    {
+        return and_gates * kAndWeight + xor_gates * kXorWeight +
+               mux_gates * kMuxWeight + flipflops * kFfWeight;
+    }
+
+    GateCost
+    operator+(const GateCost &o) const
+    {
+        return {and_gates + o.and_gates, xor_gates + o.xor_gates,
+                mux_gates + o.mux_gates, flipflops + o.flipflops};
+    }
+
+    std::string describe() const;
+};
+
+} // namespace gfp
+
+#endif // GFP_HWMODEL_GATECOST_H

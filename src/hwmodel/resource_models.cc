@@ -1,0 +1,97 @@
+#include "hwmodel/resource_models.h"
+
+#include "common/strutil.h"
+
+namespace gfp {
+
+std::string
+GateCost::describe()const
+{
+    return strprintf("AND %.0f  XOR %.0f  MUX %.0f  FF %.0f  "
+                     "(area %.2f AND-eq)",
+                     and_gates, xor_gates, mux_gates, flipflops,
+                     areaUnits());
+}
+
+GateCost
+systolicMultCost(unsigned m)
+{
+    GateCost c;
+    double md = m;
+    c.and_gates = 2 * md * md;
+    c.xor_gates = 2 * md * md;
+    // FF: operand a (m-1)m, operand b (m-1)m/2, intermediate (m-1)m.
+    c.flipflops = (md - 1) * md + (md - 1) * md / 2 + (md - 1) * md;
+    return c;
+}
+
+GateCost
+linearTransformMultCost(unsigned m)
+{
+    GateCost c;
+    double md = m;
+    c.and_gates = 2 * md * md - md;
+    c.xor_gates = 2 * md * md - 3 * md + 1;
+    // Pure combinational logic: no pipeline flip-flops.
+    return c;
+}
+
+double
+systolicMultAreaClosedForm(unsigned m)
+{
+    return 16.5 * m * m - 10.0 * m;
+}
+
+double
+linearMultAreaClosedForm(unsigned m)
+{
+    return 6.5 * m * m - 7.75 * m;
+}
+
+double
+systolicMultConfigFf(unsigned m)
+{
+    return m;
+}
+
+double
+linearMultConfigFf(unsigned m)
+{
+    return static_cast<double>(m) * (m - 1);
+}
+
+GateCost
+systolicEuclidInverseCost(unsigned m)
+{
+    GateCost c;
+    double md = m;
+    c.xor_gates = md * (6 * md + 3);
+    c.and_gates = md * (6 * md + 7);
+    c.mux_gates = md * (6 * md + 5);
+    c.flipflops = md * (6 * md + 4);
+    return c;
+}
+
+GateCost
+itaInverseCost(unsigned m)
+{
+    GateCost c;
+    double md = m;
+    c.and_gates = 15 * md * md - 11 * md;
+    c.xor_gates = 15 * md * md - 13 * md + 4;
+    return c;
+}
+
+double
+systolicInverseAreaClosedForm(unsigned m)
+{
+    return 57.0 * m * m;
+}
+
+double
+itaInverseAreaClosedForm(unsigned m)
+{
+    return 48.75 * m * m;
+}
+
+} // namespace gfp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytic resource models reproducing the paper's design-space
+ * comparisons:
+ *
+ *  - Table 2: GF multiplication — bit-pipelined systolic (Jain/Song/
+ *    Parhi LSB-first) vs. this work's single-step linear-transform
+ *    reduction;
+ *  - Table 4: multiplicative inverse — pipelined systolic extended-
+ *    Euclidean vs. the Itoh-Tsujii network built from existing units.
+ *
+ * Formulas are the paper's own, parameterized by field width m, so the
+ * crossover/ratio *shape* is fully reproducible.
+ */
+
+#ifndef GFP_HWMODEL_RESOURCE_MODELS_H
+#define GFP_HWMODEL_RESOURCE_MODELS_H
+
+#include "hwmodel/gatecost.h"
+
+namespace gfp {
+
+/** Table 2, "Systolic / Bit-pipelined" column. */
+GateCost systolicMultCost(unsigned m);
+
+/** Table 2, "This work / Single Step Linear Transform" column. */
+GateCost linearTransformMultCost(unsigned m);
+
+/** Table 2 closed forms for the weighted totals. */
+double systolicMultAreaClosedForm(unsigned m);   // 16.5 m^2 - 10 m
+double linearMultAreaClosedForm(unsigned m);     // 6.5 m^2 - 7.75 m
+
+/** Configuration-datapath flip-flops (shared across ALUs), Table 2. */
+double systolicMultConfigFf(unsigned m);         // m
+double linearMultConfigFf(unsigned m);           // m (m - 1)
+
+/** Table 4, systolic extended-Euclidean inverse (pipelined). */
+GateCost systolicEuclidInverseCost(unsigned m);
+
+/** Table 4, Itoh-Tsujii inverse (this work). */
+GateCost itaInverseCost(unsigned m);
+
+/** Table 4 closed forms (m^2 terms only, as the paper notes). */
+double systolicInverseAreaClosedForm(unsigned m); // 57 m^2
+double itaInverseAreaClosedForm(unsigned m);      // 48.75 m^2
+
+} // namespace gfp
+
+#endif // GFP_HWMODEL_RESOURCE_MODELS_H

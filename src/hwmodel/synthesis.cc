@@ -1,0 +1,18 @@
+#include "hwmodel/synthesis.h"
+
+#include "common/strutil.h"
+
+namespace gfp {
+
+std::string
+paperVsMeasuredRow(const std::string &label, double paper, double measured,
+                   const std::string &unit)
+{
+    double ratio = paper != 0 ? measured / paper : 0;
+    return strprintf("%-28s paper %10.2f %-6s  measured %10.2f %-6s  "
+                     "(x%.2f)",
+                     label.c_str(), paper, unit.c_str(), measured,
+                     unit.c_str(), ratio);
+}
+
+} // namespace gfp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The 28nm synthesis calibration layer: the paper's published
+ * cell/area/power/timing figures (Tables 3, 10, 11) and the derived
+ * quantities the evaluation reports (energy per bit, voltage scaling,
+ * area comparisons).  These numbers are *calibration constants* from
+ * the paper's Design Compiler / PrimeTime runs — we cannot synthesize,
+ * so we model around them and validate internal consistency instead
+ * (e.g. 16 x 199.59 um^2 == the reported 3193 um^2 multiplier array).
+ */
+
+#ifndef GFP_HWMODEL_SYNTHESIS_H
+#define GFP_HWMODEL_SYNTHESIS_H
+
+#include <string>
+
+namespace gfp {
+
+/** One primitive computation unit, post-synthesis (Table 3). */
+struct UnitSynthesis
+{
+    const char *name;
+    unsigned cells;
+    double area_um2;
+    double critical_path_ns;
+    unsigned count; ///< instances in the preferred configuration
+};
+
+/** Table 3 / Table 10 constants. */
+struct GfauSynthesis
+{
+    UnitSynthesis mult{"GF mult", 263, 199.59, 0.4, 16};
+    UnitSynthesis square{"GF square", 73, 63.48, 0.2, 28};
+
+    /** Instruction/interconnect control block area (Table 10). */
+    double control_area_um2 = 1005.0;
+
+    /** Total GFAU area as published (Table 10).  NOTE: the paper's
+     *  printed total (5760) differs from the column sum (5975); we
+     *  reproduce the printed value and surface the discrepancy. */
+    double total_area_um2 = 5760.0;
+
+    /** Worst path: the SIMD multiplicative inverse network. */
+    double critical_path_ns = 2.91;
+
+    double multArrayArea() const { return mult.count * mult.area_um2; }
+    double squareArrayArea() const
+    {
+        return square.count * square.area_um2;
+    }
+    double columnSumArea() const
+    {
+        return multArrayArea() + squareArrayArea() + control_area_um2;
+    }
+};
+
+/** Table 11: the full processor at 0.9 V, 100 MHz, 28nm. */
+struct ProcessorSynthesis
+{
+    // Two-stage processor shell.
+    unsigned shell_comb_gates = 3482;
+    double shell_comb_area_um2 = 2258.0;
+    unsigned shell_rf_gates = 694;
+    double shell_rf_area_um2 = 2254.0;
+    unsigned shell_total_gates = 4176;
+    double shell_total_area_um2 = 4512.0;
+    double shell_power_uw = 279.0;
+
+    // GF arithmetic unit.
+    unsigned gfau_gates = 7494;
+    double gfau_area_um2 = 5760.0;
+    double gfau_power_uw = 152.0;
+
+    // Design total.
+    unsigned total_gates = 11670;
+    double total_area_um2 = 10272.0;
+    double total_power_uw = 431.0;
+
+    double nominal_voltage = 0.9;
+    double frequency_mhz = 100.0;
+    double max_frequency_mhz = 300.0;
+
+    /** Scaled power at 0.7 V (the paper's SPICE result: the GFAU drops
+     *  to 75 uW and the processor to 231 uW — a 1.86x energy gain). */
+    double scaled_voltage = 0.7;
+    double gfau_power_uw_at_07v = 75.0;
+    double total_power_uw_at_07v = 231.0;
+
+    /** Naive dynamic-only scaling P * (V'/V)^2, for comparison with
+     *  the paper's SPICE-measured figure. */
+    double
+    dynamicScaledPowerUw(double new_voltage) const
+    {
+        double r = new_voltage / nominal_voltage;
+        return total_power_uw * r * r;
+    }
+
+    double
+    voltageScalingEnergyGain() const
+    {
+        return total_power_uw / total_power_uw_at_07v;
+    }
+
+    /** Throughput in Mbit/s for a kernel that processes @p bits_per_run
+     *  in @p cycles_per_run cycles at frequency_mhz. */
+    double
+    throughputMbps(double bits_per_run, double cycles_per_run) const
+    {
+        return bits_per_run / cycles_per_run * frequency_mhz;
+    }
+
+    /** Energy efficiency in pJ/bit at the given throughput. */
+    double
+    energyPerBitPj(double throughput_mbps) const
+    {
+        return total_power_uw / throughput_mbps;
+    }
+};
+
+/** Cited comparison points (Tables 8, 9, 12, 13 and Sec. 3.5). */
+struct Literature
+{
+    // Table 8: GF(2^233)-class multiply/square cycle counts.
+    struct { unsigned mult_228 = 4359, mult_256 = 5398;
+             unsigned sqr_228 = 348, sqr_256 = 389; } erdem_arm7;
+    struct { unsigned mult = 3672, sqr = 395, add = 68,
+             mult_precomp = 675; } clercq_m0plus;
+
+    // Table 9: Clercq point operations on the M0+.
+    struct { unsigned point_add = 34426; unsigned inverse = 139000; }
+        clercq_points;
+
+    // Paper's own Table 9 processor results (reference columns).
+    struct { unsigned mult = 599, sqr = 136, add = 66;
+             unsigned point_add = 6742, point_double = 3499,
+             inverse = 39972; } paper_direct;
+    struct { unsigned mult = 439, point_add = 5302,
+             point_double = 2859, inverse = 38372; } paper_karatsuba;
+    unsigned paper_scalar_mult_cycles = 617120;
+    unsigned paper_scalar_support_cycles = 157442;
+
+    // Table 12: Intel NanoAES, scaled to 28nm.
+    struct { double enc_area = 2800, dec_area = 3482,
+             total_area = 6282; } nano_aes;
+
+    // Table 13: Zhang compact AES ASIC, scaled to 28nm.
+    struct { double power_uw = 236; double throughput_mbps = 38;
+             double pj_per_bit = 6.21; } zhang_aes;
+
+    // Sec. 3.5: Mathew 64b GF multiplier, scaled to 28nm @0.9V 100MHz.
+    struct { double power_mw = 1.25; double area_ratio_vs_us = 0.77; }
+        mathew_gf64;
+
+    // Paper's AES headline: 12.2 Mbps, 35.5 pJ/b at 431 uW.
+    double paper_aes_throughput_mbps = 12.2;
+    double paper_aes_pj_per_bit = 35.5;
+};
+
+/** Render a one-line "paper vs measured" row for reports. */
+std::string paperVsMeasuredRow(const std::string &label, double paper,
+                               double measured,
+                               const std::string &unit);
+
+} // namespace gfp
+
+#endif // GFP_HWMODEL_SYNTHESIS_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-pass assembler for the GFP ISA.
+ *
+ * Syntax overview:
+ *
+ *     ; comments with ';' or '//'
+ *     start:                       ; labels
+ *         movi   r0, #0
+ *         li     r1, #0x12345      ; pseudo: expands to movi(+movt)
+ *         la     r2, table         ; pseudo: label address (movi+movt)
+ *         ldrb   r3, [r2, r0]      ; register-offset addressing
+ *         ldr    r4, [sp, #-8]     ; immediate-offset addressing
+ *         gfmuls r3, r3, r4
+ *         cmpi   r0, #31
+ *         bne    start
+ *         bl     subroutine
+ *         halt
+ *     .data
+ *     .align 8
+ *     table:
+ *         .byte  1, 2, 4, 8
+ *         .half  0x1234
+ *         .word  0xdeadbeef, table ; words may reference labels
+ *         .space 64
+ *
+ * Pseudo-instruction sizes are deterministic (la is always two words;
+ * li is one word iff the literal fits in unsigned 16 bits), so label
+ * addresses resolve in a single sizing pass.
+ */
+
+#ifndef GFP_ISA_ASSEMBLER_H
+#define GFP_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace gfp {
+
+class Assembler
+{
+  public:
+    /** Assemble @p source; fatal (with line numbers) on any error. */
+    static Program assemble(const std::string &source);
+};
+
+} // namespace gfp
+
+#endif // GFP_ISA_ASSEMBLER_H

@@ -1,0 +1,122 @@
+#include "isa/disasm.h"
+
+#include "common/strutil.h"
+#include "isa/encoding.h"
+
+namespace gfp {
+
+std::string
+disassemble(const Instr &in, int64_t pc)
+{
+    const std::string name = opName(in.op);
+    auto r = [](unsigned reg) { return regName(reg); };
+
+    switch (in.op) {
+      // rd, rs1, rs2
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kAnd:
+      case Op::kOrr:
+      case Op::kEor:
+      case Op::kLsl:
+      case Op::kLsr:
+      case Op::kAsr:
+      case Op::kMul:
+      case Op::kGfMuls:
+      case Op::kGfPows:
+      case Op::kGfAdds:
+        return strprintf("%-7s %s, %s, %s", name.c_str(), r(in.rd).c_str(),
+                         r(in.rs1).c_str(), r(in.rs2).c_str());
+      // rd, rs1
+      case Op::kMov:
+      case Op::kGfInvs:
+      case Op::kGfSqs:
+        return strprintf("%-7s %s, %s", name.c_str(), r(in.rd).c_str(),
+                         r(in.rs1).c_str());
+      case Op::kCmp:
+        return strprintf("%-7s %s, %s", name.c_str(), r(in.rs1).c_str(),
+                         r(in.rs2).c_str());
+      // rd, rs1, #imm
+      case Op::kAddi:
+      case Op::kSubi:
+      case Op::kAndi:
+      case Op::kOrri:
+      case Op::kEori:
+      case Op::kLsli:
+      case Op::kLsri:
+      case Op::kAsri:
+        return strprintf("%-7s %s, %s, #%d", name.c_str(), r(in.rd).c_str(),
+                         r(in.rs1).c_str(), in.imm);
+      case Op::kMovi:
+      case Op::kMovt:
+        return strprintf("%-7s %s, #0x%x", name.c_str(), r(in.rd).c_str(),
+                         in.imm);
+      case Op::kCmpi:
+        return strprintf("%-7s %s, #%d", name.c_str(), r(in.rs1).c_str(),
+                         in.imm);
+      // memory, immediate offset
+      case Op::kLdr:
+      case Op::kStr:
+      case Op::kLdrb:
+      case Op::kStrb:
+      case Op::kLdrh:
+      case Op::kStrh:
+        if (in.imm == 0) {
+            return strprintf("%-7s %s, [%s]", name.c_str(),
+                             r(in.rd).c_str(), r(in.rs1).c_str());
+        }
+        return strprintf("%-7s %s, [%s, #%d]", name.c_str(),
+                         r(in.rd).c_str(), r(in.rs1).c_str(), in.imm);
+      // memory, register offset
+      case Op::kLdrr:
+      case Op::kStrr:
+      case Op::kLdrbr:
+      case Op::kStrbr:
+      case Op::kLdrhr:
+      case Op::kStrhr:
+        return strprintf("%-7s %s, [%s, %s]", name.c_str(),
+                         r(in.rd).c_str(), r(in.rs1).c_str(),
+                         r(in.rs2).c_str());
+      // branches
+      case Op::kB:
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBgt:
+      case Op::kBle:
+      case Op::kBlo:
+      case Op::kBhs:
+      case Op::kBhi:
+      case Op::kBls:
+      case Op::kBl:
+        if (pc >= 0) {
+            int64_t target = pc + 4 + int64_t{in.imm} * 4;
+            return strprintf("%-7s 0x%llx", name.c_str(),
+                             static_cast<long long>(target));
+        }
+        return strprintf("%-7s %+d", name.c_str(), in.imm);
+      case Op::kJr:
+        return strprintf("%-7s %s", name.c_str(), r(in.rs1).c_str());
+      case Op::kRet:
+      case Op::kNop:
+      case Op::kHalt:
+        return name;
+      case Op::kGf32Mul:
+        return strprintf("%-7s %s, %s, %s, %s", name.c_str(),
+                         r(in.rd).c_str(), r(in.rd2).c_str(),
+                         r(in.rs1).c_str(), r(in.rs2).c_str());
+      case Op::kGfCfg:
+        return strprintf("%-7s #0x%x", name.c_str(), in.imm);
+      default:
+        return strprintf("<bad op %d>", static_cast<int>(in.op));
+    }
+}
+
+std::string
+disassembleWord(uint32_t word, int64_t pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace gfp

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Disassembler for GFP instructions, used by execution traces and the
+ * Table 6 inner-loop listing.
+ */
+
+#ifndef GFP_ISA_DISASM_H
+#define GFP_ISA_DISASM_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace gfp {
+
+/**
+ * Render @p instr as assembly text.  When @p pc is provided (the byte
+ * address of the instruction), branch targets are shown as absolute
+ * addresses; otherwise as relative word offsets.
+ */
+std::string disassemble(const Instr &instr, int64_t pc = -1);
+
+/** Decode and render a raw instruction word. */
+std::string disassembleWord(uint32_t word, int64_t pc = -1);
+
+} // namespace gfp
+
+#endif // GFP_ISA_DISASM_H

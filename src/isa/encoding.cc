@@ -1,0 +1,133 @@
+#include "isa/encoding.h"
+
+#include "common/logging.h"
+
+namespace gfp {
+
+ImmKind
+immKindOf(Op op)
+{
+    switch (op) {
+      case Op::kMovi:
+      case Op::kMovt:
+        return ImmKind::kImm16;
+      case Op::kB:
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBgt:
+      case Op::kBle:
+      case Op::kBlo:
+      case Op::kBhs:
+      case Op::kBhi:
+      case Op::kBls:
+      case Op::kBl:
+        return ImmKind::kSImm16;
+      case Op::kAddi:
+      case Op::kSubi:
+      case Op::kAndi:
+      case Op::kOrri:
+      case Op::kEori:
+      case Op::kLsli:
+      case Op::kLsri:
+      case Op::kAsri:
+      case Op::kCmpi:
+      case Op::kLdr:
+      case Op::kStr:
+      case Op::kLdrb:
+      case Op::kStrb:
+      case Op::kLdrh:
+      case Op::kStrh:
+        return ImmKind::kImm12;
+      case Op::kGfCfg:
+        return ImmKind::kImm20;
+      default:
+        return ImmKind::kNone;
+    }
+}
+
+uint32_t
+encode(const Instr &in)
+{
+    GFP_ASSERT(in.rd < kNumRegs && in.rs1 < kNumRegs &&
+               in.rs2 < kNumRegs && in.rd2 < kNumRegs);
+
+    uint32_t word = static_cast<uint32_t>(in.op) << 24;
+    ImmKind kind = immKindOf(in.op);
+
+    switch (kind) {
+      case ImmKind::kImm16:
+        if (in.imm < 0 || in.imm > 0xffff)
+            GFP_FATAL("%s: immediate %d out of unsigned 16-bit range",
+                      opName(in.op), in.imm);
+        word |= static_cast<uint32_t>(in.rd) << 20;
+        word |= static_cast<uint32_t>(in.imm) & 0xffff;
+        return word;
+      case ImmKind::kSImm16:
+        if (in.imm < -32768 || in.imm > 32767)
+            GFP_FATAL("%s: branch offset %d out of signed 16-bit range",
+                      opName(in.op), in.imm);
+        word |= static_cast<uint32_t>(in.imm) & 0xffff;
+        return word;
+      case ImmKind::kImm12:
+        if (in.imm < -2048 || in.imm > 2047)
+            GFP_FATAL("%s: immediate %d out of signed 12-bit range",
+                      opName(in.op), in.imm);
+        word |= static_cast<uint32_t>(in.rd) << 20;
+        word |= static_cast<uint32_t>(in.rs1) << 16;
+        word |= static_cast<uint32_t>(in.imm) & 0xfff;
+        return word;
+      case ImmKind::kImm20:
+        if (in.imm < 0 || in.imm > 0xfffff)
+            GFP_FATAL("gfcfg: address %d out of 20-bit range", in.imm);
+        word |= static_cast<uint32_t>(in.imm) & 0xfffff;
+        return word;
+      case ImmKind::kNone:
+        word |= static_cast<uint32_t>(in.rd) << 20;
+        word |= static_cast<uint32_t>(in.rs1) << 16;
+        word |= static_cast<uint32_t>(in.rs2) << 12;
+        word |= static_cast<uint32_t>(in.rd2) << 8;
+        return word;
+    }
+    GFP_PANIC("unreachable");
+}
+
+Instr
+decode(uint32_t word)
+{
+    unsigned op_field = word >> 24;
+    if (op_field >= static_cast<unsigned>(Op::kNumOps))
+        GFP_FATAL("decode: unknown opcode byte 0x%02x (word 0x%08x)",
+                  op_field, word);
+
+    Instr in;
+    in.op = static_cast<Op>(op_field);
+    switch (immKindOf(in.op)) {
+      case ImmKind::kImm16:
+        in.rd = (word >> 20) & 0xf;
+        in.imm = static_cast<int32_t>(word & 0xffff);
+        break;
+      case ImmKind::kSImm16:
+        in.imm = static_cast<int16_t>(word & 0xffff);
+        break;
+      case ImmKind::kImm12:
+        in.rd = (word >> 20) & 0xf;
+        in.rs1 = (word >> 16) & 0xf;
+        // Sign-extend the 12-bit field.
+        in.imm = static_cast<int32_t>((word & 0xfff) << 20) >> 20;
+        break;
+      case ImmKind::kImm20:
+        in.imm = static_cast<int32_t>(word & 0xfffff);
+        break;
+      case ImmKind::kNone:
+        in.rd = (word >> 20) & 0xf;
+        in.rs1 = (word >> 16) & 0xf;
+        in.rs2 = (word >> 12) & 0xf;
+        in.rd2 = (word >> 8) & 0xf;
+        break;
+    }
+    return in;
+}
+
+} // namespace gfp

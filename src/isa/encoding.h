@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary encoding of GFP instructions into 32-bit words.
+ *
+ * Layout (bit ranges inclusive):
+ *   [31:24] opcode
+ *   [23:20] rd      [19:16] rs1     [15:12] rs2     [11:8] rd2
+ *   [15:0]  imm16   (movi/movt: zero-extended; branches: signed word
+ *                    offset relative to the next instruction)
+ *   [11:0]  imm12   (ALU-immediate and load/store offsets, signed)
+ *   [19:0]  imm20   (gfcfg absolute byte address, unsigned)
+ *
+ * The paper packs its GF instructions into 26 bits (10-bit opcode +
+ * 16-bit register field); we use one uniform 32-bit container word for
+ * the whole ISA, which changes nothing the evaluation measures.
+ */
+
+#ifndef GFP_ISA_ENCODING_H
+#define GFP_ISA_ENCODING_H
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace gfp {
+
+/** Encode @p instr; fatal if a field is out of range. */
+uint32_t encode(const Instr &instr);
+
+/** Decode a 32-bit instruction word; fatal on an unknown opcode. */
+Instr decode(uint32_t word);
+
+/** Immediate-field kind an opcode uses. */
+enum class ImmKind { kNone, kImm16, kSImm16, kImm12, kImm20 };
+
+/** Which immediate field @p op uses. */
+ImmKind immKindOf(Op op);
+
+} // namespace gfp
+
+#endif // GFP_ISA_ENCODING_H

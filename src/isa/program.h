@@ -1,0 +1,36 @@
+/**
+ * @file
+ * An assembled GFP program: instruction words, initialized data, and the
+ * symbol table.
+ *
+ * Code is loaded at byte address 0; the data section follows the code,
+ * aligned to 8 bytes (so 64-bit gfConfig blobs are naturally aligned).
+ */
+
+#ifndef GFP_ISA_PROGRAM_H
+#define GFP_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gfp {
+
+struct Program
+{
+    std::vector<uint32_t> code;           ///< encoded instruction words
+    std::vector<uint8_t> data;            ///< initialized data section
+    uint32_t data_base = 0;               ///< byte address of data[0]
+    std::map<std::string, uint32_t> symbols; ///< label -> byte address
+
+    /** Address of a label; fatal if undefined. */
+    uint32_t symbol(const std::string &name) const;
+
+    /** Total footprint in bytes (code + data). */
+    size_t footprint() const { return data_base + data.size(); }
+};
+
+} // namespace gfp
+
+#endif // GFP_ISA_PROGRAM_H

@@ -1,0 +1,833 @@
+#include "kernels/aes_kernels.h"
+
+#include <sstream>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "crypto/aes.h"
+#include "gf/field.h"
+#include "gf/polys.h"
+
+namespace gfp {
+
+namespace {
+
+const GFField &
+aesField()
+{
+    static const GFField field(8, kAesPoly);
+    return field;
+}
+
+/** Shared data block: config, state, scratch, key material, tables. */
+std::string
+aesData(bool with_tables)
+{
+    std::ostringstream d;
+    d << ".data\n";
+    d << gfConfigData("cfg", aesField());
+    d << gfConfigDataRaw("ring", GFConfig::circulant(8));
+    d << spaceData("state", 16);
+    d << spaceData("tmpst", 16);
+    d << spaceData("rkeys", 240);
+    d << spaceData("key", 16);
+    d << spaceData("xkey", 240);
+    d << byteTableData("rcon", {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
+                                0x80, 0x1b, 0x36});
+    if (with_tables) {
+        std::vector<uint8_t> sbox(256), isbox(256);
+        for (unsigned i = 0; i < 256; ++i) {
+            sbox[i] = Aes::sbox(static_cast<uint8_t>(i));
+            isbox[i] = Aes::invSbox(static_cast<uint8_t>(i));
+        }
+        d << byteTableData("sbox", sbox);
+        d << byteTableData("isbox", isbox);
+    }
+    return d.str();
+}
+
+/** Inline branchless xtime: x = xtime(x); @p c1b holds 0x1b. */
+std::string
+xtimeInline(const std::string &x, const std::string &scratch,
+            const std::string &c1b)
+{
+    std::ostringstream s;
+    s << strprintf("    lsri %s, %s, #7\n", scratch.c_str(), x.c_str());
+    s << strprintf("    mul  %s, %s, %s\n", scratch.c_str(),
+                   scratch.c_str(), c1b.c_str());
+    s << strprintf("    lsli %s, %s, #1\n", x.c_str(), x.c_str());
+    s << strprintf("    andi %s, %s, #0xff\n", x.c_str(), x.c_str());
+    s << strprintf("    eor  %s, %s, %s\n", x.c_str(), x.c_str(),
+                   scratch.c_str());
+    return s.str();
+}
+
+/** The xtime helper routine for kCompiled: r9 in/out, r10/r15 clobber. */
+std::string
+xtimeRoutine()
+{
+    return "xtime:\n"
+           "    lsri r10, r9, #7\n"
+           "    movi r15, #0x1b\n"
+           "    mul  r10, r10, r15\n"
+           "    lsli r9, r9, #1\n"
+           "    andi r9, r9, #0xff\n"
+           "    eor  r9, r9, r10\n"
+           "    ret\n";
+}
+
+/** Byte-lane rotation of a packed column word: dst = rotw_k(src). */
+std::string
+rotWord(const std::string &dst, const std::string &src, unsigned k,
+        const std::string &scratch)
+{
+    std::ostringstream s;
+    s << strprintf("    lsri %s, %s, #%u\n", dst.c_str(), src.c_str(),
+                   8 * k);
+    s << strprintf("    lsli %s, %s, #%u\n", scratch.c_str(), src.c_str(),
+                   32 - 8 * k);
+    s << strprintf("    orr  %s, %s, %s\n", dst.c_str(), dst.c_str(),
+                   scratch.c_str());
+    return s.str();
+}
+
+/** ShiftRows permutation: dst[r + 4c] = src[r + 4*((c +/- r) % 4)]. */
+std::vector<unsigned>
+shiftRowsPerm(bool inverse)
+{
+    std::vector<unsigned> src_of(16);
+    for (unsigned r = 0; r < 4; ++r) {
+        for (unsigned c = 0; c < 4; ++c) {
+            unsigned from = inverse ? (c + 4 - r) % 4 : (c + r) % 4;
+            src_of[r + 4 * c] = r + 4 * from;
+        }
+    }
+    return src_of;
+}
+
+/**
+ * GF-core MixColumns on a column word held in @p w, result into @p out.
+ * c2/c3 hold splatted 0x02/0x03 (forward) — for the inverse the caller
+ * emits four multiplies instead.  Temps t1/t2 clobbered.
+ */
+std::string
+mixColWordGf(const std::string &out, const std::string &w,
+             const std::string &c2, const std::string &c3,
+             const std::string &t1, const std::string &t2)
+{
+    std::ostringstream s;
+    s << strprintf("    gfmuls %s, %s, %s\n", out.c_str(), w.c_str(),
+                   c2.c_str());
+    s << rotWord(t1, w, 1, t2);
+    s << strprintf("    gfmuls %s, %s, %s\n", t1.c_str(), t1.c_str(),
+                   c3.c_str());
+    s << strprintf("    eor  %s, %s, %s\n", out.c_str(), out.c_str(),
+                   t1.c_str());
+    s << rotWord(t1, w, 2, t2);
+    s << strprintf("    eor  %s, %s, %s\n", out.c_str(), out.c_str(),
+                   t1.c_str());
+    s << rotWord(t1, w, 3, t2);
+    s << strprintf("    eor  %s, %s, %s\n", out.c_str(), out.c_str(),
+                   t1.c_str());
+    return s.str();
+}
+
+/** GF-core InvMixColumns on word @p w into @p out; ce/cb/cd/c9 hold the
+ *  splatted {0e,0b,0d,09} constants. */
+std::string
+invMixColWordGf(const std::string &out, const std::string &w,
+                const std::string &ce, const std::string &cb,
+                const std::string &cd, const std::string &c9,
+                const std::string &t1, const std::string &t2)
+{
+    std::ostringstream s;
+    s << strprintf("    gfmuls %s, %s, %s\n", out.c_str(), w.c_str(),
+                   ce.c_str());
+    const char *coef[3] = {cb.c_str(), cd.c_str(), c9.c_str()};
+    for (unsigned k = 1; k <= 3; ++k) {
+        s << rotWord(t1, w, k, t2);
+        s << strprintf("    gfmuls %s, %s, %s\n", t1.c_str(), t1.c_str(),
+                       coef[k - 1]);
+        s << strprintf("    eor  %s, %s, %s\n", out.c_str(), out.c_str(),
+                       t1.c_str());
+    }
+    return s.str();
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Per-kernel programs
+// ---------------------------------------------------------------------
+
+std::string
+aesArkAsm()
+{
+    std::ostringstream s;
+    s << "; AddRoundKey: four word XORs — no GF arithmetic to win on\n";
+    s << "    la   r1, state\n";
+    s << "    la   r2, rkeys\n";
+    for (unsigned off = 0; off < 16; off += 4) {
+        s << strprintf("    ldr  r3, [r1, #%u]\n", off);
+        s << strprintf("    ldr  r4, [r2, #%u]\n", off);
+        s << "    eor  r3, r3, r4\n";
+        s << strprintf("    str  r3, [r1, #%u]\n", off);
+    }
+    s << "    halt\n";
+    s << aesData(false);
+    return s.str();
+}
+
+std::string
+aesSubBytesAsmBaseline(bool inverse)
+{
+    std::ostringstream s;
+    s << "; baseline SubBytes: 16 table lookups\n";
+    s << "    la   r1, state\n";
+    s << strprintf("    la   r2, %s\n", inverse ? "isbox" : "sbox");
+    s << "    movi r0, #0\n";
+    s << "sb_loop:\n";
+    s << "    ldrb r3, [r1, r0]\n";
+    s << "    ldrb r3, [r2, r3]\n";
+    s << "    strb r3, [r1, r0]\n";
+    s << "    addi r0, r0, #1\n";
+    s << "    cmpi r0, #16\n";
+    s << "    bne  sb_loop\n";
+    s << "    halt\n";
+    s << aesData(true);
+    return s.str();
+}
+
+std::string
+aesSubBytesAsmGfcore(bool inverse)
+{
+    // S-box = GF(2^8) inverse + a GF(2)-circulant affine map.  The
+    // affine part is a single gfMult_simd under the circulant-ring
+    // configuration (P_j = x^j, i.e. reduction mod x^8 + 1): the
+    // forward matrix is multiplication by 0x1f, the inverse matrix by
+    // 0x4a — this is what the programmable reduction matrix buys.
+    std::ostringstream s;
+    s << "; GF-core SubBytes: gfMultInv_simd + circulant-ring affine\n";
+    s << "    la   r1, state\n";
+    if (!inverse) {
+        s << "    li   r2, #0x1f1f1f1f\n"; // affine circulant
+        s << "    li   r3, #0x63636363\n"; // affine constant
+    } else {
+        s << "    li   r2, #0x4a4a4a4a\n"; // inverse affine circulant
+        s << "    li   r3, #0x05050505\n";
+    }
+    for (unsigned i = 0; i < 4; ++i)
+        s << strprintf("    ldr  r%u, [r1, #%u]\n", 4 + i, 4 * i);
+    if (!inverse) {
+        s << "    gfcfg cfg\n";
+        for (unsigned i = 0; i < 4; ++i)
+            s << strprintf("    gfinvs r%u, r%u\n", 4 + i, 4 + i);
+        s << "    gfcfg ring\n";
+        for (unsigned i = 0; i < 4; ++i) {
+            s << strprintf("    gfmuls r%u, r%u, r2\n", 4 + i, 4 + i);
+            s << strprintf("    gfadds r%u, r%u, r3\n", 4 + i, 4 + i);
+        }
+    } else {
+        s << "    gfcfg ring\n";
+        for (unsigned i = 0; i < 4; ++i) {
+            s << strprintf("    gfmuls r%u, r%u, r2\n", 4 + i, 4 + i);
+            s << strprintf("    gfadds r%u, r%u, r3\n", 4 + i, 4 + i);
+        }
+        s << "    gfcfg cfg\n";
+        for (unsigned i = 0; i < 4; ++i)
+            s << strprintf("    gfinvs r%u, r%u\n", 4 + i, 4 + i);
+    }
+    for (unsigned i = 0; i < 4; ++i)
+        s << strprintf("    str  r%u, [r1, #%u]\n", 4 + i, 4 * i);
+    s << "    halt\n";
+    s << aesData(false);
+    return s.str();
+}
+
+std::string
+aesShiftRowsAsm(bool inverse)
+{
+    auto perm = shiftRowsPerm(inverse);
+    std::ostringstream s;
+    s << "; ShiftRows: pure data movement, identical on both cores\n";
+    s << "    la   r1, state\n";
+    s << "    la   r2, tmpst\n";
+    for (unsigned off = 0; off < 16; off += 4) {
+        s << strprintf("    ldr  r3, [r1, #%u]\n", off);
+        s << strprintf("    str  r3, [r2, #%u]\n", off);
+    }
+    for (unsigned i = 0; i < 16; ++i) {
+        s << strprintf("    ldrb r3, [r2, #%u]\n", perm[i]);
+        s << strprintf("    strb r3, [r1, #%u]\n", i);
+    }
+    s << "    halt\n";
+    s << aesData(false);
+    return s.str();
+}
+
+std::string
+aesMixColAsmBaseline(bool inverse, BaselineFlavor flavor)
+{
+    const bool compiled = flavor == BaselineFlavor::kCompiled;
+    std::ostringstream s;
+
+    auto xtime = [&](const std::string &x) -> std::string {
+        if (!compiled)
+            return xtimeInline(x, "r11", "r12");
+        std::string out;
+        if (x != "r9")
+            out += strprintf("    mov  r9, %s\n", x.c_str());
+        out += "    bl   xtime\n";
+        if (x != "r9")
+            out += strprintf("    mov  %s, r9\n", x.c_str());
+        return out;
+    };
+
+    if (!inverse) {
+        s << "; baseline MixColumns: the 02/03/01/01 xtime trick\n";
+        s << "    la   r1, state\n";
+        if (!compiled)
+            s << "    movi r12, #0x1b\n";
+        for (unsigned c = 0; c < 4; ++c) {
+            s << strprintf("    ldrb r4, [r1, #%u]\n", 4 * c);
+            s << strprintf("    ldrb r5, [r1, #%u]\n", 4 * c + 1);
+            s << strprintf("    ldrb r6, [r1, #%u]\n", 4 * c + 2);
+            s << strprintf("    ldrb r7, [r1, #%u]\n", 4 * c + 3);
+            s << "    eor  r8, r4, r5\n";
+            s << "    eor  r8, r8, r6\n";
+            s << "    eor  r8, r8, r7\n"; // tmp = a0^a1^a2^a3
+            s << "    mov  r3, r4\n";      // a0 original
+            const char *a[4] = {"r4", "r5", "r6", "r7"};
+            for (unsigned i = 0; i < 4; ++i) {
+                const char *next = (i == 3) ? "r3" : a[i + 1];
+                if (compiled) {
+                    s << strprintf("    eor  r9, %s, %s\n", a[i], next);
+                    s << "    bl   xtime\n";
+                } else {
+                    s << strprintf("    eor  r9, %s, %s\n", a[i], next);
+                    s << xtime("r9");
+                }
+                s << "    eor  r9, r9, r8\n";
+                s << strprintf("    eor  %s, %s, r9\n", a[i], a[i]);
+            }
+            for (unsigned i = 0; i < 4; ++i)
+                s << strprintf("    strb %s, [r1, #%u]\n", a[i],
+                               4 * c + i);
+        }
+    } else {
+        s << "; baseline InvMixColumns: straightforward 0e/0b/0d/09 via\n";
+        s << "; xtime chains (the paper's point: data-dependent\n";
+        s << "; optimizations do not help the inverse coefficients)\n";
+        s << "    la   r1, state\n";
+        if (!compiled)
+            s << "    movi r12, #0x1b\n";
+        // Accumulate into tmpst, then copy back.
+        s << "    la   r2, tmpst\n";
+        s << "    movi r3, #0\n";
+        for (unsigned off = 0; off < 16; off += 4)
+            s << strprintf("    str  r3, [r2, #%u]\n", off);
+        for (unsigned c = 0; c < 4; ++c) {
+            for (unsigned i = 0; i < 4; ++i) {
+                // load a_i; build x2, x4, x8.
+                s << strprintf("    ldrb r4, [r1, #%u]\n", 4 * c + i);
+                s << "    mov  r5, r4\n";
+                s << xtime("r5"); // x2
+                s << "    mov  r6, r5\n";
+                s << xtime("r6"); // x4
+                s << "    mov  r7, r6\n";
+                s << xtime("r7"); // x8
+                // contributions: out_i += 14a; out_{i-1} += 11a;
+                // out_{i-2} += 13a; out_{i-3} += 9a   (rows mod 4)
+                auto acc = [&](unsigned row, const std::string &val) {
+                    unsigned idx = 4 * c + ((row + 4) % 4);
+                    s << strprintf("    ldrb r8, [r2, #%u]\n", idx);
+                    s << strprintf("    eor  r8, r8, %s\n", val.c_str());
+                    s << strprintf("    strb r8, [r2, #%u]\n", idx);
+                };
+                s << "    eor  r10, r7, r4\n";  // 9a = x8 ^ a
+                acc(i + 1, "r10");              // row i-3 == i+1 mod 4
+                s << "    eor  r15, r10, r5\n"; // 11a = x8 ^ x2 ^ a
+                acc(i + 3, "r15");              // row i-1
+                s << "    eor  r15, r10, r6\n"; // 13a = x8 ^ x4 ^ a
+                acc(i + 2, "r15");              // row i-2
+                s << "    eor  r15, r5, r6\n";
+                s << "    eor  r15, r15, r7\n"; // 14a = x2^x4^x8
+                acc(i, "r15");
+            }
+        }
+        for (unsigned off = 0; off < 16; off += 4) {
+            s << strprintf("    ldr  r3, [r2, #%u]\n", off);
+            s << strprintf("    str  r3, [r1, #%u]\n", off);
+        }
+    }
+    s << "    halt\n";
+    if (compiled)
+        s << xtimeRoutine();
+    s << aesData(true);
+    return s.str();
+}
+
+std::string
+aesMixColAsmGfcore(bool inverse)
+{
+    std::ostringstream s;
+    s << "; GF-core Mix/InvMixColumns: gfMult_simd inner products\n";
+    s << "    gfcfg cfg\n";
+    s << "    la   r1, state\n";
+    if (!inverse) {
+        s << "    li   r2, #0x02020202\n";
+        s << "    li   r3, #0x03030303\n";
+    } else {
+        s << "    li   r2, #0x0e0e0e0e\n";
+        s << "    li   r3, #0x0b0b0b0b\n";
+        s << "    li   r8, #0x0d0d0d0d\n";
+        s << "    li   r12, #0x09090909\n";
+    }
+    for (unsigned off = 0; off < 16; off += 4) {
+        s << strprintf("    ldr  r4, [r1, #%u]\n", off);
+        if (!inverse)
+            s << mixColWordGf("r5", "r4", "r2", "r3", "r6", "r7");
+        else
+            s << invMixColWordGf("r5", "r4", "r2", "r3", "r8", "r12",
+                                 "r6", "r7");
+        s << strprintf("    str  r5, [r1, #%u]\n", off);
+    }
+    s << "    halt\n";
+    s << aesData(false);
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Key expansion (AES-128)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Shared key-expansion skeleton.  @p subword_emit produces
+ * "r4 = SubWord(r4)" (FIPS big-endian word), clobbering r5..r7 and, for
+ * the GF core, using mask registers r8/r9/r10/r12 set up by @p prologue.
+ */
+std::string
+keyExpandSkeleton(bool gf_core)
+{
+    std::ostringstream s;
+    s << "; AES-128 key expansion\n";
+    if (gf_core)
+        s << "    gfcfg cfg\n";
+    s << "    la   r1, xkey\n";
+    s << "    la   r2, key\n";
+    // w[0..3] from the cipher key, FIPS big-endian byte order.
+    s << "    movi r0, #0\n";
+    s << "kinit:\n";
+    s << "    lsli r3, r0, #2\n";
+    s << "    movi r4, #0\n";
+    for (unsigned b = 0; b < 4; ++b) {
+        s << "    ldrb r5, [r2, r3]\n";
+        s << "    lsli r4, r4, #8\n";
+        s << "    orr  r4, r4, r5\n";
+        if (b < 3)
+            s << "    addi r3, r3, #1\n";
+    }
+    s << "    lsli r3, r0, #2\n";
+    s << "    str  r4, [r1, r3]\n";
+    s << "    addi r0, r0, #1\n";
+    s << "    cmpi r0, #4\n";
+    s << "    bne  kinit\n";
+
+    if (gf_core) {
+        s << "    li   r8, #0x1f1f1f1f\n"; // affine circulant
+        s << "    li   r9, #0x63636363\n"; // affine constant
+    } else {
+        s << "    la   r12, sbox\n";
+    }
+
+    s << "    movi r0, #4\n";
+    s << "kloop:\n";
+    s << "    lsli r2, r0, #2\n";
+    s << "    subi r3, r2, #4\n";
+    s << "    ldr  r4, [r1, r3]\n";   // w[i-1]
+    s << "    andi r3, r0, #3\n";
+    s << "    cmpi r3, #0\n";
+    s << "    bne  no_g\n";
+    // RotWord
+    s << "    lsli r5, r4, #8\n";
+    s << "    lsri r6, r4, #24\n";
+    s << "    orr  r4, r5, r6\n";
+    // SubWord
+    if (gf_core) {
+        s << "    gfinvs r4, r4\n";
+        s << "    gfcfg ring\n";
+        s << "    gfmuls r4, r4, r8\n";
+        s << "    gfadds r4, r4, r9\n";
+        s << "    gfcfg cfg\n";
+    } else {
+        s << "    movi r6, #0\n";
+        for (unsigned b = 0; b < 4; ++b) {
+            s << strprintf("    lsri r5, r4, #%u\n", 8 * b);
+            s << "    andi r5, r5, #0xff\n";
+            s << "    ldrb r5, [r12, r5]\n";
+            if (b)
+                s << strprintf("    lsli r5, r5, #%u\n", 8 * b);
+            s << "    orr  r6, r6, r5\n";
+        }
+        s << "    mov  r4, r6\n";
+    }
+    // rcon[i/4 - 1] into the top byte
+    s << "    la   r5, rcon\n";
+    s << "    lsri r6, r0, #2\n";
+    s << "    subi r6, r6, #1\n";
+    s << "    ldrb r6, [r5, r6]\n";
+    s << "    lsli r6, r6, #24\n";
+    s << "    eor  r4, r4, r6\n";
+    s << "no_g:\n";
+    s << "    subi r3, r2, #16\n";
+    s << "    ldr  r5, [r1, r3]\n";   // w[i-4]
+    s << "    eor  r4, r4, r5\n";
+    s << "    str  r4, [r1, r2]\n";
+    s << "    addi r0, r0, #1\n";
+    s << "    cmpi r0, #44\n";
+    s << "    bne  kloop\n";
+    s << "    halt\n";
+    return s.str();
+}
+
+} // anonymous namespace
+
+std::string
+aesKeyExpandAsmBaseline()
+{
+    return keyExpandSkeleton(false) + aesData(true);
+}
+
+std::string
+aesKeyExpandAsmGfcore()
+{
+    return keyExpandSkeleton(true) + aesData(false);
+}
+
+// ---------------------------------------------------------------------
+// Full-block encryption / decryption
+// ---------------------------------------------------------------------
+
+std::string
+aesBlockAsmBaseline(bool decrypt, unsigned rounds)
+{
+    GFP_ASSERT(rounds == 10 || rounds == 12 || rounds == 14);
+    // Memory-resident state, classic optimized-C structure, one
+    // round loop.  The kernel bodies are the per-kernel code above.
+    std::ostringstream s;
+    auto subBytes = [&](bool inv, const std::string &tag) {
+        std::ostringstream k;
+        k << strprintf("    la   r2, %s\n", inv ? "isbox" : "sbox");
+        k << "    movi r3, #0\n";
+        k << strprintf("sb_%s:\n", tag.c_str());
+        k << "    ldrb r4, [r1, r3]\n";
+        k << "    ldrb r4, [r2, r4]\n";
+        k << "    strb r4, [r1, r3]\n";
+        k << "    addi r3, r3, #1\n";
+        k << "    cmpi r3, #16\n";
+        k << strprintf("    bne  sb_%s\n", tag.c_str());
+        return k.str();
+    };
+    auto shiftRows = [&](bool inv) {
+        auto perm = shiftRowsPerm(inv);
+        std::ostringstream k;
+        k << "    la   r2, tmpst\n";
+        for (unsigned off = 0; off < 16; off += 4) {
+            k << strprintf("    ldr  r3, [r1, #%u]\n", off);
+            k << strprintf("    str  r3, [r2, #%u]\n", off);
+        }
+        for (unsigned i = 0; i < 16; ++i) {
+            k << strprintf("    ldrb r3, [r2, #%u]\n", perm[i]);
+            k << strprintf("    strb r3, [r1, #%u]\n", i);
+        }
+        return k.str();
+    };
+    auto ark = [&]() {
+        // rkey pointer in lr, advanced by the caller.
+        std::ostringstream k;
+        for (unsigned off = 0; off < 16; off += 4) {
+            k << strprintf("    ldr  r3, [r1, #%u]\n", off);
+            k << strprintf("    ldr  r4, [lr, #%u]\n", off);
+            k << "    eor  r3, r3, r4\n";
+            k << strprintf("    str  r3, [r1, #%u]\n", off);
+        }
+        return k.str();
+    };
+    auto mixCol = [&]() {
+        std::ostringstream k;
+        k << "    movi r12, #0x1b\n";
+        for (unsigned c = 0; c < 4; ++c) {
+            k << strprintf("    ldrb r4, [r1, #%u]\n", 4 * c);
+            k << strprintf("    ldrb r5, [r1, #%u]\n", 4 * c + 1);
+            k << strprintf("    ldrb r6, [r1, #%u]\n", 4 * c + 2);
+            k << strprintf("    ldrb r7, [r1, #%u]\n", 4 * c + 3);
+            k << "    eor  r8, r4, r5\n";
+            k << "    eor  r8, r8, r6\n";
+            k << "    eor  r8, r8, r7\n";
+            k << "    mov  r3, r4\n";
+            const char *a[4] = {"r4", "r5", "r6", "r7"};
+            for (unsigned i = 0; i < 4; ++i) {
+                const char *next = (i == 3) ? "r3" : a[i + 1];
+                k << strprintf("    eor  r9, %s, %s\n", a[i], next);
+                k << xtimeInline("r9", "r11", "r12");
+                k << "    eor  r9, r9, r8\n";
+                k << strprintf("    eor  %s, %s, r9\n", a[i], a[i]);
+            }
+            for (unsigned i = 0; i < 4; ++i)
+                k << strprintf("    strb %s, [r1, #%u]\n", a[i], 4 * c + i);
+        }
+        return k.str();
+    };
+    auto invMixCol = [&]() {
+        std::ostringstream k;
+        k << "    movi r12, #0x1b\n";
+        k << "    la   r2, tmpst\n";
+        k << "    movi r3, #0\n";
+        for (unsigned off = 0; off < 16; off += 4)
+            k << strprintf("    str  r3, [r2, #%u]\n", off);
+        for (unsigned c = 0; c < 4; ++c) {
+            for (unsigned i = 0; i < 4; ++i) {
+                k << strprintf("    ldrb r4, [r1, #%u]\n", 4 * c + i);
+                k << "    mov  r5, r4\n";
+                k << xtimeInline("r5", "r11", "r12");
+                k << "    mov  r6, r5\n";
+                k << xtimeInline("r6", "r11", "r12");
+                k << "    mov  r7, r6\n";
+                k << xtimeInline("r7", "r11", "r12");
+                auto acc = [&](unsigned row, const std::string &val) {
+                    unsigned idx = 4 * c + ((row + 4) % 4);
+                    k << strprintf("    ldrb r8, [r2, #%u]\n", idx);
+                    k << strprintf("    eor  r8, r8, %s\n", val.c_str());
+                    k << strprintf("    strb r8, [r2, #%u]\n", idx);
+                };
+                k << "    eor  r10, r7, r4\n";
+                acc(i + 1, "r10");
+                k << "    eor  r15, r10, r5\n";
+                acc(i + 3, "r15");
+                k << "    eor  r15, r10, r6\n";
+                acc(i + 2, "r15");
+                k << "    eor  r15, r5, r6\n";
+                k << "    eor  r15, r15, r7\n";
+                acc(i, "r15");
+            }
+        }
+        for (unsigned off = 0; off < 16; off += 4) {
+            k << strprintf("    ldr  r3, [r2, #%u]\n", off);
+            k << strprintf("    str  r3, [r1, #%u]\n", off);
+        }
+        return k.str();
+    };
+
+    s << strprintf("; baseline AES (%u rounds) %s, memory-resident "
+                   "state\n", rounds, decrypt ? "decrypt" : "encrypt");
+    s << "    la   r1, state\n";
+    if (!decrypt) {
+        s << "    la   lr, rkeys\n";
+        s << ark();
+        s << "    movi r0, #1\n";
+        s << "round_loop:\n";
+        s << "    addi lr, lr, #16\n";
+        s << subBytes(false, "r");
+        s << shiftRows(false);
+        s << mixCol();
+        s << ark();
+        s << "    addi r0, r0, #1\n";
+        s << strprintf("    cmpi r0, #%u\n", rounds);
+        s << "    bne  round_loop\n";
+        s << "    addi lr, lr, #16\n";
+        s << subBytes(false, "f");
+        s << shiftRows(false);
+        s << ark();
+    } else {
+        s << "    la   lr, rkeys\n";
+        s << strprintf("    addi lr, lr, #%u\n", 16 * rounds);
+        s << ark();
+        s << strprintf("    movi r0, #%u\n", rounds - 1);
+        s << "round_loop:\n";
+        s << "    subi lr, lr, #16\n";
+        s << shiftRows(true);
+        s << subBytes(true, "r");
+        s << ark();
+        s << invMixCol();
+        s << "    subi r0, r0, #1\n";
+        s << "    cmpi r0, #0\n";
+        s << "    bne  round_loop\n";
+        s << "    subi lr, lr, #16\n";
+        s << shiftRows(true);
+        s << subBytes(true, "f");
+        s << ark();
+    }
+    s << "    halt\n";
+    s << aesData(true);
+    return s.str();
+}
+
+std::string
+aesBlockAsmGfcore(bool decrypt, unsigned rounds)
+{
+    GFP_ASSERT(rounds == 10 || rounds == 12 || rounds == 14);
+    // State lives in r4..r7 (column words) across the whole block.
+    std::ostringstream s;
+
+    auto loadState = [&]() {
+        std::ostringstream k;
+        k << "    la   r2, state\n";
+        for (unsigned i = 0; i < 4; ++i)
+            k << strprintf("    ldr  r%u, [r2, #%u]\n", 4 + i, 4 * i);
+        return k.str();
+    };
+    auto storeState = [&]() {
+        std::ostringstream k;
+        k << "    la   r2, state\n";
+        for (unsigned i = 0; i < 4; ++i)
+            k << strprintf("    str  r%u, [r2, #%u]\n", 4 + i, 4 * i);
+        return k.str();
+    };
+    auto ark = [&]() {
+        std::ostringstream k;
+        for (unsigned i = 0; i < 4; ++i) {
+            k << strprintf("    ldr  r8, [r1, #%u]\n", 4 * i);
+            k << strprintf("    eor  r%u, r%u, r8\n", 4 + i, 4 + i);
+        }
+        return k.str();
+    };
+    auto shiftRowsRegs = [&](bool inv) {
+        std::ostringstream k;
+        k << "    movi r2, #0xff00\n";
+        k << "    li   r3, #0xff0000\n";
+        const char *w[4] = {"r4", "r5", "r6", "r7"};
+        const char *out[4] = {"r8", "r9", "r10", "r11"};
+        for (unsigned c = 0; c < 4; ++c) {
+            auto src = [&](unsigned r) {
+                unsigned from = inv ? (c + 4 - r) % 4 : (c + r) % 4;
+                return w[from];
+            };
+            // byte 0
+            k << strprintf("    andi %s, %s, #0xff\n", out[c], src(0));
+            // byte 1
+            k << strprintf("    and  r12, %s, r2\n", src(1));
+            k << strprintf("    orr  %s, %s, r12\n", out[c], out[c]);
+            // byte 2
+            k << strprintf("    and  r12, %s, r3\n", src(2));
+            k << strprintf("    orr  %s, %s, r12\n", out[c], out[c]);
+            // byte 3
+            k << strprintf("    lsri r12, %s, #24\n", src(3));
+            k << "    lsli r12, r12, #24\n";
+            k << strprintf("    orr  %s, %s, r12\n", out[c], out[c]);
+        }
+        for (unsigned c = 0; c < 4; ++c)
+            k << strprintf("    mov  %s, %s\n", w[c], out[c]);
+        return k.str();
+    };
+    auto subBytesRegs = [&](bool inv) {
+        // Field inverse under cfg, then the circulant affine as one
+        // gfmuls + gfadds under the ring configuration (see
+        // aesSubBytesAsmGfcore).  Entered with cfg active; leaves cfg
+        // active again.
+        std::ostringstream k;
+        if (!inv) {
+            k << "    li   r2, #0x1f1f1f1f\n";
+            k << "    li   r3, #0x63636363\n";
+            for (unsigned i = 0; i < 4; ++i)
+                k << strprintf("    gfinvs r%u, r%u\n", 4 + i, 4 + i);
+            k << "    gfcfg ring\n";
+            for (unsigned i = 0; i < 4; ++i) {
+                k << strprintf("    gfmuls r%u, r%u, r2\n", 4 + i,
+                               4 + i);
+                k << strprintf("    gfadds r%u, r%u, r3\n", 4 + i,
+                               4 + i);
+            }
+            k << "    gfcfg cfg\n";
+        } else {
+            k << "    li   r2, #0x4a4a4a4a\n";
+            k << "    li   r3, #0x05050505\n";
+            k << "    gfcfg ring\n";
+            for (unsigned i = 0; i < 4; ++i) {
+                k << strprintf("    gfmuls r%u, r%u, r2\n", 4 + i,
+                               4 + i);
+                k << strprintf("    gfadds r%u, r%u, r3\n", 4 + i,
+                               4 + i);
+            }
+            k << "    gfcfg cfg\n";
+            for (unsigned i = 0; i < 4; ++i)
+                k << strprintf("    gfinvs r%u, r%u\n", 4 + i, 4 + i);
+        }
+        return k.str();
+    };
+    auto mixColRegs = [&]() {
+        std::ostringstream k;
+        k << "    li   r2, #0x02020202\n";
+        k << "    li   r3, #0x03030303\n";
+        for (unsigned i = 0; i < 4; ++i) {
+            std::string x = strprintf("r%u", 4 + i);
+            k << mixColWordGf("r8", x, "r2", "r3", "r9", "r10");
+            k << strprintf("    mov  %s, r8\n", x.c_str());
+        }
+        return k.str();
+    };
+    auto invMixColRegs = [&]() {
+        std::ostringstream k;
+        k << "    li   r2, #0x0e0e0e0e\n";
+        k << "    li   r3, #0x0b0b0b0b\n";
+        k << "    li   r11, #0x0d0d0d0d\n";
+        k << "    li   r12, #0x09090909\n";
+        for (unsigned i = 0; i < 4; ++i) {
+            std::string x = strprintf("r%u", 4 + i);
+            k << invMixColWordGf("r8", x, "r2", "r3", "r11", "r12", "r9",
+                                 "r10");
+            k << strprintf("    mov  %s, r8\n", x.c_str());
+        }
+        return k.str();
+    };
+
+    s << strprintf("; GF-core AES (%u rounds) %s, register-resident "
+                   "state\n", rounds, decrypt ? "decrypt" : "encrypt");
+    s << "    gfcfg cfg\n";
+    s << "    la   r1, rkeys\n";
+    s << loadState();
+    if (!decrypt) {
+        s << ark();
+        s << "    movi r0, #1\n";
+        s << "round_loop:\n";
+        s << "    addi r1, r1, #16\n";
+        // SubBytes and ShiftRows commute; doing ShiftRows first keeps
+        // the register juggling simple.
+        s << shiftRowsRegs(false);
+        s << subBytesRegs(false);
+        s << mixColRegs();
+        s << ark();
+        s << "    addi r0, r0, #1\n";
+        s << strprintf("    cmpi r0, #%u\n", rounds);
+        s << "    bne  round_loop\n";
+        s << "    addi r1, r1, #16\n";
+        s << shiftRowsRegs(false);
+        s << subBytesRegs(false);
+        s << ark();
+    } else {
+        s << strprintf("    addi r1, r1, #%u\n", 16 * rounds);
+        s << ark();
+        s << strprintf("    movi r0, #%u\n", rounds - 1);
+        s << "round_loop:\n";
+        s << "    subi r1, r1, #16\n";
+        s << shiftRowsRegs(true);
+        s << subBytesRegs(true);
+        s << ark();
+        s << invMixColRegs();
+        s << "    subi r0, r0, #1\n";
+        s << "    cmpi r0, #0\n";
+        s << "    bne  round_loop\n";
+        s << "    subi r1, r1, #16\n";
+        s << shiftRowsRegs(true);
+        s << subBytesRegs(true);
+        s << ark();
+    }
+    s << storeState();
+    s << "    halt\n";
+    s << aesData(false);
+    return s.str();
+}
+
+} // namespace gfp

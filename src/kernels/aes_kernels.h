@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Assembly kernel generators for AES (paper Sec. 3.3.3 / Fig. 10).
+ *
+ * Per-kernel programs measure the Fig. 10 bars (AddRoundKey, S-box,
+ * ShiftRows, MixColumns, InvMixColumns, key expansion); full-block
+ * programs measure encryption/decryption end to end.
+ *
+ * Baseline variants follow the optimized open-source M0+ style the
+ * paper benchmarks against: table S-box, branchless inline xtime
+ * (kHandOptimized) or xtime through a helper call (kCompiled), state
+ * kept in memory.  GF-core variants hold the state in four column
+ * registers and use gfMultInv_simd for the S-box (plus the GF(2)
+ * affine step) and gfMult_simd for Mix/InvMixColumns.
+ *
+ * Data layout:
+ *   state   16 bytes   the AES state, FIPS column-major (byte r + 4c)
+ *   rkeys   176 bytes  expanded round keys as XOR-ready byte blocks
+ *   key     16 bytes   cipher key (key-expansion kernel input)
+ *   xkey    44 words   expanded key words (key-expansion output,
+ *                      FIPS big-endian word convention)
+ */
+
+#ifndef GFP_KERNELS_AES_KERNELS_H
+#define GFP_KERNELS_AES_KERNELS_H
+
+#include <string>
+
+#include "kernels/kernellib.h"
+
+namespace gfp {
+
+/** AddRoundKey: state ^= rkeys[0..15]; identical on both cores. */
+std::string aesArkAsm();
+
+/** SubBytes / InvSubBytes over the 16-byte state. */
+std::string aesSubBytesAsmBaseline(bool inverse);
+std::string aesSubBytesAsmGfcore(bool inverse);
+
+/** ShiftRows / InvShiftRows; identical on both cores (data movement). */
+std::string aesShiftRowsAsm(bool inverse);
+
+/** MixColumns / InvMixColumns over the state. */
+std::string aesMixColAsmBaseline(
+    bool inverse, BaselineFlavor flavor = BaselineFlavor::kHandOptimized);
+std::string aesMixColAsmGfcore(bool inverse);
+
+/** AES-128 key expansion: key -> xkey (44 words). */
+std::string aesKeyExpandAsmBaseline();
+std::string aesKeyExpandAsmGfcore();
+
+/**
+ * Full AES block encrypt/decrypt: state + rkeys -> state.
+ * @p rounds selects the key size: 10 (AES-128), 12 (AES-192) or
+ * 14 (AES-256); rkeys must hold 16*(rounds+1) expanded-key bytes.
+ */
+std::string aesBlockAsmBaseline(bool decrypt, unsigned rounds = 10);
+std::string aesBlockAsmGfcore(bool decrypt, unsigned rounds = 10);
+
+} // namespace gfp
+
+#endif // GFP_KERNELS_AES_KERNELS_H

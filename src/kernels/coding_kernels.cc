@@ -1,0 +1,1031 @@
+#include "kernels/coding_kernels.h"
+
+#include <sstream>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "kernels/kernellib.h"
+
+namespace gfp {
+
+namespace {
+
+/** Common data block shared by the decoder kernels. */
+std::string
+decoderData(const GFField &field, unsigned n, unsigned two_t,
+            bool baseline)
+{
+    std::ostringstream d;
+    d << ".data\n";
+    d << gfConfigData("cfg", field);
+    d << spaceData("rxdata", n);
+    d << spaceData("synd", two_t);
+    d << spaceData("lambda", 12);  // t+1 <= 9, zero-padded for word loads
+    d << spaceData("llen", 4);
+    d << spaceData("locs", 12);    // t <= 8, padded for word loads
+    d << spaceData("nloc", 4);
+    d << spaceData("evals", 12);
+    d << spaceData("barr", 12);    // BMA: B polynomial
+    d << spaceData("tbuf", 12);    // BMA: temporary copy
+    d << spaceData("omega", 16);   // Forney: error evaluator, 2t <= 16
+    d << spaceData("spad", 28);    // Forney: zero-padded syndrome copy
+    if (baseline)
+        d << logDomainTables("gf", field);
+    return d.str();
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Syndrome computation
+// ---------------------------------------------------------------------
+
+std::string
+syndromeAsmBaseline(const GFField &field, unsigned n, unsigned two_t,
+                    BaselineFlavor flavor)
+{
+    GFP_ASSERT(two_t >= 1 && two_t <= 16 && n <= field.groupOrder());
+    const unsigned group = field.groupOrder();
+    const bool compiled = flavor == BaselineFlavor::kCompiled;
+
+    std::ostringstream s;
+    s << "; baseline syndrome kernel: log-domain Horner (Table 6 left)\n";
+    s << "    la   r1, rxdata\n";
+    s << "    la   r2, synd\n";
+    s << "    la   r5, gf_log\n";
+    s << "    la   r6, gf_alog\n";
+    // One fully-unrolled block per syndrome: the multiplicative
+    // constant alpha^j is baked into each block, as hand-optimized
+    // code would do.
+    for (unsigned j = 1; j <= two_t; ++j) {
+        std::string tag = strprintf("s%u", j);
+        s << "    movi r4, #0\n";
+        s << strprintf("    movi r8, #%u\n", n);
+        s << strprintf("in_%s:\n", tag.c_str());
+        s << "    subi r8, r8, #1\n";
+        if (compiled) {
+            s << compiledMulConstCall("r4",
+                                      static_cast<uint8_t>(field.exp(j)));
+        } else {
+            s << baselineMulAccSnippet("r4", j, "r5", "r6", "r9", group,
+                                       tag);
+        }
+        s << "    ldrb r10, [r1, r8]\n";
+        s << "    eor  r4, r4, r10\n";
+        s << "    cmpi r8, #0\n";
+        s << strprintf("    bne  in_%s\n", tag.c_str());
+        s << strprintf("    strb r4, [r2, #%u]\n", j - 1);
+    }
+    s << "    halt\n";
+    if (compiled)
+        s << gfHelperRoutines(group);
+    s << decoderData(field, n, two_t, true);
+    return s.str();
+}
+
+std::string
+syndromeAsmGfcore(const GFField &field, unsigned n, unsigned two_t)
+{
+    GFP_ASSERT(two_t >= 1 && two_t <= 16 && n <= field.groupOrder());
+    const unsigned full_groups = two_t / 4;
+    const unsigned tail = two_t % 4;
+
+    // Packed multiplier words [alpha^(4g+1) .. alpha^(4g+4)].
+    std::vector<uint32_t> alpha_words;
+    for (unsigned g = 0; g * 4 < two_t; ++g)
+        alpha_words.push_back(packedAlphaWord(field, 4 * g + 1));
+
+    std::ostringstream s;
+    s << "; GF-core syndrome kernel: 4 syndromes per SIMD pass\n";
+    s << "    gfcfg cfg\n";
+    s << "    la   r1, rxdata\n";
+    s << "    la   r2, synd\n";
+    s << "    la   r3, alphas\n";
+    s << "    li   r4, #0x01010101\n"; // byte-splat multiplier
+    if (full_groups) {
+        s << "    movi r5, #0\n"; // group index
+        s << "outer:\n";
+        s << "    lsli r6, r5, #2\n";
+        s << "    ldr  r6, [r3, r6]\n"; // multiplier word
+        s << "    movi r7, #0\n";       // 4 accumulating syndromes
+        s << strprintf("    movi r8, #%u\n", n);
+        s << "inner:\n";
+        s << "    subi r8, r8, #1\n";
+        s << "    gfmuls r7, r7, r6\n";   // S *= [alpha^j..alpha^(j+3)]
+        s << "    ldrb r9, [r1, r8]\n";
+        s << "    mul  r9, r9, r4\n";     // splat received symbol
+        s << "    gfadds r7, r7, r9\n";   // S ^= R_i
+        s << "    cmpi r8, #0\n";
+        s << "    bne  inner\n";
+        s << "    lsli r9, r5, #2\n";
+        s << "    str  r7, [r2, r9]\n";   // 4 syndromes at once
+        s << "    addi r5, r5, #1\n";
+        s << strprintf("    cmpi r5, #%u\n", full_groups);
+        s << "    bne  outer\n";
+    }
+    if (tail) {
+        // Partial final group: the paper notes BCH t=5 "looses two
+        // lanes in the last round" — same effect here.
+        s << "    la   r6, alphas\n";
+        s << strprintf("    ldr  r6, [r6, #%u]\n", 4 * full_groups);
+        s << "    movi r7, #0\n";
+        s << strprintf("    movi r8, #%u\n", n);
+        s << "tinner:\n";
+        s << "    subi r8, r8, #1\n";
+        s << "    gfmuls r7, r7, r6\n";
+        s << "    ldrb r9, [r1, r8]\n";
+        s << "    mul  r9, r9, r4\n";
+        s << "    gfadds r7, r7, r9\n";
+        s << "    cmpi r8, #0\n";
+        s << "    bne  tinner\n";
+        for (unsigned l = 0; l < tail; ++l) {
+            s << strprintf("    strb r7, [r2, #%u]\n", 4 * full_groups + l);
+            if (l + 1 < tail)
+                s << "    lsri r7, r7, #8\n";
+        }
+    }
+    s << "    halt\n";
+    s << decoderData(field, n, two_t, false);
+    s << wordTableData("alphas", alpha_words);
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Berlekamp-Massey
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Shared BMA skeleton; the two cores differ only in how a
+ * variable-by-variable GF multiply and the d/b division are computed.
+ *
+ * Register map:
+ *   r0 = n (outer index)    r1 = L          r2 = m (gap)
+ *   r3 = b (last nonzero discrepancy)       r4 = d (discrepancy)
+ *   r5 = &synd   r6 = &lambda (C)   r7 = &barr (B)   r8 = inner index
+ *   r9, r10, r15 = temps    r11 = coef
+ *   r12 = &log, lr = &alog (baseline only)
+ */
+std::string
+bmaSkeleton(const GFField &field, unsigned two_t, bool baseline,
+            BaselineFlavor flavor)
+{
+    GFP_ASSERT(two_t >= 2 && two_t <= 16 && two_t % 2 == 0);
+    const unsigned t = two_t / 2;
+    const unsigned group = field.groupOrder();
+    const bool compiled = baseline && flavor == BaselineFlavor::kCompiled;
+    std::ostringstream s;
+
+    // rd = coef(r11) * B-coef in rb; scratches r4 (d is dead) + r15.
+    auto mulCoef = [&](const std::string &rd, const std::string &rb,
+                       const std::string &tag) {
+        if (compiled)
+            return compiledMulCall(rd, rb, "r11");
+        if (baseline) {
+            return baselineMulSnippet(rd, "r11", rb, "r12", "lr", "r4",
+                                      "r15", group, tag);
+        }
+        return strprintf("    gfmuls %s, r11, %s\n", rd.c_str(),
+                         rb.c_str());
+    };
+
+    s << "; Berlekamp-Massey kernel\n";
+    if (!baseline)
+        s << "    gfcfg cfg\n";
+    s << "    la   r5, synd\n";
+    s << "    la   r6, lambda\n";
+    s << "    la   r7, barr\n";
+    if (baseline && !compiled) {
+        s << "    la   r12, gf_log\n";
+        s << "    la   lr, gf_alog\n";
+    }
+    // init: C = B = 1 (arrays fully zeroed first so the kernel is
+    // re-runnable); L = 0; m = 1; b = 1
+    s << "    movi r8, #0\n";
+    s << "    movi r9, #0\n";
+    s << "zinit:\n";
+    s << "    strb r9, [r6, r8]\n";
+    s << "    strb r9, [r7, r8]\n";
+    s << "    addi r8, r8, #1\n";
+    s << "    cmpi r8, #12\n";
+    s << "    bne  zinit\n";
+    s << "    movi r8, #1\n";
+    s << "    strb r8, [r6]\n";
+    s << "    strb r8, [r7]\n";
+    s << "    movi r1, #0\n";
+    s << "    movi r2, #1\n";
+    s << "    movi r3, #1\n";
+    s << "    movi r0, #0\n";
+
+    s << "bma_loop:\n";
+    // d = S[n] ^ sum_{i=1..L} C[i] * S[n-i]
+    s << "    ldrb r4, [r5, r0]\n";
+    s << "    movi r8, #1\n";
+    s << "disc_loop:\n";
+    s << "    cmp  r8, r1\n";
+    s << "    bhi  disc_done\n";
+    s << "    ldrb r9, [r6, r8]\n";   // C[i]
+    s << "    sub  r10, r0, r8\n";
+    s << "    ldrb r10, [r5, r10]\n"; // S[n-i]
+    if (compiled) {
+        s << compiledMulCall("r9", "r9", "r10");
+    } else if (baseline) {
+        s << baselineMulSnippet("r9", "r9", "r10", "r12", "lr", "r11",
+                                "r15", group, "disc");
+    } else {
+        s << "    gfmuls r9, r9, r10\n";
+    }
+    s << "    eor  r4, r4, r9\n";
+    s << "    addi r8, r8, #1\n";
+    s << "    b    disc_loop\n";
+    s << "disc_done:\n";
+
+    s << "    cmpi r4, #0\n";
+    s << "    bne  d_nonzero\n";
+    s << "    addi r2, r2, #1\n";     // m++
+    s << "    b    bma_next\n";
+
+    s << "d_nonzero:\n";
+    // coef = d / b  (both nonzero)
+    if (compiled) {
+        s << compiledDivCall("r11", "r4", "r3");
+    } else if (baseline) {
+        s << "    ldrb r9, [r12, r4]\n";   // log d
+        s << "    ldrb r10, [r12, r3]\n";  // log b
+        s << strprintf("    addi r9, r9, #%u\n", group);
+        s << "    sub  r9, r9, r10\n";
+        s << strprintf("    cmpi r9, #%u\n", group);
+        s << "    blo  div_ok\n";
+        s << strprintf("    subi r9, r9, #%u\n", group);
+        s << "div_ok:\n";
+        s << "    ldrb r11, [lr, r9]\n";
+    } else {
+        s << "    gfinvs r11, r3\n";
+        s << "    gfmuls r11, r4, r11\n";
+    }
+
+    // if (2L <= n) take the length-change branch.
+    s << "    lsli r9, r1, #1\n";
+    s << "    cmp  r9, r0\n";
+    s << "    bhi  no_lenchange\n";
+
+    // -- length change --
+    // b's old value is consumed (coef); commit b = d now so r4 becomes
+    // scratch for the update loops.
+    s << "    mov  r3, r4\n";
+    // T = C  (t+1 bytes)
+    s << "    la   r15, tbuf\n";
+    s << "    movi r8, #0\n";
+    s << "copy1:\n";
+    s << "    ldrb r9, [r6, r8]\n";
+    s << "    strb r9, [r15, r8]\n";
+    s << "    addi r8, r8, #1\n";
+    s << strprintf("    cmpi r8, #%u\n", t + 1);
+    s << "    bne  copy1\n";
+    // C[i+m] ^= coef * B[i] for i + m <= t
+    s << "    movi r8, #0\n";
+    s << "upd1:\n";
+    s << "    add  r10, r8, r2\n";
+    s << strprintf("    cmpi r10, #%u\n", t);
+    s << "    bhi  upd1_done\n";
+    s << "    ldrb r9, [r7, r8]\n";    // B[i]
+    s << mulCoef("r9", "r9", "u1");
+    s << "    add  r10, r8, r2\n";
+    s << "    ldrb r4, [r6, r10]\n";
+    s << "    eor  r9, r9, r4\n";
+    s << "    strb r9, [r6, r10]\n";
+    s << "    addi r8, r8, #1\n";
+    s << "    b    upd1\n";
+    s << "upd1_done:\n";
+    // L = n + 1 - L
+    s << "    addi r9, r0, #1\n";
+    s << "    sub  r1, r9, r1\n";
+    // B = T
+    s << "    la   r15, tbuf\n";
+    s << "    movi r8, #0\n";
+    s << "copy2:\n";
+    s << "    ldrb r9, [r15, r8]\n";
+    s << "    strb r9, [r7, r8]\n";
+    s << "    addi r8, r8, #1\n";
+    s << strprintf("    cmpi r8, #%u\n", t + 1);
+    s << "    bne  copy2\n";
+    s << "    movi r2, #1\n";          // m = 1
+    s << "    b    bma_next\n";
+
+    s << "no_lenchange:\n";
+    // C[i+m] ^= coef * B[i]; m++  (b and L unchanged)
+    s << "    movi r8, #0\n";
+    s << "upd2:\n";
+    s << "    add  r10, r8, r2\n";
+    s << strprintf("    cmpi r10, #%u\n", t);
+    s << "    bhi  upd2_done\n";
+    s << "    ldrb r9, [r7, r8]\n";
+    s << mulCoef("r9", "r9", "u2");
+    s << "    add  r10, r8, r2\n";
+    s << "    ldrb r4, [r6, r10]\n";
+    s << "    eor  r9, r9, r4\n";
+    s << "    strb r9, [r6, r10]\n";
+    s << "    addi r8, r8, #1\n";
+    s << "    b    upd2\n";
+    s << "upd2_done:\n";
+    s << "    addi r2, r2, #1\n";
+
+    s << "bma_next:\n";
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", two_t);
+    s << "    bne  bma_loop\n";
+    s << "    la   r9, llen\n";
+    s << "    str  r1, [r9]\n";
+    s << "    halt\n";
+    if (compiled)
+        s << gfHelperRoutines(group);
+    return s.str();
+}
+
+} // anonymous namespace
+
+std::string
+bmaAsmBaseline(const GFField &field, unsigned two_t,
+               BaselineFlavor flavor)
+{
+    return bmaSkeleton(field, two_t, true, flavor) +
+           decoderData(field, field.groupOrder(), two_t, true);
+}
+
+std::string
+bmaAsmGfcore(const GFField &field, unsigned two_t)
+{
+    return bmaSkeleton(field, two_t, false,
+                       BaselineFlavor::kHandOptimized) +
+           decoderData(field, field.groupOrder(), two_t, false);
+}
+
+// ---------------------------------------------------------------------
+// Chien search
+// ---------------------------------------------------------------------
+
+std::string
+chienAsmBaseline(const GFField &field, unsigned n, unsigned t,
+                 BaselineFlavor flavor)
+{
+    GFP_ASSERT(t >= 1 && t <= 8 && n <= field.groupOrder());
+    const unsigned group = field.groupOrder();
+
+    if (flavor == BaselineFlavor::kCompiled) {
+        // Compiled-code shape: locator terms live in a memory array and
+        // every step multiply is a gfmul helper call.
+        std::vector<uint8_t> stepc(t);
+        for (unsigned j = 1; j <= t; ++j)
+            stepc[j - 1] = static_cast<uint8_t>(field.exp(group - j));
+
+        std::ostringstream s;
+        s << "; baseline Chien search (compiled shape)\n";
+        s << "    la   r3, qterm\n";
+        s << "    la   r12, lambda\n";
+        s << "    movi r8, #0\n";
+        s << "qinit:\n";
+        s << "    addi r9, r8, #1\n";
+        s << "    ldrb r9, [r12, r9]\n";
+        s << "    strb r9, [r3, r8]\n";
+        s << "    addi r8, r8, #1\n";
+        s << strprintf("    cmpi r8, #%u\n", t);
+        s << "    bne  qinit\n";
+        s << "    la   r2, locs\n";
+        s << "    movi r0, #0\n";
+        s << "chien_loop:\n";
+        s << "    ldrb r1, [r12, #0]\n";
+        s << "    movi r8, #0\n";
+        s << "jloop:\n";
+        s << "    ldrb r9, [r3, r8]\n";
+        s << "    eor  r1, r1, r9\n";      // accumulate pre-step term
+        s << "    la   r4, stepc\n";
+        s << "    ldrb r10, [r4, r8]\n";
+        s << "    bl   gfmul\n";
+        s << "    strb r9, [r3, r8]\n";     // step for the next position
+        s << "    addi r8, r8, #1\n";
+        s << strprintf("    cmpi r8, #%u\n", t);
+        s << "    bne  jloop\n";
+        s << "    cmpi r1, #0\n";
+        s << "    bne  no_root\n";
+        s << "    strb r0, [r2]\n";
+        s << "    addi r2, r2, #1\n";
+        s << "no_root:\n";
+        s << "    addi r0, r0, #1\n";
+        s << strprintf("    cmpi r0, #%u\n", n);
+        s << "    bne  chien_loop\n";
+        s << "    la   r3, locs\n";
+        s << "    sub  r3, r2, r3\n";
+        s << "    la   r4, nloc\n";
+        s << "    str  r3, [r4]\n";
+        s << "    halt\n";
+        s << gfHelperRoutines(group);
+        s << decoderData(field, n, 2 * t, true);
+        s << spaceData("qterm", 8);
+        s << byteTableData("stepc", stepc);
+        return s.str();
+    }
+
+    // Q_j registers r4..r4+t-1 hold Lambda_j * alpha^(-i*j).
+    std::ostringstream s;
+    s << "; baseline Chien search: per-position polynomial evaluation\n";
+    s << "    la   r2, gf_log\n";
+    s << "    la   r3, gf_alog\n";
+    s << "    la   r12, lambda\n";
+    for (unsigned j = 1; j <= t; ++j)
+        s << strprintf("    ldrb r%u, [r12, #%u]\n", 3 + j, j);
+    s << "    la   lr, locs\n";
+    s << "    movi r0, #0\n";          // position i
+    s << "chien_loop:\n";
+    // sum = Lambda_0 ^ sum_j Q_j  after stepping each Q_j *= alpha^-j.
+    s << "    ldrb r1, [r12, #0]\n";
+    for (unsigned j = 1; j <= t; ++j) {
+        std::string reg = strprintf("r%u", 3 + j);
+        s << "    eor  r1, r1, " << reg << "\n";
+    }
+    s << "    cmpi r1, #0\n";
+    s << "    bne  no_root\n";
+    s << "    strb r0, [lr]\n";
+    s << "    addi lr, lr, #1\n";
+    s << "no_root:\n";
+    // Step the terms for the next position.
+    for (unsigned j = 1; j <= t; ++j) {
+        std::string reg = strprintf("r%u", 3 + j);
+        s << baselineMulAccSnippet(reg, group - j, "r2", "r3", "r15",
+                                   group, strprintf("c%u", j));
+    }
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", n);
+    s << "    bne  chien_loop\n";
+    // nloc = lr - &locs
+    s << "    la   r2, locs\n";
+    s << "    sub  r2, lr, r2\n";
+    s << "    la   r3, nloc\n";
+    s << "    str  r2, [r3]\n";
+    s << "    halt\n";
+    s << decoderData(field, n, 2 * t, true);
+    return s.str();
+}
+
+std::string
+chienAsmGfcore(const GFField &field, unsigned n, unsigned t)
+{
+    GFP_ASSERT(t >= 1 && t <= 8 && n <= field.groupOrder());
+    const unsigned group = field.groupOrder();
+    const unsigned groups = (t + 3) / 4;
+
+    // Multiplier words [alpha^-(4g+1) .. alpha^-(4g+4)].
+    std::vector<uint32_t> step_words;
+    for (unsigned g = 0; g < groups; ++g) {
+        uint32_t w = 0;
+        for (unsigned l = 0; l < 4; ++l) {
+            unsigned j = 4 * g + 1 + l;
+            w = withLane(w, l,
+                         static_cast<uint8_t>(field.exp(group - (j % group))));
+        }
+        step_words.push_back(w);
+    }
+
+    std::ostringstream s;
+    s << "; GF-core Chien search: 4 locator terms per SIMD word\n";
+    s << "    gfcfg cfg\n";
+    s << "    la   r12, lambda\n";
+    s << "    ldr  r4, [r12, #1]\n"; // Q word 0: Lambda_1..Lambda_4
+    if (groups > 1)
+        s << "    ldr  r5, [r12, #5]\n"; // Q word 1: Lambda_5..Lambda_8
+    s << "    la   r9, steps\n";
+    s << "    ldr  r6, [r9, #0]\n";
+    if (groups > 1)
+        s << "    ldr  r7, [r9, #4]\n";
+    s << "    ldrb r8, [r12, #0]\n"; // Lambda_0
+    s << "    la   lr, locs\n";
+    s << "    movi r0, #0\n";
+    s << "chien_loop:\n";
+    // sum = Lambda_0 ^ fold(Q words)
+    s << "    mov  r1, r4\n";
+    if (groups > 1)
+        s << "    eor  r1, r1, r5\n";
+    s << "    lsri r9, r1, #16\n";
+    s << "    eor  r1, r1, r9\n";
+    s << "    lsri r9, r1, #8\n";
+    s << "    eor  r1, r1, r9\n";
+    s << "    andi r1, r1, #0xff\n";
+    s << "    eor  r1, r1, r8\n";
+    s << "    cmpi r1, #0\n";
+    s << "    bne  no_root\n";
+    s << "    strb r0, [lr]\n";
+    s << "    addi lr, lr, #1\n";
+    s << "no_root:\n";
+    s << "    gfmuls r4, r4, r6\n";
+    if (groups > 1)
+        s << "    gfmuls r5, r5, r7\n";
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", n);
+    s << "    bne  chien_loop\n";
+    s << "    la   r2, locs\n";
+    s << "    sub  r2, lr, r2\n";
+    s << "    la   r3, nloc\n";
+    s << "    str  r2, [r3]\n";
+    s << "    halt\n";
+    s << decoderData(field, n, 2 * t, false);
+    s << wordTableData("steps", step_words);
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Forney's algorithm
+// ---------------------------------------------------------------------
+
+std::string
+forneyAsmBaseline(const GFField &field, unsigned two_t,
+                  BaselineFlavor flavor)
+{
+    GFP_ASSERT(two_t >= 2 && two_t <= 16 && two_t % 2 == 0);
+    const unsigned t = two_t / 2;
+    const unsigned group = field.groupOrder();
+    const bool compiled = flavor == BaselineFlavor::kCompiled;
+
+    std::ostringstream s;
+    s << "; baseline Forney: Omega = S*Lambda mod x^2t, then per-location\n";
+    s << "; evaluation with log-domain arithmetic\n";
+    s << "    la   r2, gf_log\n";
+    s << "    la   r3, gf_alog\n";
+    s << "    la   r5, synd\n";
+    s << "    la   r6, lambda\n";
+    s << "    la   r7, omega\n";
+
+    // omega[c] = XOR_{i=0..min(c,t)} Lambda_i * S_{c-i}
+    s << "    movi r0, #0\n";           // c
+    s << "om_outer:\n";
+    s << "    movi r1, #0\n";           // accumulator
+    s << "    movi r8, #0\n";           // i
+    s << "om_inner:\n";
+    s << strprintf("    cmpi r8, #%u\n", t);
+    s << "    bhi  om_inner_done\n";
+    s << "    cmp  r8, r0\n";
+    s << "    bhi  om_inner_done\n";
+    s << "    ldrb r9, [r6, r8]\n";     // Lambda_i
+    s << "    sub  r10, r0, r8\n";
+    s << "    ldrb r10, [r5, r10]\n";   // S_{c-i}
+    if (compiled) {
+        s << compiledMulCall("r9", "r9", "r10");
+    } else {
+        s << baselineMulSnippet("r9", "r9", "r10", "r2", "r3", "r11",
+                                "r15", group, "om");
+    }
+    s << "    eor  r1, r1, r9\n";
+    s << "    addi r8, r8, #1\n";
+    s << "    b    om_inner\n";
+    s << "om_inner_done:\n";
+    s << "    strb r1, [r7, r0]\n";
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", two_t);
+    s << "    bne  om_outer\n";
+
+    // Per-location loop: k in [0, nloc)
+    s << "    la   r9, nloc\n";
+    s << "    ldr  r12, [r9]\n";        // nloc
+    s << "    movi r0, #0\n";           // k
+    s << "loc_loop:\n";
+    s << "    cmp  r0, r12\n";
+    s << "    bhs  loc_done\n";
+    s << "    la   r9, locs\n";
+    s << "    ldrb r1, [r9, r0]\n";     // i_k
+    // x = alpha^-i: idx = (N - i) mod N
+    s << strprintf("    movi r9, #%u\n", group);
+    s << "    sub  r9, r9, r1\n";
+    s << strprintf("    cmpi r9, #%u\n", group);
+    s << "    blo  xi_ok\n";
+    s << strprintf("    subi r9, r9, #%u\n", group);
+    s << "xi_ok:\n";
+    s << "    ldrb r1, [r3, r9]\n";     // x_inv in r1
+    // Horner: num = Omega(x_inv) over 2t coefficients
+    s << "    movi r4, #0\n";
+    s << strprintf("    movi r8, #%u\n", two_t);
+    s << "ev_num:\n";
+    s << "    subi r8, r8, #1\n";
+    if (compiled) {
+        s << compiledMulCall("r4", "r4", "r1");
+    } else {
+        s << baselineMulSnippet("r4", "r4", "r1", "r2", "r3", "r10",
+                                "r15", group, "en");
+    }
+    s << "    ldrb r10, [r7, r8]\n";
+    s << "    eor  r4, r4, r10\n";
+    s << "    cmpi r8, #0\n";
+    s << "    bne  ev_num\n";
+    // den = Lambda'(x_inv): odd coefficients, Horner in y = x^2.
+    if (compiled) {
+        s << compiledMulCall("r11", "r1", "r1");
+    } else {
+        s << baselineMulSnippet("r11", "r1", "r1", "r2", "r3", "r10",
+                                "r15", group, "ysq");
+    }
+    s << "    movi r5, #0\n";           // den accumulator (r5 reused!)
+    s << strprintf("    movi r8, #%u\n", (t + 1) / 2);
+    s << "ev_den:\n";
+    s << "    subi r8, r8, #1\n";
+    if (compiled) {
+        s << compiledMulCall("r5", "r5", "r11");
+    } else {
+        s << baselineMulSnippet("r5", "r5", "r11", "r2", "r3", "r10",
+                                "r15", group, "ed");
+    }
+    s << "    lsli r10, r8, #1\n";
+    s << "    addi r10, r10, #1\n";     // odd index 2*i+1
+    s << "    ldrb r9, [r6, r10]\n";
+    s << "    eor  r5, r5, r9\n";
+    s << "    cmpi r8, #0\n";
+    s << "    bne  ev_den\n";
+    // e = num / den; num may be zero (handled by both paths).
+    if (compiled) {
+        s << compiledDivCall("r9", "r4", "r5");
+    } else {
+        s << "    cmpi r4, #0\n";
+        s << "    bne  nz_num\n";
+        s << "    movi r9, #0\n";
+        s << "    b    store_e\n";
+        s << "nz_num:\n";
+        s << "    ldrb r9, [r2, r4]\n";
+        s << "    ldrb r10, [r2, r5]\n";
+        s << strprintf("    addi r9, r9, #%u\n", group);
+        s << "    sub  r9, r9, r10\n";
+        s << strprintf("    cmpi r9, #%u\n", group);
+        s << "    blo  dv_ok\n";
+        s << strprintf("    subi r9, r9, #%u\n", group);
+        s << "dv_ok:\n";
+        s << "    ldrb r9, [r3, r9]\n";
+    }
+    s << "store_e:\n";
+    s << "    la   r10, evals\n";
+    s << "    strb r9, [r10, r0]\n";
+    // restore the synd base clobbered by the den accumulator
+    s << "    la   r5, synd\n";
+    s << "    addi r0, r0, #1\n";
+    s << "    b    loc_loop\n";
+    s << "loc_done:\n";
+    s << "    halt\n";
+    if (compiled)
+        s << gfHelperRoutines(group);
+    s << decoderData(field, field.groupOrder(), two_t, true);
+    return s.str();
+}
+
+std::string
+forneyAsmGfcore(const GFField &field, unsigned two_t)
+{
+    GFP_ASSERT(two_t >= 2 && two_t <= 16 && two_t % 2 == 0);
+    const unsigned t = two_t / 2;
+    const unsigned group = field.groupOrder();
+
+    std::ostringstream s;
+    s << "; GF-core Forney: SIMD Omega build (4 coefficients per pass),\n";
+    s << "; then 4 locations per pass (gfpows for alpha^-i, gfinvs for\n";
+    s << "; the division)\n";
+    s << "    gfcfg cfg\n";
+    s << "    la   r5, synd\n";
+    s << "    la   r6, lambda\n";
+    s << "    la   r7, omega\n";
+    s << "    li   r11, #0x01010101\n";   // splat constant
+
+    // Copy the syndromes into spad+8 so word reads at negative
+    // coefficient offsets land in zero padding.
+    s << "    la   r4, spad\n";
+    s << "    addi r4, r4, #8\n";
+    s << "    movi r8, #0\n";
+    s << "sp_copy:\n";
+    s << "    ldrb r9, [r5, r8]\n";
+    s << "    strb r9, [r4, r8]\n";
+    s << "    addi r8, r8, #1\n";
+    s << strprintf("    cmpi r8, #%u\n", two_t);
+    s << "    bne  sp_copy\n";
+
+    // omega[cb..cb+3] = XOR_i Lambda_i * S[cb-i .. cb+3-i], vectorized
+    // over four consecutive coefficients.
+    s << "    movi r0, #0\n";             // cb (group base)
+    s << "og_outer:\n";
+    s << "    movi r1, #0\n";             // 4 accumulating coefficients
+    s << "    movi r8, #0\n";             // i
+    s << "og_inner:\n";
+    s << strprintf("    cmpi r8, #%u\n", t);
+    s << "    bhi  og_idone\n";
+    s << "    addi r9, r0, #3\n";
+    s << "    cmp  r8, r9\n";
+    s << "    bhi  og_idone\n";
+    s << "    ldrb r9, [r6, r8]\n";       // Lambda_i
+    s << "    mul  r9, r9, r11\n";        // splat
+    s << "    sub  r10, r0, r8\n";        // cb - i (may go negative)
+    s << "    ldr  r10, [r4, r10]\n";     // 4 syndromes (pad-safe)
+    s << "    gfmuls r9, r9, r10\n";
+    s << "    gfadds r1, r1, r9\n";
+    s << "    addi r8, r8, #1\n";
+    s << "    b    og_inner\n";
+    s << "og_idone:\n";
+    s << "    str  r1, [r7, r0]\n";
+    s << "    addi r0, r0, #4\n";
+    s << strprintf("    cmpi r0, #%u\n", two_t);
+    s << "    blo  og_outer\n";
+
+    // Process locations four at a time.
+    s << "    la   r9, nloc\n";
+    s << "    ldr  r12, [r9]\n";          // nloc
+    s << "    movi r0, #0\n";             // k (group base)
+    s << "grp_loop:\n";
+    s << "    cmp  r0, r12\n";
+    s << "    bhs  grp_done\n";
+    s << "    la   r9, locs\n";
+    s << "    ldr  r3, [r9, r0]\n";      // 4 locations packed
+    // exponents = splat(N) - locations (lane-wise safe: N >= loc)
+    s << strprintf("    li   r9, #0x%x\n", splat(group & 0xff));
+    s << "    sub  r3, r9, r3\n";
+    s << strprintf("    li   r9, #0x%x\n",
+                   splat(static_cast<uint8_t>(field.exp(1))));
+    s << "    gfpows r3, r9, r3\n";        // x_inv lanes = alpha^-i
+    // num = Omega(x_inv) via SIMD Horner
+    s << "    movi r4, #0\n";
+    s << strprintf("    movi r8, #%u\n", two_t);
+    s << "ev_num:\n";
+    s << "    subi r8, r8, #1\n";
+    s << "    gfmuls r4, r4, r3\n";
+    s << "    ldrb r9, [r7, r8]\n";
+    s << "    mul  r9, r9, r11\n";
+    s << "    gfadds r4, r4, r9\n";
+    s << "    cmpi r8, #0\n";
+    s << "    bne  ev_num\n";
+    // den = Lambda'(x_inv): Horner in y = x^2 over odd coefficients
+    s << "    gfsqs r10, r3\n";
+    s << "    movi r2, #0\n";
+    s << strprintf("    movi r8, #%u\n", (t + 1) / 2);
+    s << "ev_den:\n";
+    s << "    subi r8, r8, #1\n";
+    s << "    gfmuls r2, r2, r10\n";
+    s << "    lsli r9, r8, #1\n";
+    s << "    addi r9, r9, #1\n";
+    s << "    ldrb r9, [r6, r9]\n";
+    s << "    mul  r9, r9, r11\n";
+    s << "    gfadds r2, r2, r9\n";
+    s << "    cmpi r8, #0\n";
+    s << "    bne  ev_den\n";
+    // e = num * den^-1 — the single-cycle SIMD inverse at work.
+    s << "    gfinvs r2, r2\n";
+    s << "    gfmuls r4, r4, r2\n";
+    // Store up to 4 valid lanes.
+    s << "    la   r9, evals\n";
+    s << "    add  r9, r9, r0\n";
+    s << "    mov  r10, r0\n";
+    s << "st_loop:\n";
+    s << "    cmp  r10, r12\n";
+    s << "    bhs  st_done\n";
+    s << "    strb r4, [r9]\n";
+    s << "    lsri r4, r4, #8\n";
+    s << "    addi r9, r9, #1\n";
+    s << "    addi r10, r10, #1\n";
+    s << "    sub  r2, r10, r0\n";
+    s << "    cmpi r2, #4\n";
+    s << "    bne  st_loop\n";
+    s << "st_done:\n";
+    s << "    addi r0, r0, #4\n";
+    s << "    b    grp_loop\n";
+    s << "grp_done:\n";
+    s << "    halt\n";
+    s << decoderData(field, field.groupOrder(), two_t, false);
+    return s.str();
+}
+
+
+// ---------------------------------------------------------------------
+// Systematic RS encoder
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Generator polynomial g(x) = prod_{j=1..2t} (x + alpha^j). */
+std::vector<GFElem>
+rsGenerator(const GFField &field, unsigned t)
+{
+    std::vector<GFElem> g{1}; // monic, degree grows to 2t
+    for (unsigned j = 1; j <= 2 * t; ++j) {
+        g.push_back(0);
+        GFElem root = field.exp(j);
+        for (size_t i = g.size() - 1; i > 0; --i)
+            g[i] = g[i - 1] ^ field.mul(g[i], root);
+        g[0] = field.mul(g[0], root);
+    }
+    return g; // g[0..2t], g[2t] == 1
+}
+
+std::string
+encoderData(const GFField &field, unsigned t, bool baseline)
+{
+    const unsigned n = field.groupOrder();
+    const unsigned k = n - 2 * t;
+    auto g = rsGenerator(field, t);
+
+    std::ostringstream d;
+    d << ".data\n";
+    d << gfConfigData("cfg", field);
+    d << spaceData("infodata", k);
+    d << spaceData("cwdata", n);
+    d << spaceData("parbuf", 16);
+    std::vector<uint8_t> gbytes;
+    for (unsigned j = 0; j < 2 * t; ++j)
+        gbytes.push_back(static_cast<uint8_t>(g[j]));
+    d << byteTableData("gtab", gbytes);
+    std::vector<uint32_t> gwords(4, 0);
+    for (unsigned j = 0; j < 2 * t; ++j)
+        gwords[j / 4] |= static_cast<uint32_t>(g[j]) << (8 * (j % 4));
+    d << wordTableData("gwords", gwords);
+    if (baseline)
+        d << logDomainTables("gf", field);
+    return d.str();
+}
+
+} // anonymous namespace
+
+std::string
+rsEncodeAsmBaseline(const GFField &field, unsigned t,
+                    BaselineFlavor flavor)
+{
+    GFP_ASSERT(t >= 1 && t <= 8);
+    const unsigned n = field.groupOrder();
+    const unsigned k = n - 2 * t;
+    const unsigned two_t = 2 * t;
+    const unsigned group = field.groupOrder();
+    const bool compiled = flavor == BaselineFlavor::kCompiled;
+
+    std::ostringstream s;
+    s << "; baseline RS encoder: LFSR division by g(x), log-domain\n";
+    s << "    la   r1, infodata\n";
+    s << "    la   r2, parbuf\n";
+    s << "    la   r3, gtab\n";
+    if (!compiled) {
+        s << "    la   r12, gf_log\n";
+        s << "    la   lr, gf_alog\n";
+    }
+    s << strprintf("    movi r0, #%u\n", k);
+    s << "enc_loop:\n";
+    s << "    subi r0, r0, #1\n";
+    // fb = info[i] ^ par[2t-1]
+    s << "    ldrb r4, [r1, r0]\n";
+    s << strprintf("    ldrb r5, [r2, #%u]\n", two_t - 1);
+    s << "    eor  r4, r4, r5\n";
+    // shift-and-accumulate, j = 2t-1 .. 1 then j = 0.
+    s << strprintf("    movi r8, #%u\n", two_t - 1);
+    s << "enc_j:\n";
+    s << "    subi r5, r8, #1\n";
+    s << "    ldrb r6, [r2, r5]\n";  // par[j-1]
+    s << "    ldrb r5, [r3, r8]\n";  // g[j]
+    if (compiled) {
+        s << compiledMulCall("r5", "r4", "r5");
+    } else {
+        s << baselineMulSnippet("r5", "r4", "r5", "r12", "lr", "r9",
+                                "r15", group, "ge");
+    }
+    s << "    eor  r6, r6, r5\n";
+    s << "    strb r6, [r2, r8]\n";
+    s << "    subi r8, r8, #1\n";
+    s << "    cmpi r8, #0\n";
+    s << "    bne  enc_j\n";
+    s << "    ldrb r5, [r3, #0]\n";  // g[0]
+    if (compiled) {
+        s << compiledMulCall("r5", "r4", "r5");
+    } else {
+        s << baselineMulSnippet("r5", "r4", "r5", "r12", "lr", "r9",
+                                "r15", group, "g0");
+    }
+    s << "    strb r5, [r2, #0]\n";
+    s << "    cmpi r0, #0\n";
+    s << "    bne  enc_loop\n";
+    // cwdata = parbuf | infodata
+    s << "    la   r3, cwdata\n";
+    s << "    movi r0, #0\n";
+    s << "cp_par:\n";
+    s << "    ldrb r4, [r2, r0]\n";
+    s << "    strb r4, [r3, r0]\n";
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", two_t);
+    s << "    bne  cp_par\n";
+    s << "    movi r0, #0\n";
+    s << strprintf("    addi r3, r3, #%u\n", two_t);
+    s << "cp_inf:\n";
+    s << "    ldrb r4, [r1, r0]\n";
+    s << "    strb r4, [r3, r0]\n";
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", k);
+    s << "    bne  cp_inf\n";
+    s << "    halt\n";
+    if (compiled)
+        s << gfHelperRoutines(group);
+    s << encoderData(field, t, true);
+    return s.str();
+}
+
+std::string
+rsEncodeAsmGfcore(const GFField &field, unsigned t)
+{
+    GFP_ASSERT(t >= 1 && t <= 8 && (2 * t) % 4 == 0,
+               "GF-core encoder needs 2t to be a multiple of 4");
+    const unsigned n = field.groupOrder();
+    const unsigned k = n - 2 * t;
+    const unsigned words = 2 * t / 4;
+
+    std::ostringstream s;
+    s << "; GF-core RS encoder: parity register in SIMD words, the\n";
+    s << "; whole g(x) multiply-accumulate vectorized\n";
+    s << "    gfcfg cfg\n";
+    s << "    la   r1, infodata\n";
+    s << "    la   r2, gwords\n";
+    for (unsigned w = 0; w < words; ++w)
+        s << strprintf("    ldr  r%u, [r2, #%u]\n", 8 + w, 4 * w);
+    s << "    li   r12, #0x01010101\n";
+    for (unsigned w = 0; w < words; ++w)
+        s << strprintf("    movi r%u, #0\n", 4 + w); // parity words
+    s << strprintf("    movi r0, #%u\n", k);
+    s << "enc_loop:\n";
+    s << "    subi r0, r0, #1\n";
+    // fb = info[i] ^ par[2t-1]
+    s << "    ldrb r2, [r1, r0]\n";
+    s << strprintf("    lsri r3, r%u, #24\n", 4 + words - 1);
+    s << "    eor  r2, r2, r3\n";
+    s << "    mul  r2, r2, r12\n";     // splat(fb)
+    // shift the parity register up one byte across words
+    for (unsigned w = words; w-- > 1;) {
+        s << strprintf("    lsli r%u, r%u, #8\n", 4 + w, 4 + w);
+        s << strprintf("    lsri r3, r%u, #24\n", 4 + w - 1);
+        s << strprintf("    orr  r%u, r%u, r3\n", 4 + w, 4 + w);
+    }
+    s << "    lsli r4, r4, #8\n";
+    // par ^= fb (x) g, four coefficients per gfmuls
+    for (unsigned w = 0; w < words; ++w) {
+        s << strprintf("    gfmuls r3, r2, r%u\n", 8 + w);
+        s << strprintf("    eor  r%u, r%u, r3\n", 4 + w, 4 + w);
+    }
+    s << "    cmpi r0, #0\n";
+    s << "    bne  enc_loop\n";
+    // cwdata = parity | info
+    s << "    la   r2, cwdata\n";
+    for (unsigned w = 0; w < words; ++w)
+        s << strprintf("    str  r%u, [r2, #%u]\n", 4 + w, 4 * w);
+    s << "    movi r0, #0\n";
+    s << strprintf("    addi r2, r2, #%u\n", 2 * t);
+    s << "cp_inf:\n";
+    s << "    ldrb r4, [r1, r0]\n";
+    s << "    strb r4, [r2, r0]\n";
+    s << "    addi r0, r0, #1\n";
+    s << strprintf("    cmpi r0, #%u\n", k);
+    s << "    bne  cp_inf\n";
+    s << "    halt\n";
+    s << encoderData(field, t, false);
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Lane-width ablation for the syndrome kernel
+// ---------------------------------------------------------------------
+
+std::string
+syndromeAsmGfcoreLanes(const GFField &field, unsigned n, unsigned two_t,
+                       unsigned lanes)
+{
+    GFP_ASSERT(lanes == 1 || lanes == 2 || lanes == 4);
+    GFP_ASSERT(two_t >= 1 && two_t <= 16 && n <= field.groupOrder());
+
+    std::ostringstream s;
+    s << strprintf("; syndrome kernel restricted to %u live SIMD "
+                   "lane(s)\n", lanes);
+    s << "    gfcfg cfg\n";
+    s << "    la   r1, rxdata\n";
+    s << "    la   r2, synd\n";
+    s << "    li   r4, #0x01010101\n";
+    for (unsigned base = 0; base < two_t; base += lanes) {
+        unsigned live = std::min(lanes, two_t - base);
+        uint32_t mult = 0;
+        for (unsigned l = 0; l < live; ++l)
+            mult = withLane(mult, l,
+                            static_cast<uint8_t>(field.exp(base + 1 + l)));
+        std::string tag = strprintf("g%u", base);
+        s << strprintf("    li   r6, #0x%x\n", mult);
+        s << "    movi r7, #0\n";
+        s << strprintf("    movi r8, #%u\n", n);
+        s << strprintf("in_%s:\n", tag.c_str());
+        s << "    subi r8, r8, #1\n";
+        s << "    gfmuls r7, r7, r6\n";
+        s << "    ldrb r9, [r1, r8]\n";
+        s << "    mul  r9, r9, r4\n";
+        s << "    gfadds r7, r7, r9\n";
+        s << "    cmpi r8, #0\n";
+        s << strprintf("    bne  in_%s\n", tag.c_str());
+        for (unsigned l = 0; l < live; ++l) {
+            s << strprintf("    strb r7, [r2, #%u]\n", base + l);
+            if (l + 1 < live)
+                s << "    lsri r7, r7, #8\n";
+        }
+    }
+    s << "    halt\n";
+    s << decoderData(field, n, two_t, false);
+    return s.str();
+}
+
+
+} // namespace gfp

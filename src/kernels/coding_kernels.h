@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Assembly kernel generators for the RS/BCH decoder datapath: syndrome
+ * calculation, Berlekamp-Massey, Chien search, and Forney's algorithm
+ * (paper Table 5 / Fig. 9).
+ *
+ * Each kernel comes in a baseline variant (log-domain table lookups on
+ * the M0+-class core, in one of two fidelity flavors — see
+ * BaselineFlavor) and a GF-processor variant (Table 1 instructions).
+ * Data-layout conventions (shared by both so runner code is identical):
+ *
+ *   rxdata  n bytes      received word (one symbol per byte; for binary
+ *                        BCH the symbols are 0/1)
+ *   synd    2t bytes     computed syndromes S_1..S_2t (syndrome kernel
+ *                        output, BMA/Forney input)
+ *   lambda  12 bytes     error-locator coefficients, zero padded
+ *   llen    1 word       L = deg Lambda (BMA output)
+ *   locs    12 bytes     error locations (Chien output), zero padded
+ *   nloc    1 word       number of locations found
+ *   evals   12 bytes     error values (Forney output)
+ */
+
+#ifndef GFP_KERNELS_CODING_KERNELS_H
+#define GFP_KERNELS_CODING_KERNELS_H
+
+#include <string>
+
+#include "gf/field.h"
+#include "kernels/kernellib.h"
+
+namespace gfp {
+
+/** Syndrome computation: rxdata -> synd. */
+std::string syndromeAsmBaseline(
+    const GFField &field, unsigned n, unsigned two_t,
+    BaselineFlavor flavor = BaselineFlavor::kCompiled);
+std::string syndromeAsmGfcore(const GFField &field, unsigned n,
+                              unsigned two_t);
+
+/** Berlekamp-Massey: synd -> lambda, llen. */
+std::string bmaAsmBaseline(
+    const GFField &field, unsigned two_t,
+    BaselineFlavor flavor = BaselineFlavor::kCompiled);
+std::string bmaAsmGfcore(const GFField &field, unsigned two_t);
+
+/** Chien search: lambda -> locs, nloc. */
+std::string chienAsmBaseline(
+    const GFField &field, unsigned n, unsigned t,
+    BaselineFlavor flavor = BaselineFlavor::kCompiled);
+std::string chienAsmGfcore(const GFField &field, unsigned n, unsigned t);
+
+/** Forney: synd + lambda + locs/nloc -> evals. */
+std::string forneyAsmBaseline(
+    const GFField &field, unsigned two_t,
+    BaselineFlavor flavor = BaselineFlavor::kCompiled);
+std::string forneyAsmGfcore(const GFField &field, unsigned two_t);
+
+/**
+ * Systematic RS encoder (LFSR division by the generator polynomial):
+ * info (k bytes at `infodata`) -> codeword (n bytes at `cwdata`).
+ * The paper notes encoding "is also feasible with the proposed
+ * architecture"; the GF-core variant vectorizes the parity-register
+ * update four coefficients at a time.
+ */
+std::string rsEncodeAsmBaseline(
+    const GFField &field, unsigned t,
+    BaselineFlavor flavor = BaselineFlavor::kCompiled);
+std::string rsEncodeAsmGfcore(const GFField &field, unsigned t);
+
+/**
+ * Syndrome kernel with a configurable number of live SIMD lanes
+ * (1, 2, or 4) — the ablation behind the paper's "four-way is enough"
+ * design choice (Sec. 2.4.3).  lanes == 4 is syndromeAsmGfcore.
+ */
+std::string syndromeAsmGfcoreLanes(const GFField &field, unsigned n,
+                                   unsigned two_t, unsigned lanes);
+
+} // namespace gfp
+
+#endif // GFP_KERNELS_CODING_KERNELS_H

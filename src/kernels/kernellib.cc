@@ -1,0 +1,264 @@
+#include "kernels/kernellib.h"
+
+#include <sstream>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "gfau/config_reg.h"
+
+namespace gfp {
+
+std::string
+gfConfigData(const std::string &label, const GFField &field)
+{
+    return gfConfigDataRaw(label,
+                           GFConfig::derive(field.m(), field.poly()));
+}
+
+std::string
+gfConfigDataRaw(const std::string &label, const GFConfig &cfg)
+{
+    uint64_t blob = cfg.pack();
+    return strprintf(".align 8\n%s:\n    .word 0x%x, 0x%x\n", label.c_str(),
+                     static_cast<uint32_t>(blob),
+                     static_cast<uint32_t>(blob >> 32));
+}
+
+std::string
+byteTableData(const std::string &label, const std::vector<uint8_t> &bytes)
+{
+    std::ostringstream out;
+    out << label << ":\n";
+    for (size_t i = 0; i < bytes.size(); i += 16) {
+        out << "    .byte ";
+        for (size_t j = i; j < std::min(i + 16, bytes.size()); ++j) {
+            if (j > i)
+                out << ", ";
+            out << static_cast<unsigned>(bytes[j]);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+wordTableData(const std::string &label, const std::vector<uint32_t> &words)
+{
+    std::ostringstream out;
+    out << ".align 4\n" << label << ":\n";
+    for (size_t i = 0; i < words.size(); i += 4) {
+        out << "    .word ";
+        for (size_t j = i; j < std::min(i + 4, words.size()); ++j) {
+            if (j > i)
+                out << ", ";
+            out << strprintf("0x%x", words[j]);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+spaceData(const std::string &label, size_t bytes)
+{
+    return strprintf("%s:\n    .space %zu\n", label.c_str(), bytes);
+}
+
+std::string
+logDomainTables(const std::string &prefix, const GFField &field)
+{
+    std::vector<uint8_t> log_bytes(field.order(), 0);
+    for (uint32_t v = 1; v < field.order(); ++v)
+        log_bytes[v] = static_cast<uint8_t>(field.log(v));
+
+    std::vector<uint8_t> alog_bytes(field.groupOrder());
+    for (uint32_t i = 0; i < field.groupOrder(); ++i)
+        alog_bytes[i] = static_cast<uint8_t>(field.exp(i));
+
+    return byteTableData(prefix + "_log", log_bytes) +
+           byteTableData(prefix + "_alog", alog_bytes);
+}
+
+std::string
+baselineMulAccSnippet(const std::string &acc, unsigned log_const,
+                      const std::string &rlog, const std::string &ralog,
+                      const std::string &scratch, unsigned group,
+                      const std::string &tag)
+{
+    // Table 6, left column:
+    //   if (sum != 0) {
+    //     idx = log[sum] + i;  if (idx >= N) idx -= N;  sum = alog[idx];
+    //   }
+    // (a zero accumulator stays zero through the multiply)
+    std::ostringstream out;
+    out << strprintf("    cmpi %s, #0\n", acc.c_str());
+    out << strprintf("    beq  mz_%s\n", tag.c_str());
+    out << strprintf("    ldrb %s, [%s, %s]\n", scratch.c_str(),
+                     rlog.c_str(), acc.c_str());
+    out << strprintf("    addi %s, %s, #%u\n", scratch.c_str(),
+                     scratch.c_str(), log_const);
+    out << strprintf("    cmpi %s, #%u\n", scratch.c_str(), group);
+    out << strprintf("    blo  mw_%s\n", tag.c_str());
+    out << strprintf("    subi %s, %s, #%u\n", scratch.c_str(),
+                     scratch.c_str(), group);
+    out << strprintf("mw_%s:\n", tag.c_str());
+    out << strprintf("    ldrb %s, [%s, %s]\n", acc.c_str(), ralog.c_str(),
+                     scratch.c_str());
+    out << strprintf("mz_%s:\n", tag.c_str());
+    return out.str();
+}
+
+std::string
+baselineMulSnippet(const std::string &rd, const std::string &ra,
+                   const std::string &rb, const std::string &rlog,
+                   const std::string &ralog, const std::string &s1,
+                   const std::string &s2, unsigned group,
+                   const std::string &tag)
+{
+    // rd = ra (x) rb via log/antilog with zero short-circuits and the
+    // conditional-subtract modulo.
+    std::ostringstream out;
+    out << strprintf("    cmpi %s, #0\n", ra.c_str());
+    out << strprintf("    beq  vz_%s\n", tag.c_str());
+    out << strprintf("    cmpi %s, #0\n", rb.c_str());
+    out << strprintf("    beq  vz_%s\n", tag.c_str());
+    out << strprintf("    ldrb %s, [%s, %s]\n", s1.c_str(), rlog.c_str(),
+                     ra.c_str());
+    out << strprintf("    ldrb %s, [%s, %s]\n", s2.c_str(), rlog.c_str(),
+                     rb.c_str());
+    out << strprintf("    add  %s, %s, %s\n", s1.c_str(), s1.c_str(),
+                     s2.c_str());
+    out << strprintf("    cmpi %s, #%u\n", s1.c_str(), group);
+    out << strprintf("    blo  vw_%s\n", tag.c_str());
+    out << strprintf("    subi %s, %s, #%u\n", s1.c_str(), s1.c_str(),
+                     group);
+    out << strprintf("vw_%s:\n", tag.c_str());
+    out << strprintf("    ldrb %s, [%s, %s]\n", rd.c_str(), ralog.c_str(),
+                     s1.c_str());
+    out << strprintf("    b    vd_%s\n", tag.c_str());
+    out << strprintf("vz_%s:\n", tag.c_str());
+    out << strprintf("    movi %s, #0\n", rd.c_str());
+    out << strprintf("vd_%s:\n", tag.c_str());
+    return out.str();
+}
+
+namespace {
+
+/** Unrolled generic modulo emulation: r9 %= group; clobbers r10.
+ *  Five compare-subtract-shift steps, the cost shape of a runtime
+ *  division helper on a divider-less core. */
+std::string
+moduloBlocks(unsigned group, const std::string &prefix)
+{
+    std::ostringstream out;
+    for (int sh = 4; sh >= 0; --sh) {
+        if (sh == 4)
+            out << strprintf("    li   r10, #%u\n", group << 4);
+        else
+            out << "    lsri r10, r10, #1\n";
+        out << "    cmp  r9, r10\n";
+        out << strprintf("    blo  %s%d\n", prefix.c_str(), sh);
+        out << "    sub  r9, r9, r10\n";
+        out << strprintf("%s%d:\n", prefix.c_str(), sh);
+    }
+    return out.str();
+}
+
+} // anonymous namespace
+
+std::string
+gfHelperRoutines(unsigned group)
+{
+    std::ostringstream s;
+    s << "; log-domain GF multiply/divide helpers (compiled-code shape:\n";
+    s << "; literal-pool address loads, generic software modulo)\n";
+    s << "gfmul:\n";
+    s << "    cmpi r9, #0\n";
+    s << "    beq  gfmul_z\n";
+    s << "    cmpi r10, #0\n";
+    s << "    beq  gfmul_z\n";
+    s << "    la   r15, gf_log\n";
+    s << "    ldrb r9, [r15, r9]\n";
+    s << "    ldrb r10, [r15, r10]\n";
+    s << "    add  r9, r9, r10\n";
+    s << moduloBlocks(group, "gm");
+    s << "    la   r15, gf_alog\n";
+    s << "    ldrb r9, [r15, r9]\n";
+    s << "    ret\n";
+    s << "gfmul_z:\n";
+    s << "    movi r9, #0\n";
+    s << "    ret\n";
+    s << "gfdiv:\n";
+    s << "    cmpi r9, #0\n";
+    s << "    beq  gfdiv_z\n";
+    s << "    la   r15, gf_log\n";
+    s << "    ldrb r9, [r15, r9]\n";
+    s << "    ldrb r10, [r15, r10]\n";
+    s << strprintf("    addi r9, r9, #%u\n", group);
+    s << "    sub  r9, r9, r10\n";
+    s << moduloBlocks(group, "gd");
+    s << "    la   r15, gf_alog\n";
+    s << "    ldrb r9, [r15, r9]\n";
+    s << "    ret\n";
+    s << "gfdiv_z:\n";
+    s << "    movi r9, #0\n";
+    s << "    ret\n";
+    return s.str();
+}
+
+std::string
+compiledMulCall(const std::string &rd, const std::string &ra,
+                const std::string &rb)
+{
+    std::ostringstream s;
+    GFP_ASSERT(ra != "r10" || rb != "r9", "operand swap not supported");
+    if (ra != "r9")
+        s << strprintf("    mov  r9, %s\n", ra.c_str());
+    if (rb != "r10")
+        s << strprintf("    mov  r10, %s\n", rb.c_str());
+    s << "    bl   gfmul\n";
+    if (rd != "r9")
+        s << strprintf("    mov  %s, r9\n", rd.c_str());
+    return s.str();
+}
+
+std::string
+compiledMulConstCall(const std::string &acc, uint8_t const_value)
+{
+    std::ostringstream s;
+    if (acc != "r9")
+        s << strprintf("    mov  r9, %s\n", acc.c_str());
+    s << strprintf("    movi r10, #%u\n", const_value);
+    s << "    bl   gfmul\n";
+    if (acc != "r9")
+        s << strprintf("    mov  %s, r9\n", acc.c_str());
+    return s.str();
+}
+
+std::string
+compiledDivCall(const std::string &rd, const std::string &ra,
+                const std::string &rb)
+{
+    std::ostringstream s;
+    GFP_ASSERT(ra != "r10" || rb != "r9", "operand swap not supported");
+    if (ra != "r9")
+        s << strprintf("    mov  r9, %s\n", ra.c_str());
+    if (rb != "r10")
+        s << strprintf("    mov  r10, %s\n", rb.c_str());
+    s << "    bl   gfdiv\n";
+    if (rd != "r9")
+        s << strprintf("    mov  %s, r9\n", rd.c_str());
+    return s.str();
+}
+
+uint32_t
+packedAlphaWord(const GFField &field, unsigned first_exp)
+{
+    uint32_t w = 0;
+    for (unsigned l = 0; l < 4; ++l)
+        w = withLane(w, l, static_cast<uint8_t>(field.exp(first_exp + l)));
+    return w;
+}
+
+} // namespace gfp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for generating assembly kernels.
+ *
+ * Kernels come in pairs, mirroring the paper's methodology (Sec. 3.3.1):
+ * a *baseline* variant using the log-domain table-lookup idiom of
+ * Table 6 (what an optimized Cortex M0+ implementation does), and a
+ * *GF-core* variant using the Table 1 GF instructions.  Control
+ * structure is kept as similar as possible so the measured delta is the
+ * GF arithmetic itself.
+ *
+ * These helpers emit the common data blocks: gfConfig blobs, log /
+ * antilog tables, and byte/word arrays.
+ */
+
+#ifndef GFP_KERNELS_KERNELLIB_H
+#define GFP_KERNELS_KERNELLIB_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf/field.h"
+#include "gfau/config_reg.h"
+
+namespace gfp {
+
+/** Emit ".align 8 / <label>: .word lo, hi" holding a gfConfig blob. */
+std::string gfConfigData(const std::string &label, const GFField &field);
+
+/** Same, for an explicit (possibly non-field, e.g. circulant-ring)
+ *  configuration. */
+std::string gfConfigDataRaw(const std::string &label,
+                            const GFConfig &cfg);
+
+/** Emit "<label>:" followed by .byte lines (16 values per line). */
+std::string byteTableData(const std::string &label,
+                          const std::vector<uint8_t> &bytes);
+
+/** Emit "<label>:" followed by .word lines (4 values per line). */
+std::string wordTableData(const std::string &label,
+                          const std::vector<uint32_t> &words);
+
+/** Emit "<label>: .space <n>" reserving zeroed bytes. */
+std::string spaceData(const std::string &label, size_t bytes);
+
+/**
+ * Log/antilog tables for the baseline's log-domain multiply
+ * (Table 6 left column):
+ *  - "<prefix>_log":  2^m bytes, log[v] for v >= 1 (log[0] unused = 0)
+ *  - "<prefix>_alog": 2^m - 1 bytes, alog[i] = g^i
+ */
+std::string logDomainTables(const std::string &prefix, const GFField &field);
+
+/**
+ * Baseline log-domain multiply-accumulate snippet:
+ * computes acc = (acc (x) constant alpha^log_const) ^ loaded_byte,
+ * the exact Table 6 inner-loop body.  Registers are caller-chosen:
+ *
+ * @param acc        register holding the running value (updated)
+ * @param log_const  log of the constant multiplicand
+ * @param rlog       register holding the log-table base
+ * @param ralog      register holding the antilog-table base
+ * @param scratch    scratch register
+ * @param group      2^m - 1 (the modulo)
+ * @param tag        unique label suffix
+ */
+std::string baselineMulAccSnippet(const std::string &acc,
+                                  unsigned log_const,
+                                  const std::string &rlog,
+                                  const std::string &ralog,
+                                  const std::string &scratch,
+                                  unsigned group, const std::string &tag);
+
+/**
+ * Baseline log-domain multiply of two *variables*:
+ * rd = ra (x) rb (any of the registers may alias).  Uses the zero checks
+ * and conditional-subtract modulo of the optimized software idiom.
+ */
+std::string baselineMulSnippet(const std::string &rd, const std::string &ra,
+                               const std::string &rb,
+                               const std::string &rlog,
+                               const std::string &ralog,
+                               const std::string &s1, const std::string &s2,
+                               unsigned group, const std::string &tag);
+
+/** Pack four consecutive field elements exp(j)..exp(j+3) into a word. */
+uint32_t packedAlphaWord(const GFField &field, unsigned first_exp);
+
+/**
+ * Two fidelity levels for the baseline (Cortex M0+-class) kernels.
+ *
+ * kCompiled mirrors what the paper actually measured: Keil-compiled C
+ * where every GF multiply funnels through a log-domain helper whose
+ * modulo is a generic software division (the M0+ has no divider, so
+ * `% field_size` becomes a runtime-library call).  kHandOptimized is a
+ * stronger baseline: multiplies inlined, modulo by one conditional
+ * subtract.  Benchmarks report both; the paper's speedups correspond
+ * to kCompiled.
+ */
+enum class BaselineFlavor { kHandOptimized, kCompiled };
+
+/**
+ * The gfmul/gfdiv helper routines for kCompiled baselines.
+ * Contract: operands in r9/r10, result in r9; r10 and r15 clobbered;
+ * called with bl (uses lr).  Zero operands give a zero result.
+ */
+std::string gfHelperRoutines(unsigned group);
+
+/** rd = ra (x) rb via `bl gfmul` (rd/ra/rb outside r9/r10/r15/lr, or
+ *  equal to r9/r10 in the natural positions). */
+std::string compiledMulCall(const std::string &rd, const std::string &ra,
+                            const std::string &rb);
+
+/** acc = acc (x) constant via `bl gfmul`. */
+std::string compiledMulConstCall(const std::string &acc,
+                                 uint8_t const_value);
+
+/** rd = ra / rb via `bl gfdiv`. */
+std::string compiledDivCall(const std::string &rd, const std::string &ra,
+                            const std::string &rb);
+
+} // namespace gfp
+
+#endif // GFP_KERNELS_KERNELLIB_H

@@ -1,0 +1,924 @@
+#include "kernels/wide_kernels.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "kernels/kernellib.h"
+
+namespace gfp {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared data and reduction
+// ---------------------------------------------------------------------
+
+/** Field-element and scratch buffers shared by the wide kernels. */
+std::string
+wideData(bool karatsuba)
+{
+    std::ostringstream d;
+    d << ".data\n.align 8\n";
+    for (const char *buf : {"opa", "opb", "result", "qx", "qy", "px",
+                            "py", "pz", "t1", "t2", "t3", "t4", "t5",
+                            "t6", "resx", "resy", "iv_a", "iv_t", "iv_u"})
+        d << spaceData(buf, 32);
+    d << spaceData("prodbuf", 64);
+    d << spaceData("hbuf", 32);
+    d << spaceData("cbuf", 40);
+    d << spaceData("kwords", 16);
+    d << spaceData("kbits", 4);
+    d << spaceData("smi", 4);
+    d << spaceData("iv_cnt", 4);
+    d << spaceData("iv_lr", 8);
+    d << spaceData("pd_lr", 4);
+    d << spaceData("pa_lr", 4);
+    if (karatsuba) {
+        d << spaceData("kfsave", 16);
+        d << spaceData("kfta", 16);
+        d << spaceData("kftb", 16);
+        d << spaceData("kfp0", 32);
+        d << spaceData("kfp1", 32);
+        d << spaceData("kfp2", 32);
+    }
+    return d.str();
+}
+
+/**
+ * Sparse reduction of the 466-bit product in prodbuf modulo
+ * x^233 + x^74 + 1, result to [r2].  233 = 7*32 + 9, 74 = 2*32 + 10.
+ * Uses r0, r1, r3..r10; preserves r2 and lr.  The label arguments let
+ * the direct-product kernel expose Table 7's phase boundaries.
+ */
+std::string
+reduce233Snippet(const std::string &tag)
+{
+    // Sparse reduction of the 466-bit product in prodbuf modulo
+    // x^233 + x^74 + 1, result to [r2].  233 = 7*32 + 9, 74 = 2*32+10.
+    // The 232-bit high part H lives entirely in r4..r11; the short
+    // second fold H2 in r15/r1/r12.  Preserves r2 and lr.
+    std::ostringstream s;
+    auto H = [](unsigned i) { return strprintf("r%u", 4 + i); };
+    const char *h2[3] = {"r15", "r1", "r12"};
+
+    // Phase: rearrange — H[i] = (c[7+i] >> 9) | (c[8+i] << 23).
+    s << tag << "_rearrange:\n";
+    s << "    la   r0, prodbuf\n";
+    s << "    ldr  r3, [r0, #28]\n"; // rolling c[7+i]
+    for (unsigned i = 0; i < 8; ++i) {
+        s << strprintf("    ldr  r1, [r0, #%u]\n", 32 + 4 * i);
+        s << strprintf("    lsri %s, r3, #9\n", H(i).c_str());
+        s << "    lsli r12, r1, #23\n";
+        s << strprintf("    orr  %s, %s, r12\n", H(i).c_str(),
+                       H(i).c_str());
+        s << "    mov  r3, r1\n";
+    }
+
+    // Phase: polynomial reduction.
+    // cp7..cp9 (the only c' words at/above bit 224) => H2, then one
+    // streaming pass emits result[i] = L[i]^H[i]^(H<<74)[i]^H2 terms.
+    s << tag << "_reduce:\n";
+    s << "    ldr  r3, [r0, #28]\n";
+    s << "    andi r3, r3, #0x1ff\n";          // L7
+    s << strprintf("    eor  r3, r3, %s\n", H(7).c_str());
+    s << strprintf("    lsli r1, %s, #10\n", H(5).c_str());
+    s << "    eor  r3, r3, r1\n";
+    s << strprintf("    lsri r1, %s, #22\n", H(4).c_str());
+    s << "    eor  r3, r3, r1\n";               // cp7 in r3
+    s << strprintf("    lsli r1, %s, #10\n", H(6).c_str());
+    s << strprintf("    lsri r12, %s, #22\n", H(5).c_str());
+    s << "    orr  r1, r1, r12\n";              // cp8 in r1
+    s << strprintf("    lsli r12, %s, #10\n", H(7).c_str());
+    s << strprintf("    lsri r13, %s, #22\n", H(6).c_str());
+    s << "    orr  r12, r12, r13\n";            // cp9 in r12
+    // H2 = cp' >> 233 over cp7..cp9.
+    s << "    lsri r15, r3, #9\n";
+    s << "    lsli r13, r1, #23\n";
+    s << "    orr  r15, r15, r13\n";            // H2_0
+    s << "    lsri r1, r1, #9\n";
+    s << "    lsli r13, r12, #23\n";
+    s << "    orr  r1, r1, r13\n";              // H2_1
+    s << "    lsri r12, r12, #9\n";             // H2_2
+    // result[7] = cp7 & 0x1ff  ((H2<<74) only reaches words 2..5).
+    s << "    andi r3, r3, #0x1ff\n";
+    s << "    str  r3, [r2, #28]\n";
+    // words 0..6, v in r13, shift scratch r3.
+    for (unsigned i = 0; i < 7; ++i) {
+        s << strprintf("    ldr  r13, [r0, #%u]\n", 4 * i);
+        s << strprintf("    eor  r13, r13, %s\n", H(i).c_str());
+        if (i >= 2) {
+            s << strprintf("    lsli r3, %s, #10\n", H(i - 2).c_str());
+            s << "    eor  r13, r13, r3\n";
+        }
+        if (i >= 3) {
+            s << strprintf("    lsri r3, %s, #22\n", H(i - 3).c_str());
+            s << "    eor  r13, r13, r3\n";
+        }
+        if (i < 3)
+            s << strprintf("    eor  r13, r13, %s\n", h2[i]);
+        if (i >= 2 && i - 2 <= 2) { // (H2 << 74): H2[i-2] << 10
+            s << strprintf("    lsli r3, %s, #10\n", h2[i - 2]);
+            s << "    eor  r13, r13, r3\n";
+        }
+        if (i >= 3 && i - 3 <= 2) { // (H2 << 74): H2[i-3] >> 22
+            s << strprintf("    lsri r3, %s, #22\n", h2[i - 3]);
+            s << "    eor  r13, r13, r3\n";
+        }
+        s << strprintf("    str  r13, [r2, #%u]\n", 4 * i);
+    }
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Field-operation subroutines
+// ---------------------------------------------------------------------
+
+/**
+ * fmul: [r2] = [r0] (x) [r1] via the direct product.  A is pinned in
+ * r4..r11; carries ping-pong between r12 and r15, reproducing the
+ * Table 7 operation counts exactly.  Leaf routine (lr preserved).
+ */
+std::string
+fmulRoutine()
+{
+    std::ostringstream s;
+    s << "fmul:\n";
+    for (unsigned j = 0; j < 8; ++j)
+        s << strprintf("    ldr  r%u, [r0, #%u]\n", 4 + j, 4 * j);
+    s << "    la   r0, prodbuf\n";
+    for (unsigned i = 0; i < 8; ++i) {
+        s << strprintf("    ldr  r3, [r1, #%u]\n", 4 * i);
+        for (unsigned j = 0; j < 8; ++j) {
+            const char *hi = (j % 2 == 0) ? "r15" : "r12";
+            const char *consumed = (j % 2 == 0) ? "r12" : "r15";
+            s << strprintf("    gf32mul %s, r13, r%u, r3\n", hi, 4 + j);
+            if (j > 0)
+                s << strprintf("    eor  r13, r13, %s\n", consumed);
+            if (i > 0) {
+                s << strprintf("    ldr  %s, [r0, #%u]\n", consumed,
+                               4 * (i + j));
+                s << strprintf("    eor  r13, r13, %s\n", consumed);
+            }
+            s << strprintf("    str  r13, [r0, #%u]\n", 4 * (i + j));
+        }
+        if (i < 7)
+            s << strprintf("    str  r12, [r0, #%u]\n", 4 * (i + 8));
+    }
+    s << reduce233Snippet("fm");
+    s << "    ret\n";
+    return s.str();
+}
+
+/**
+ * fsqr: [r2] = [r0]^2 — 8 partial products with the high half of the
+ * product and the rearranged H kept entirely in registers (the paper's
+ * "interleave the full partial product operations and then rearrange
+ * results together", Sec. 3.3.4).  c15 is identically zero (the square
+ * of a 233-bit element has degree <= 464) and is elided.  Leaf.
+ */
+std::string
+fsqrRoutine()
+{
+    std::ostringstream s;
+    s << "fsqr:\n";
+    // Low half: c0..c6 to prodbuf, c7 kept in r12.
+    s << "    la   r1, prodbuf\n";
+    for (unsigned i = 0; i < 4; ++i) {
+        s << strprintf("    ldr  r3, [r0, #%u]\n", 4 * i);
+        if (i < 3) {
+            s << "    gf32mul r5, r4, r3, r3\n";
+            s << strprintf("    str  r4, [r1, #%u]\n", 8 * i);
+            s << strprintf("    str  r5, [r1, #%u]\n", 8 * i + 4);
+        } else {
+            s << "    gf32mul r12, r4, r3, r3\n"; // c7 stays in r12
+            s << strprintf("    str  r4, [r1, #%u]\n", 8 * i);
+        }
+    }
+    // High half: c8..c14 in r4..r10 (c15 == 0).
+    s << "    ldr  r3, [r0, #16]\n";
+    s << "    gf32mul r5, r4, r3, r3\n";   // c8, c9
+    s << "    ldr  r3, [r0, #20]\n";
+    s << "    gf32mul r7, r6, r3, r3\n";   // c10, c11
+    s << "    ldr  r3, [r0, #24]\n";
+    s << "    gf32mul r9, r8, r3, r3\n";   // c12, c13
+    s << "    ldr  r3, [r0, #28]\n";
+    s << "    gf32mul r11, r10, r3, r3\n"; // c14 (c15 in r11: zero)
+    // L7 before c7 is consumed.
+    s << "    andi r11, r12, #0x1ff\n";
+    // H[i] = (c[7+i] >> 9) | (c[8+i] << 23), built in place:
+    // H0->r12, H1->r4, ..., H6->r9, H7 = c14 >> 9 -> r10.
+    const char *c_reg[8] = {"r12", "r4", "r5", "r6", "r7", "r8", "r9",
+                            "r10"};
+    for (unsigned i = 0; i < 7; ++i) {
+        s << strprintf("    lsri %s, %s, #9\n", c_reg[i], c_reg[i]);
+        s << strprintf("    lsli r3, %s, #23\n", c_reg[i + 1]);
+        s << strprintf("    orr  %s, %s, r3\n", c_reg[i], c_reg[i]);
+    }
+    s << "    lsri r10, r10, #9\n";
+    // H map for the fold: H[0..7] = r12,r4,r5,r6,r7,r8,r9,r10.
+    const char *H[8] = {"r12", "r4", "r5", "r6", "r7", "r8", "r9",
+                        "r10"};
+    // cp7 = L7 ^ H7 ^ (H5 << 10) ^ (H4 >> 22)   -> r3
+    s << strprintf("    eor  r3, r11, %s\n", H[7]);
+    s << strprintf("    lsli r13, %s, #10\n", H[5]);
+    s << "    eor  r3, r3, r13\n";
+    s << strprintf("    lsri r13, %s, #22\n", H[4]);
+    s << "    eor  r3, r3, r13\n";
+    // cp8 = (H6 << 10) | (H5 >> 22)             -> r13
+    s << strprintf("    lsli r13, %s, #10\n", H[6]);
+    s << strprintf("    lsri r15, %s, #22\n", H[5]);
+    s << "    orr  r13, r13, r15\n";
+    // cp9 = (H7 << 10) | (H6 >> 22)             -> r11
+    s << strprintf("    lsli r11, %s, #10\n", H[7]);
+    s << strprintf("    lsri r15, %s, #22\n", H[6]);
+    s << "    orr  r11, r11, r15\n";
+    // H2_0 -> r15, H2_1 -> r13, H2_2 -> r11
+    s << "    lsri r15, r3, #9\n";
+    s << "    lsli r1, r13, #23\n";
+    s << "    orr  r15, r15, r1\n";
+    s << "    lsri r13, r13, #9\n";
+    s << "    lsli r1, r11, #23\n";
+    s << "    orr  r13, r13, r1\n";
+    s << "    lsri r11, r11, #9\n";
+    const char *h2[3] = {"r15", "r13", "r11"};
+    // result[7] = cp7 & 0x1ff
+    s << "    andi r3, r3, #0x1ff\n";
+    s << "    str  r3, [r2, #28]\n";
+    // words 0..6: v in r0 (operand pointer is dead), scratch r3.
+    s << "    la   r1, prodbuf\n";
+    for (unsigned i = 0; i < 7; ++i) {
+        s << strprintf("    ldr  r0, [r1, #%u]\n", 4 * i);
+        s << strprintf("    eor  r0, r0, %s\n", H[i]);
+        if (i >= 2) {
+            s << strprintf("    lsli r3, %s, #10\n", H[i - 2]);
+            s << "    eor  r0, r0, r3\n";
+        }
+        if (i >= 3) {
+            s << strprintf("    lsri r3, %s, #22\n", H[i - 3]);
+            s << "    eor  r0, r0, r3\n";
+        }
+        if (i < 3)
+            s << strprintf("    eor  r0, r0, %s\n", h2[i]);
+        if (i >= 2 && i - 2 <= 2) {
+            s << strprintf("    lsli r3, %s, #10\n", h2[i - 2]);
+            s << "    eor  r0, r0, r3\n";
+        }
+        if (i >= 3 && i - 3 <= 2) {
+            s << strprintf("    lsri r3, %s, #22\n", h2[i - 3]);
+            s << "    eor  r0, r0, r3\n";
+        }
+        s << strprintf("    str  r0, [r2, #%u]\n", 4 * i);
+    }
+    s << "    ret\n";
+    return s.str();
+}
+
+/** fadd: [r2] = [r0] ^ [r1].  Leaf. */
+std::string
+faddRoutine()
+{
+    std::ostringstream s;
+    s << "fadd:\n";
+    for (unsigned i = 0; i < 8; ++i) {
+        s << strprintf("    ldr  r3, [r0, #%u]\n", 4 * i);
+        s << strprintf("    ldr  r4, [r1, #%u]\n", 4 * i);
+        s << "    eor  r3, r3, r4\n";
+        s << strprintf("    str  r3, [r2, #%u]\n", 4 * i);
+    }
+    s << "    ret\n";
+    return s.str();
+}
+
+/** fcpy: [r2] = [r0].  Leaf. */
+std::string
+fcpyRoutine()
+{
+    std::ostringstream s;
+    s << "fcpy:\n";
+    for (unsigned i = 0; i < 8; ++i) {
+        s << strprintf("    ldr  r3, [r0, #%u]\n", 4 * i);
+        s << strprintf("    str  r3, [r2, #%u]\n", 4 * i);
+    }
+    s << "    ret\n";
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Karatsuba multiplier (36 partial products)
+// ---------------------------------------------------------------------
+
+/**
+ * One flat 4-word x 4-word carry-free product with all eight result
+ * words register-resident (o0..o7 = r8,r9,r10,r11,r12,r15,r13,r0).
+ * @p load_pa / @p load_pb emit code leaving the operand base in r1;
+ * the result is stored to @p pout.  Uses every register except lr.
+ */
+std::string
+block4x4(const std::string &load_pa, unsigned pa_off,
+         const std::string &load_pb, unsigned pb_off,
+         const std::string &pout)
+{
+    const char *o[8] = {"r8", "r9", "r10", "r11", "r12", "r15", "r13",
+                        "r0"};
+    std::ostringstream s;
+    s << load_pa;
+    for (unsigned j = 0; j < 4; ++j)
+        s << strprintf("    ldr  r%u, [r1, #%u]\n", 4 + j,
+                       pa_off + 4 * j);
+    s << load_pb;
+    for (unsigned i = 0; i < 4; ++i) {
+        s << strprintf("    ldr  r3, [r1, #%u]\n", pb_off + 4 * i);
+        for (unsigned j = 0; j < 4; ++j) {
+            unsigned lo_pos = i + j, hi_pos = i + j + 1;
+            bool hi_fresh = (i == 0) || (j == 3);
+            if (i == 0 && j == 0) {
+                s << strprintf("    gf32mul %s, %s, r4, r3\n", o[1],
+                               o[0]);
+            } else if (hi_fresh) {
+                s << strprintf("    gf32mul %s, r2, r%u, r3\n",
+                               o[hi_pos], 4 + j);
+                s << strprintf("    eor  %s, %s, r2\n", o[lo_pos],
+                               o[lo_pos]);
+            } else {
+                // both positions accumulate: hi via temp r0 (o7 is not
+                // live until row 3's last product)
+                s << strprintf("    gf32mul r0, r2, r%u, r3\n", 4 + j);
+                s << strprintf("    eor  %s, %s, r2\n", o[lo_pos],
+                               o[lo_pos]);
+                s << strprintf("    eor  %s, %s, r0\n", o[hi_pos],
+                               o[hi_pos]);
+            }
+        }
+    }
+    s << strprintf("    la   r1, %s\n", pout.c_str());
+    for (unsigned w = 0; w < 8; ++w)
+        s << strprintf("    str  %s, [r1, #%u]\n", o[w], 4 * w);
+    return s.str();
+}
+
+/**
+ * kfmul: [r2] = [r0] (x) [r1] via one Karatsuba level over flat 4x4
+ * blocks — 3 * 12 = 36 gf32bMult partial products — plus the sparse
+ * reduction.  Saves its arguments in kfsave (no nested calls).
+ */
+std::string
+kfmulRoutine()
+{
+    auto fromSave = [](unsigned slot, unsigned extra) {
+        std::string out = "    la   r1, kfsave\n";
+        out += strprintf("    ldr  r1, [r1, #%u]\n", slot);
+        if (extra)
+            out += strprintf("    addi r1, r1, #%u\n", extra);
+        return out;
+    };
+    std::ostringstream s;
+    s << "kfmul:\n";
+    s << "    la   r3, kfsave\n";
+    s << "    str  lr, [r3, #0]\n";
+    s << "    str  r0, [r3, #4]\n";
+    s << "    str  r1, [r3, #8]\n";
+    s << "    str  r2, [r3, #12]\n";
+    // kfta = A_lo ^ A_hi; kftb = B_lo ^ B_hi (4 words each).
+    s << "    la   r2, kfta\n";
+    for (unsigned w = 0; w < 4; ++w) {
+        s << strprintf("    ldr  r4, [r0, #%u]\n", 4 * w);
+        s << strprintf("    ldr  r5, [r0, #%u]\n", 4 * w + 16);
+        s << "    eor  r4, r4, r5\n";
+        s << strprintf("    str  r4, [r2, #%u]\n", 4 * w);
+    }
+    s << "    la   r2, kftb\n";
+    for (unsigned w = 0; w < 4; ++w) {
+        s << strprintf("    ldr  r4, [r1, #%u]\n", 4 * w);
+        s << strprintf("    ldr  r5, [r1, #%u]\n", 4 * w + 16);
+        s << "    eor  r4, r4, r5\n";
+        s << strprintf("    str  r4, [r2, #%u]\n", 4 * w);
+    }
+    // Three block products.
+    s << block4x4(fromSave(4, 0), 0, fromSave(8, 0), 0, "kfp0");
+    s << block4x4(fromSave(4, 16), 0, fromSave(8, 16), 0, "kfp2");
+    s << block4x4("    la   r1, kfta\n", 0, "    la   r1, kftb\n", 0,
+                  "kfp1");
+    // prodbuf = P0 + (P0^P1^P2) << 128 + P2 << 256.
+    s << "    la   r4, kfp0\n";
+    s << "    la   r5, kfp1\n";
+    s << "    la   r6, kfp2\n";
+    s << "    la   r0, prodbuf\n";
+    for (unsigned w = 0; w < 16; ++w) {
+        if (w < 8)
+            s << strprintf("    ldr  r7, [r4, #%u]\n", 4 * w);
+        else
+            s << strprintf("    ldr  r7, [r6, #%u]\n", 4 * (w - 8));
+        if (w >= 4 && w <= 11) {
+            unsigned k = w - 4;
+            s << strprintf("    ldr  r8, [r4, #%u]\n", 4 * k);
+            s << strprintf("    ldr  r9, [r5, #%u]\n", 4 * k);
+            s << "    eor  r8, r8, r9\n";
+            s << strprintf("    ldr  r9, [r6, #%u]\n", 4 * k);
+            s << "    eor  r8, r8, r9\n";
+            s << "    eor  r7, r7, r8\n";
+        }
+        s << strprintf("    str  r7, [r0, #%u]\n", 4 * w);
+    }
+    s << "    la   r3, kfsave\n";
+    s << "    ldr  r2, [r3, #12]\n";
+    s << reduce233Snippet("kf");
+    s << "    la   r3, kfsave\n";
+    s << "    ldr  lr, [r3, #0]\n";
+    s << "    ret\n";
+    return s.str();
+}
+
+// ---------------------------------------------------------------------
+// Inverse and point operations
+// ---------------------------------------------------------------------
+
+/**
+ * finv: [r2] = [r0]^-1 by the Itoh-Tsujii chain on e = 232
+ * (10 multiplies, 232 squarings).  @p mul is "fmul" or "kfmul".
+ */
+std::string
+finvRoutine(const std::string &mul)
+{
+    std::ostringstream s;
+    unsigned tag = 0;
+
+    auto sqrN = [&](unsigned count) {
+        std::ostringstream k;
+        unsigned t = tag++;
+        k << strprintf("    movi r3, #%u\n", count);
+        k << "    la   r4, iv_cnt\n";
+        k << "    str  r3, [r4]\n";
+        k << strprintf("ivs_%u:\n", t);
+        k << "    la   r0, iv_u\n";
+        k << "    mov  r2, r0\n";
+        k << "    bl   fsqr\n";
+        k << "    la   r4, iv_cnt\n";
+        k << "    ldr  r3, [r4]\n";
+        k << "    subi r3, r3, #1\n";
+        k << "    str  r3, [r4]\n";
+        k << "    cmpi r3, #0\n";
+        k << strprintf("    bne  ivs_%u\n", t);
+        return k.str();
+    };
+    auto copy = [&](const char *from, const char *to) {
+        return strprintf("    la   r0, %s\n    la   r2, %s\n"
+                         "    bl   fcpy\n", from, to);
+    };
+    auto mulInto = [&](const char *a, const char *b, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r1, %s\n"
+                         "    la   r2, %s\n    bl   %s\n",
+                         a, b, out, mul.c_str());
+    };
+
+    // Callers jump here through a wrapper that has already stashed lr
+    // and the output pointer in iv_lr and the operand in iv_a.
+    // Chain on e = 232 = 0b11101000:
+    // T(1)=a; T2; T3; T6; T7; T14; T28; T29; T58; T116; T232; out=T232^2.
+    s << "finv_entry:\n";
+    // have = 1: iv_t = a
+    s << copy("iv_a", "iv_t");
+    unsigned have = 1;
+    const unsigned e = 232;
+    int top = 31 - __builtin_clz(e);
+    for (int i = top - 1; i >= 0; --i) {
+        // iv_u = iv_t; iv_u = iv_u^(2^have); iv_t = iv_u * iv_t
+        s << copy("iv_t", "iv_u");
+        s << sqrN(have);
+        s << mulInto("iv_u", "iv_t", "iv_t");
+        have *= 2;
+        if ((e >> i) & 1) {
+            // iv_t = iv_t^2 * a
+            s << "    la   r0, iv_t\n";
+            s << "    la   r2, iv_t\n";
+            s << "    bl   fsqr\n";
+            s << mulInto("iv_t", "iv_a", "iv_t");
+            have += 1;
+        }
+    }
+    GFP_ASSERT(have == e);
+    // out = iv_t^2
+    s << "    la   r0, iv_t\n";
+    s << "    la   r3, iv_lr\n";
+    s << "    ldr  r2, [r3, #4]\n";
+    s << "    bl   fsqr\n";
+    s << "    la   r3, iv_lr\n";
+    s << "    ldr  lr, [r3, #0]\n";
+    s << "    ret\n";
+    return s.str();
+}
+
+/** Point doubling on K-233 (a=0, b=1): 3 multiplies + 5 squarings. */
+std::string
+pdoubleRoutine(const std::string &mul)
+{
+    auto sqr = [](const char *in, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r2, %s\n"
+                         "    bl   fsqr\n", in, out);
+    };
+    auto mulp = [&](const char *a, const char *b, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r1, %s\n"
+                         "    la   r2, %s\n    bl   %s\n",
+                         a, b, out, mul.c_str());
+    };
+    auto add = [](const char *a, const char *b, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r1, %s\n"
+                         "    la   r2, %s\n    bl   fadd\n", a, b, out);
+    };
+    std::ostringstream s;
+    s << "pdouble:\n";
+    s << "    la   r3, pd_lr\n";
+    s << "    str  lr, [r3]\n";
+    // t1 = X^2; t2 = Z^2; t5 = Y^2
+    s << sqr("px", "t1");
+    s << sqr("pz", "t2");
+    s << sqr("py", "t5");
+    // t3 = b*Z^4 = (Z^2)^2   (b = 1)
+    s << sqr("t2", "t3");
+    // Z3 = X^2 * Z^2 -> t2
+    s << mulp("t1", "t2", "t2");
+    // X3 = X^4 ^ b*Z^4 -> t4
+    s << sqr("t1", "t4");
+    s << add("t4", "t3", "t4");
+    // inner = a*Z3 ^ Y^2 ^ b*Z^4 = t5 ^ t3  (a = 0)
+    s << add("t5", "t3", "t5");
+    // Y3 = b*Z^4 * Z3 ^ X3 * inner -> t1
+    s << mulp("t3", "t2", "t1");
+    s << mulp("t4", "t5", "t3");
+    s << add("t1", "t3", "t1");
+    // commit
+    s << "    la   r0, t4\n    la   r2, px\n    bl   fcpy\n";
+    s << "    la   r0, t1\n    la   r2, py\n    bl   fcpy\n";
+    s << "    la   r0, t2\n    la   r2, pz\n    bl   fcpy\n";
+    s << "    la   r3, pd_lr\n";
+    s << "    ldr  lr, [r3]\n";
+    s << "    ret\n";
+    return s.str();
+}
+
+/** Mixed addition on K-233 (a=0): 8 multiplies + 5 squarings. */
+std::string
+paddRoutine(const std::string &mul)
+{
+    auto sqr = [](const char *in, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r2, %s\n"
+                         "    bl   fsqr\n", in, out);
+    };
+    auto mulp = [&](const char *a, const char *b, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r1, %s\n"
+                         "    la   r2, %s\n    bl   %s\n",
+                         a, b, out, mul.c_str());
+    };
+    auto add = [](const char *a, const char *b, const char *out) {
+        return strprintf("    la   r0, %s\n    la   r1, %s\n"
+                         "    la   r2, %s\n    bl   fadd\n", a, b, out);
+    };
+    std::ostringstream s;
+    s << "paddmixed:\n";
+    s << "    la   r3, pa_lr\n";
+    s << "    str  lr, [r3]\n";
+    // A = qy*Z1^2 ^ Y1 -> t2
+    s << sqr("pz", "t1");
+    s << mulp("qy", "t1", "t2");
+    s << add("t2", "py", "t2");
+    // B = qx*Z1 ^ X1 -> t3
+    s << mulp("qx", "pz", "t3");
+    s << add("t3", "px", "t3");
+    // C = Z1*B -> t4
+    s << mulp("pz", "t3", "t4");
+    // D = B^2 * C -> t3   (a = 0 drops the a*Z1^2 term)
+    s << sqr("t3", "t3");
+    s << mulp("t3", "t4", "t3");
+    // Z3 = C^2 -> t1
+    s << sqr("t4", "t1");
+    // E = A*C -> t4
+    s << mulp("t2", "t4", "t4");
+    // X3 = A^2 ^ D ^ E -> t2
+    s << sqr("t2", "t2");
+    s << add("t2", "t3", "t2");
+    s << add("t2", "t4", "t2");
+    // F = X3 ^ qx*Z3 -> t3
+    s << mulp("qx", "t1", "t3");
+    s << add("t3", "t2", "t3");
+    // G = (qx ^ qy) * Z3^2 -> t5
+    s << add("qx", "qy", "t5");
+    s << sqr("t1", "t6");
+    s << mulp("t5", "t6", "t5");
+    // Y3 = (E ^ Z3)*F ^ G -> t4
+    s << add("t4", "t1", "t4");
+    s << mulp("t4", "t3", "t4");
+    s << add("t4", "t5", "t4");
+    // commit
+    s << "    la   r0, t2\n    la   r2, px\n    bl   fcpy\n";
+    s << "    la   r0, t4\n    la   r2, py\n    bl   fcpy\n";
+    s << "    la   r0, t1\n    la   r2, pz\n    bl   fcpy\n";
+    s << "    la   r3, pa_lr\n";
+    s << "    ldr  lr, [r3]\n";
+    s << "    ret\n";
+    return s.str();
+}
+
+/** The field-op routine bundle every wide program links in. */
+std::string
+fieldRoutines(bool karatsuba)
+{
+    std::string out = fmulRoutine() + fsqrRoutine() + faddRoutine() +
+                      fcpyRoutine();
+    if (karatsuba)
+        out += kfmulRoutine();
+    return out;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Standalone programs
+// ---------------------------------------------------------------------
+
+std::string
+mult233DirectAsm()
+{
+    std::ostringstream s;
+    s << "; GF(2^233) multiply: direct product (64 gf32bMult) + sparse\n";
+    s << "; reduction for x^233 + x^74 + 1  (paper Table 7)\n";
+    s << "    la   r0, opa\n";
+    s << "    la   r1, opb\n";
+    s << "    la   r2, result\n";
+    s << "    bl   fmul\n";
+    s << "    halt\n";
+    s << fieldRoutines(false);
+    s << wideData(false);
+    return s.str();
+}
+
+
+std::string
+mult233BaselineAsm()
+{
+    std::ostringstream s;
+    auto xor8 = [&](const char *dst_base, unsigned dst_off,
+                    const char *a_base, unsigned a_off,
+                    const char *b_base, unsigned b_off) {
+        // dst = a ^ b, 8 words, via the named pointer registers.
+        std::ostringstream k;
+        for (unsigned w = 0; w < 8; ++w) {
+            k << strprintf("    ldr  r7, [%s, #%u]\n", a_base,
+                           a_off + 4 * w);
+            k << strprintf("    ldr  r8, [%s, #%u]\n", b_base,
+                           b_off + 4 * w);
+            k << "    eor  r7, r7, r8\n";
+            k << strprintf("    str  r7, [%s, #%u]\n", dst_base,
+                           dst_off + 4 * w);
+        }
+        return k.str();
+    };
+    auto shl8 = [&](const char *dst_base, unsigned dst_off,
+                    const char *src_base, unsigned src_off, unsigned k) {
+        // dst = src << k (k < 32), 8 words, low to high with a rolling
+        // previous word in r8.
+        std::ostringstream o;
+        o << "    movi r8, #0\n"; // bits shifted in from below
+        for (unsigned w = 0; w < 8; ++w) {
+            o << strprintf("    ldr  r7, [%s, #%u]\n", src_base,
+                           src_off + 4 * w);
+            o << strprintf("    lsli r9, r7, #%u\n", k);
+            o << "    orr  r9, r9, r8\n";
+            o << strprintf("    lsri r8, r7, #%u\n", 32 - k);
+            o << strprintf("    str  r9, [%s, #%u]\n", dst_base,
+                           dst_off + 4 * w);
+        }
+        return o.str();
+    };
+
+    s << "; M0+-class GF(2^233) multiply: 4-bit-window comb over a\n";
+    s << "; 16-entry premultiplied table (no GF instructions)\n";
+    // ---- precompute T[v] = v(x) * B(x), v = 0..15, 8 words each ----
+    s << "    la   r2, wtab\n";
+    s << "    la   r1, opb\n";
+    // T[0] = 0
+    s << "    movi r7, #0\n";
+    for (unsigned w = 0; w < 8; ++w)
+        s << strprintf("    str  r7, [r2, #%u]\n", 4 * w);
+    // T[1] = B
+    for (unsigned w = 0; w < 8; ++w) {
+        s << strprintf("    ldr  r7, [r1, #%u]\n", 4 * w);
+        s << strprintf("    str  r7, [r2, #%u]\n", 32 + 4 * w);
+    }
+    // T[2] = B<<1, T[4] = B<<2, T[8] = B<<3
+    s << shl8("r2", 2 * 32, "r1", 0, 1);
+    s << shl8("r2", 4 * 32, "r1", 0, 2);
+    s << shl8("r2", 8 * 32, "r1", 0, 3);
+    // Composites by single XOR: v = hi_bit + rest.
+    for (unsigned v : {3u, 5u, 6u, 7u, 9u, 10u, 11u, 12u, 13u, 14u,
+                       15u}) {
+        unsigned hi = 1u << (31 - __builtin_clz(v));
+        unsigned rest = v - hi;
+        s << xor8("r2", v * 32, "r2", hi * 32, "r2", rest * 32);
+    }
+
+    // ---- comb accumulation into prodbuf ----
+    s << "    la   r1, opa\n";
+    s << "    la   r3, prodbuf\n";
+    s << "    movi r7, #0\n";
+    for (unsigned w = 0; w < 16; ++w)
+        s << strprintf("    str  r7, [r3, #%u]\n", 4 * w);
+    s << "    movi r0, #7\n";          // nibble index k
+    s << "bm_outer:\n";
+    s << "    movi r4, #0\n";          // word index j
+    s << "bm_j:\n";
+    // v = (A[j] >> 4k) & 0xf
+    s << "    lsli r5, r4, #2\n";
+    s << "    ldr  r5, [r1, r5]\n";
+    s << "    lsli r6, r0, #2\n";
+    s << "    lsr  r5, r5, r6\n";
+    s << "    andi r5, r5, #0xf\n";
+    // acc[j..j+7] ^= T[v]
+    s << "    lsli r5, r5, #5\n";
+    s << "    add  r5, r5, r2\n";      // &T[v]
+    s << "    lsli r6, r4, #2\n";
+    s << "    add  r6, r6, r3\n";      // &acc[j]
+    for (unsigned w = 0; w < 8; ++w) {
+        s << strprintf("    ldr  r7, [r5, #%u]\n", 4 * w);
+        s << strprintf("    ldr  r8, [r6, #%u]\n", 4 * w);
+        s << "    eor  r7, r7, r8\n";
+        s << strprintf("    str  r7, [r6, #%u]\n", 4 * w);
+    }
+    s << "    addi r4, r4, #1\n";
+    s << "    cmpi r4, #8\n";
+    s << "    bne  bm_j\n";
+    // last nibble group: no trailing shift
+    s << "    cmpi r0, #0\n";
+    s << "    beq  bm_done\n";
+    // acc <<= 4 (16 words, top down)
+    for (unsigned i = 16; i-- > 1;) {
+        s << strprintf("    ldr  r5, [r3, #%u]\n", 4 * i);
+        s << "    lsli r5, r5, #4\n";
+        s << strprintf("    ldr  r6, [r3, #%u]\n", 4 * (i - 1));
+        s << "    lsri r6, r6, #28\n";
+        s << "    orr  r5, r5, r6\n";
+        s << strprintf("    str  r5, [r3, #%u]\n", 4 * i);
+    }
+    s << "    ldr  r5, [r3, #0]\n";
+    s << "    lsli r5, r5, #4\n";
+    s << "    str  r5, [r3, #0]\n";
+    s << "    subi r0, r0, #1\n";
+    s << "    b    bm_outer\n";
+    s << "bm_done:\n";
+    // ---- sparse reduction (identical code, pure ALU) ----
+    s << "    la   r2, result\n";
+    s << reduce233Snippet("bm");
+    s << "    halt\n";
+    s << wideData(false);
+    s << spaceData("wtab", 512);
+    return s.str();
+}
+
+std::string
+mult233KaratsubaAsm()
+{
+    std::ostringstream s;
+    s << "; GF(2^233) multiply: two-level Karatsuba (36 gf32bMult)\n";
+    s << "    la   r0, opa\n";
+    s << "    la   r1, opb\n";
+    s << "    la   r2, result\n";
+    s << "    bl   kfmul\n";
+    s << "    halt\n";
+    s << fieldRoutines(true);
+    s << wideData(true);
+    return s.str();
+}
+
+std::string
+square233Asm()
+{
+    std::ostringstream s;
+    s << "; GF(2^233) square: 8 gf32bMult partial products\n";
+    s << "    la   r0, opa\n";
+    s << "    la   r2, result\n";
+    s << "    bl   fsqr\n";
+    s << "    halt\n";
+    s << fieldRoutines(false);
+    s << wideData(false);
+    return s.str();
+}
+
+std::string
+inverse233Asm(bool karatsuba)
+{
+    std::ostringstream s;
+    s << "; GF(2^233) Itoh-Tsujii inverse (10 mult + 232 sqr)\n";
+    s << "    la   r0, opa\n";
+    s << "    la   r2, iv_a\n";
+    s << "    bl   fcpy\n";
+    s << "    la   r2, result\n";
+    s << "    bl   finv_entry_w\n";
+    s << "    halt\n";
+    // finv takes its operand from iv_a; wrap so the entry saves state.
+    s << "finv_entry_w:\n";
+    s << "    la   r3, iv_lr\n";
+    s << "    str  lr, [r3, #0]\n";
+    s << "    str  r2, [r3, #4]\n";
+    s << "    b    finv_entry\n";
+    s << finvRoutine(karatsuba ? "kfmul" : "fmul");
+    s << fieldRoutines(karatsuba);
+    s << wideData(karatsuba);
+    return s.str();
+}
+
+std::string
+pointDoubleAsm(bool karatsuba)
+{
+    std::ostringstream s;
+    s << "; K-233 Lopez-Dahab point doubling\n";
+    s << "    bl   pdouble\n";
+    s << "    halt\n";
+    s << pdoubleRoutine(karatsuba ? "kfmul" : "fmul");
+    s << fieldRoutines(karatsuba);
+    s << wideData(karatsuba);
+    return s.str();
+}
+
+std::string
+pointAddAsm(bool karatsuba)
+{
+    std::ostringstream s;
+    s << "; K-233 Lopez-Dahab mixed point addition\n";
+    s << "    bl   paddmixed\n";
+    s << "    halt\n";
+    s << paddRoutine(karatsuba ? "kfmul" : "fmul");
+    s << fieldRoutines(karatsuba);
+    s << wideData(karatsuba);
+    return s.str();
+}
+
+std::string
+scalarMultAsm(bool karatsuba)
+{
+    const char *mul = karatsuba ? "kfmul" : "fmul";
+    std::ostringstream s;
+    s << "; K-233 double-and-add scalar multiplication (+ final\n";
+    s << "; projective-to-affine conversion via Itoh-Tsujii inverse)\n";
+    // acc = (qx, qy, 1)
+    s << "    la   r0, qx\n    la   r2, px\n    bl   fcpy\n";
+    s << "    la   r0, qy\n    la   r2, py\n    bl   fcpy\n";
+    s << "    la   r2, pz\n";
+    s << "    movi r3, #1\n";
+    s << "    str  r3, [r2, #0]\n";
+    s << "    movi r3, #0\n";
+    for (unsigned i = 1; i < 8; ++i)
+        s << strprintf("    str  r3, [r2, #%u]\n", 4 * i);
+    // i = kbits - 2
+    s << "    la   r3, kbits\n";
+    s << "    ldr  r4, [r3]\n";
+    s << "    subi r4, r4, #2\n";
+    s << "    la   r3, smi\n";
+    s << "    str  r4, [r3]\n";
+    s << "sm_loop:\n";
+    s << "    la   r3, smi\n";
+    s << "    ldr  r4, [r3]\n";
+    s << "    cmpi r4, #0\n";
+    s << "    blt  sm_done\n";
+    s << "    bl   pdouble\n";
+    s << "    la   r3, smi\n";
+    s << "    ldr  r4, [r3]\n";
+    s << "    lsri r5, r4, #5\n";
+    s << "    lsli r5, r5, #2\n";
+    s << "    la   r6, kwords\n";
+    s << "    ldr  r5, [r6, r5]\n";
+    s << "    andi r6, r4, #31\n";
+    s << "    lsr  r5, r5, r6\n";
+    s << "    andi r5, r5, #1\n";
+    s << "    cmpi r5, #0\n";
+    s << "    beq  sm_next\n";
+    s << "    bl   paddmixed\n";
+    s << "sm_next:\n";
+    s << "    la   r3, smi\n";
+    s << "    ldr  r4, [r3]\n";
+    s << "    subi r4, r4, #1\n";
+    s << "    str  r4, [r3]\n";
+    s << "    b    sm_loop\n";
+    s << "sm_done:\n";
+    // affine: zinv = 1/pz; resx = px*zinv; resy = py*zinv^2
+    s << "    la   r0, pz\n    la   r2, iv_a\n    bl   fcpy\n";
+    s << "    la   r2, t6\n";
+    s << "    bl   finv_entry_w\n";
+    s << strprintf("    la   r0, px\n    la   r1, t6\n"
+                   "    la   r2, resx\n    bl   %s\n", mul);
+    s << "    la   r0, t6\n    la   r2, t6\n    bl   fsqr\n";
+    s << strprintf("    la   r0, py\n    la   r1, t6\n"
+                   "    la   r2, resy\n    bl   %s\n", mul);
+    s << "    halt\n";
+    s << "finv_entry_w:\n";
+    s << "    la   r3, iv_lr\n";
+    s << "    str  lr, [r3, #0]\n";
+    s << "    str  r2, [r3, #4]\n";
+    s << "    b    finv_entry\n";
+    s << finvRoutine(mul);
+    s << pdoubleRoutine(mul);
+    s << paddRoutine(mul);
+    s << fieldRoutines(karatsuba);
+    s << wideData(karatsuba);
+    return s.str();
+}
+
+} // namespace gfp

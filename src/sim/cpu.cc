@@ -1,0 +1,281 @@
+#include "sim/cpu.h"
+
+#include "common/logging.h"
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace gfp {
+
+Core::Core(Memory &mem, CoreKind kind) : mem_(mem), kind_(kind)
+{
+    reset();
+}
+
+void
+Core::reset(uint32_t pc)
+{
+    regs_.fill(0);
+    regs_[kRegSp] = static_cast<uint32_t>(mem_.size()) - 16;
+    pc_ = pc;
+    flags_ = Flags();
+    halted_ = false;
+}
+
+uint32_t
+Core::reg(unsigned idx) const
+{
+    GFP_ASSERT(idx < kNumRegs);
+    return regs_[idx];
+}
+
+void
+Core::setReg(unsigned idx, uint32_t value)
+{
+    GFP_ASSERT(idx < kNumRegs);
+    regs_[idx] = value;
+}
+
+GFArithmeticUnit &
+Core::gfau()
+{
+    GFP_ASSERT(kind_ == CoreKind::kGfProcessor,
+               "baseline core has no GF arithmetic unit");
+    return gfau_;
+}
+
+const GFArithmeticUnit &
+Core::gfau() const
+{
+    GFP_ASSERT(kind_ == CoreKind::kGfProcessor);
+    return gfau_;
+}
+
+void
+Core::setFlagsSub(uint32_t a, uint32_t b)
+{
+    uint32_t r = a - b;
+    flags_.n = (r >> 31) & 1;
+    flags_.z = r == 0;
+    flags_.c = a >= b; // ARM convention: C set means "no borrow"
+    flags_.v = (((a ^ b) & (a ^ r)) >> 31) & 1;
+}
+
+bool
+Core::condition(Op op) const
+{
+    switch (op) {
+      case Op::kB:
+      case Op::kBl:
+        return true;
+      case Op::kBeq: return flags_.z;
+      case Op::kBne: return !flags_.z;
+      case Op::kBlt: return flags_.n != flags_.v;
+      case Op::kBge: return flags_.n == flags_.v;
+      case Op::kBgt: return !flags_.z && flags_.n == flags_.v;
+      case Op::kBle: return flags_.z || flags_.n != flags_.v;
+      case Op::kBlo: return !flags_.c;
+      case Op::kBhs: return flags_.c;
+      case Op::kBhi: return flags_.c && !flags_.z;
+      case Op::kBls: return !flags_.c || flags_.z;
+      default:
+        GFP_PANIC("condition() on non-branch %s", opName(op));
+    }
+}
+
+unsigned
+Core::execute(const Instr &in)
+{
+    auto &r = regs_;
+    const uint32_t next_pc = pc_ + 4;
+    uint32_t new_pc = next_pc;
+    unsigned cycles = 1;
+
+    if (isGfOp(in.op) && kind_ == CoreKind::kBaseline) {
+        GFP_FATAL("GF instruction '%s' executed on the baseline core "
+                  "(pc=0x%x)", opName(in.op), pc_);
+    }
+
+    switch (in.op) {
+      case Op::kAdd: r[in.rd] = r[in.rs1] + r[in.rs2]; break;
+      case Op::kSub: r[in.rd] = r[in.rs1] - r[in.rs2]; break;
+      case Op::kAnd: r[in.rd] = r[in.rs1] & r[in.rs2]; break;
+      case Op::kOrr: r[in.rd] = r[in.rs1] | r[in.rs2]; break;
+      case Op::kEor: r[in.rd] = r[in.rs1] ^ r[in.rs2]; break;
+      case Op::kLsl: r[in.rd] = r[in.rs1] << (r[in.rs2] & 31); break;
+      case Op::kLsr: r[in.rd] = r[in.rs1] >> (r[in.rs2] & 31); break;
+      case Op::kAsr:
+        r[in.rd] = static_cast<uint32_t>(
+            static_cast<int32_t>(r[in.rs1]) >> (r[in.rs2] & 31));
+        break;
+      case Op::kMul: r[in.rd] = r[in.rs1] * r[in.rs2]; break;
+      case Op::kMov: r[in.rd] = r[in.rs1]; break;
+      case Op::kCmp: setFlagsSub(r[in.rs1], r[in.rs2]); break;
+
+      case Op::kAddi: r[in.rd] = r[in.rs1] + static_cast<uint32_t>(in.imm); break;
+      case Op::kSubi: r[in.rd] = r[in.rs1] - static_cast<uint32_t>(in.imm); break;
+      case Op::kAndi: r[in.rd] = r[in.rs1] & static_cast<uint32_t>(in.imm); break;
+      case Op::kOrri: r[in.rd] = r[in.rs1] | static_cast<uint32_t>(in.imm); break;
+      case Op::kEori: r[in.rd] = r[in.rs1] ^ static_cast<uint32_t>(in.imm); break;
+      case Op::kLsli: r[in.rd] = r[in.rs1] << (in.imm & 31); break;
+      case Op::kLsri: r[in.rd] = r[in.rs1] >> (in.imm & 31); break;
+      case Op::kAsri:
+        r[in.rd] = static_cast<uint32_t>(
+            static_cast<int32_t>(r[in.rs1]) >> (in.imm & 31));
+        break;
+      case Op::kMovi: r[in.rd] = static_cast<uint32_t>(in.imm) & 0xffff; break;
+      case Op::kMovt:
+        r[in.rd] = (r[in.rd] & 0xffff) |
+                   ((static_cast<uint32_t>(in.imm) & 0xffff) << 16);
+        break;
+      case Op::kCmpi: setFlagsSub(r[in.rs1], static_cast<uint32_t>(in.imm)); break;
+
+      case Op::kLdr:
+        r[in.rd] = mem_.read32(r[in.rs1] + static_cast<uint32_t>(in.imm));
+        cycles = 2;
+        break;
+      case Op::kStr:
+        mem_.write32(r[in.rs1] + static_cast<uint32_t>(in.imm), r[in.rd]);
+        cycles = 2;
+        break;
+      case Op::kLdrb:
+        r[in.rd] = mem_.read8(r[in.rs1] + static_cast<uint32_t>(in.imm));
+        cycles = 2;
+        break;
+      case Op::kStrb:
+        mem_.write8(r[in.rs1] + static_cast<uint32_t>(in.imm),
+                    static_cast<uint8_t>(r[in.rd]));
+        cycles = 2;
+        break;
+      case Op::kLdrh:
+        r[in.rd] = mem_.read16(r[in.rs1] + static_cast<uint32_t>(in.imm));
+        cycles = 2;
+        break;
+      case Op::kStrh:
+        mem_.write16(r[in.rs1] + static_cast<uint32_t>(in.imm),
+                     static_cast<uint16_t>(r[in.rd]));
+        cycles = 2;
+        break;
+      case Op::kLdrr:
+        r[in.rd] = mem_.read32(r[in.rs1] + r[in.rs2]);
+        cycles = 2;
+        break;
+      case Op::kStrr:
+        mem_.write32(r[in.rs1] + r[in.rs2], r[in.rd]);
+        cycles = 2;
+        break;
+      case Op::kLdrbr:
+        r[in.rd] = mem_.read8(r[in.rs1] + r[in.rs2]);
+        cycles = 2;
+        break;
+      case Op::kStrbr:
+        mem_.write8(r[in.rs1] + r[in.rs2], static_cast<uint8_t>(r[in.rd]));
+        cycles = 2;
+        break;
+      case Op::kLdrhr:
+        r[in.rd] = mem_.read16(r[in.rs1] + r[in.rs2]);
+        cycles = 2;
+        break;
+      case Op::kStrhr:
+        mem_.write16(r[in.rs1] + r[in.rs2], static_cast<uint16_t>(r[in.rd]));
+        cycles = 2;
+        break;
+
+      case Op::kB:
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBgt:
+      case Op::kBle:
+      case Op::kBlo:
+      case Op::kBhs:
+      case Op::kBhi:
+      case Op::kBls:
+      case Op::kBl:
+        if (condition(in.op)) {
+            if (in.op == Op::kBl)
+                r[kRegLr] = next_pc;
+            new_pc = next_pc + static_cast<uint32_t>(in.imm) * 4;
+            cycles = 2;
+        }
+        break;
+      case Op::kJr:
+        new_pc = r[in.rs1];
+        cycles = 2;
+        break;
+      case Op::kRet:
+        new_pc = r[kRegLr];
+        cycles = 2;
+        break;
+      case Op::kNop:
+        break;
+      case Op::kHalt:
+        halted_ = true;
+        break;
+
+      case Op::kGfMuls:
+        r[in.rd] = gfau_.simdMult(r[in.rs1], r[in.rs2]);
+        break;
+      case Op::kGfInvs:
+        r[in.rd] = gfau_.simdInverse(r[in.rs1]);
+        break;
+      case Op::kGfSqs:
+        r[in.rd] = gfau_.simdSquare(r[in.rs1]);
+        break;
+      case Op::kGfPows:
+        r[in.rd] = gfau_.simdPower(r[in.rs1], r[in.rs2]);
+        break;
+      case Op::kGfAdds:
+        r[in.rd] = gfau_.simdAdd(r[in.rs1], r[in.rs2]);
+        break;
+      case Op::kGf32Mul: {
+        uint32_t hi, lo;
+        gfau_.mult32(r[in.rs1], r[in.rs2], hi, lo);
+        r[in.rd] = hi;
+        r[in.rd2] = lo;
+        break;
+      }
+      case Op::kGfCfg:
+        gfau_.loadConfig(
+            GFConfig::unpack(mem_.read64(static_cast<uint32_t>(in.imm))));
+        cycles = 2;
+        break;
+
+      default:
+        GFP_PANIC("unhandled opcode %s", opName(in.op));
+    }
+
+    pc_ = new_pc;
+    return cycles;
+}
+
+unsigned
+Core::step()
+{
+    GFP_ASSERT(!halted_, "step() on a halted core");
+    uint32_t word = mem_.read32(pc_);
+    Instr in = decode(word);
+    if (trace_)
+        trace_(pc_, in);
+    unsigned cycles = execute(in);
+    stats_.record(classOf(in.op), cycles);
+    return cycles;
+}
+
+uint64_t
+Core::run(uint64_t max_instrs)
+{
+    uint64_t n = 0;
+    while (!halted_) {
+        if (n >= max_instrs) {
+            GFP_FATAL("program did not halt within %llu instructions "
+                      "(pc=0x%x) — runaway loop?",
+                      static_cast<unsigned long long>(max_instrs), pc_);
+        }
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace gfp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The two-stage in-order GFP core.
+ *
+ * Two variants share this model, exactly mirroring the paper's
+ * methodology (Sec. 3.3.1):
+ *  - the *baseline* core (CoreKind::kBaseline) models the Cortex M0+
+ *    class machine the paper compares against: same registers, same ALU
+ *    and memory instructions, no GF arithmetic unit (GF opcodes fault);
+ *  - the *GF processor* (CoreKind::kGfProcessor) adds the GF arithmetic
+ *    unit and the Table 1 instructions.
+ *
+ * Cycle model (both cores, matching the paper's accounting):
+ *   loads/stores           2 cycles
+ *   taken branches + calls 2 cycles (two-stage pipeline refill)
+ *   gfConfig               2 cycles (reads its 64-bit blob from memory)
+ *   everything else        1 cycle (including all SIMD GF instructions
+ *                          and the 32-bit partial product)
+ */
+
+#ifndef GFP_SIM_CPU_H
+#define GFP_SIM_CPU_H
+
+#include <array>
+#include <functional>
+
+#include "gfau/gf_unit.h"
+#include "isa/isa.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+
+namespace gfp {
+
+enum class CoreKind { kBaseline, kGfProcessor };
+
+class Core
+{
+  public:
+    Core(Memory &mem, CoreKind kind);
+
+    CoreKind kind() const { return kind_; }
+
+    /** Reset architectural state; sp defaults to the top of memory. */
+    void reset(uint32_t pc = 0);
+
+    bool halted() const { return halted_; }
+    uint32_t pc() const { return pc_; }
+
+    uint32_t reg(unsigned idx) const;
+    void setReg(unsigned idx, uint32_t value);
+
+    /** Execute one instruction. Returns the cycles it took. */
+    unsigned step();
+
+    /**
+     * Run until HALT or until @p max_instrs instructions retire.
+     * Returns the number of instructions executed; fatal if the limit is
+     * hit without halting (runaway program).
+     */
+    uint64_t run(uint64_t max_instrs = 500'000'000);
+
+    const CycleStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CycleStats(); }
+
+    Memory &memory() { return mem_; }
+    GFArithmeticUnit &gfau();
+    const GFArithmeticUnit &gfau() const;
+
+    /** Optional per-retire hook: (pc, instruction) before side effects. */
+    using TraceHook = std::function<void(uint32_t, const Instr &)>;
+    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+
+  private:
+    struct Flags
+    {
+        bool n = false, z = false, c = false, v = false;
+    };
+
+    void setFlagsSub(uint32_t a, uint32_t b);
+    bool condition(Op op) const;
+    unsigned execute(const Instr &in);
+
+    Memory &mem_;
+    CoreKind kind_;
+    GFArithmeticUnit gfau_;
+    std::array<uint32_t, kNumRegs> regs_{};
+    uint32_t pc_ = 0;
+    Flags flags_;
+    bool halted_ = false;
+    CycleStats stats_;
+    TraceHook trace_;
+};
+
+} // namespace gfp
+
+#endif // GFP_SIM_CPU_H

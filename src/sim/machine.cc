@@ -1,0 +1,82 @@
+#include "sim/machine.h"
+
+#include "common/logging.h"
+#include "isa/assembler.h"
+
+namespace gfp {
+
+Machine::Machine(const std::string &asm_source, CoreKind kind,
+                 size_t mem_bytes)
+    : Machine(Assembler::assemble(asm_source), kind, mem_bytes)
+{
+}
+
+Machine::Machine(Program program, CoreKind kind, size_t mem_bytes)
+    : program_(std::move(program)), mem_(mem_bytes)
+{
+    if (program_.footprint() + 64 > mem_bytes) {
+        GFP_FATAL("program footprint %zu bytes exceeds memory %zu",
+                  program_.footprint(), mem_bytes);
+    }
+    loadProgram();
+    core_ = std::make_unique<Core>(mem_, kind);
+}
+
+void
+Machine::loadProgram()
+{
+    for (size_t i = 0; i < program_.code.size(); ++i)
+        mem_.write32(static_cast<uint32_t>(4 * i), program_.code[i]);
+    mem_.writeBlock(program_.data_base, program_.data);
+}
+
+void
+Machine::setArgs(std::initializer_list<uint32_t> args)
+{
+    GFP_ASSERT(args.size() <= 4, "at most 4 register arguments");
+    unsigned i = 0;
+    for (uint32_t a : args)
+        core_->setReg(i++, a);
+}
+
+void
+Machine::reset()
+{
+    core_->reset();
+    core_->resetStats();
+}
+
+CycleStats
+Machine::runToHalt(uint64_t max_instrs)
+{
+    CycleStats before = core_->stats();
+    core_->run(max_instrs);
+    return core_->stats() - before;
+}
+
+uint32_t
+Machine::readWord(const std::string &label, unsigned index) const
+{
+    return mem_.read32(program_.symbol(label) + 4 * index);
+}
+
+void
+Machine::writeWord(const std::string &label, uint32_t value, unsigned index)
+{
+    mem_.write32(program_.symbol(label) + 4 * index, value);
+}
+
+std::vector<uint8_t>
+Machine::readBytes(const std::string &label, size_t len) const
+{
+    return mem_.readBlock(program_.symbol(label), len);
+}
+
+void
+Machine::writeBytes(const std::string &label,
+                    const std::vector<uint8_t> &bytes)
+{
+    mem_.writeBlock(program_.symbol(label), bytes);
+}
+
+} // namespace gfp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Convenience harness bundling an assembled program, memory, and a core.
+ *
+ * Typical use by kernels, tests, and benchmarks:
+ *
+ *     Machine mach(asm_source, CoreKind::kGfProcessor);
+ *     mach.writeBytes("input", codeword);
+ *     mach.setArgs({n_symbols});
+ *     CycleStats s = mach.runToHalt();
+ *     auto synd = mach.readBytes("syndromes", 2 * t);
+ */
+
+#ifndef GFP_SIM_MACHINE_H
+#define GFP_SIM_MACHINE_H
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "isa/program.h"
+#include "sim/cpu.h"
+#include "sim/memory.h"
+
+namespace gfp {
+
+class Machine
+{
+  public:
+    Machine(const std::string &asm_source, CoreKind kind,
+            size_t mem_bytes = 256 * 1024);
+    Machine(Program program, CoreKind kind, size_t mem_bytes = 256 * 1024);
+
+    Core &core() { return *core_; }
+    Memory &memory() { return mem_; }
+    const Program &program() const { return program_; }
+
+    /** Byte address of a label; fatal if undefined. */
+    uint32_t addr(const std::string &label) const
+    {
+        return program_.symbol(label);
+    }
+
+    /** Set r0..r3 call arguments. */
+    void setArgs(std::initializer_list<uint32_t> args);
+
+    /** Reset core state (pc=0, fresh stats) without reloading memory. */
+    void reset();
+
+    /**
+     * Run to HALT and return the cycle statistics of this run.
+     * @param max_instrs runaway guard.
+     */
+    CycleStats runToHalt(uint64_t max_instrs = 500'000'000);
+
+    // -- memory helpers (labels resolve through the symbol table) --
+    uint32_t readWord(const std::string &label, unsigned index = 0) const;
+    void writeWord(const std::string &label, uint32_t value,
+                   unsigned index = 0);
+    std::vector<uint8_t> readBytes(const std::string &label,
+                                   size_t len) const;
+    void writeBytes(const std::string &label,
+                    const std::vector<uint8_t> &bytes);
+
+  private:
+    void loadProgram();
+
+    Program program_;
+    Memory mem_;
+    std::unique_ptr<Core> core_;
+};
+
+} // namespace gfp
+
+#endif // GFP_SIM_MACHINE_H

@@ -1,0 +1,96 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gfp {
+
+Memory::Memory(size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void
+Memory::check(uint32_t addr, unsigned bytes) const
+{
+    if (static_cast<uint64_t>(addr) + bytes > bytes_.size()) {
+        GFP_FATAL("memory access of %u bytes at 0x%x out of range "
+                  "(size 0x%zx)", bytes, addr, bytes_.size());
+    }
+}
+
+uint8_t
+Memory::read8(uint32_t addr) const
+{
+    check(addr, 1);
+    return bytes_[addr];
+}
+
+uint16_t
+Memory::read16(uint32_t addr) const
+{
+    check(addr, 2);
+    return static_cast<uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+}
+
+uint32_t
+Memory::read32(uint32_t addr) const
+{
+    check(addr, 4);
+    return static_cast<uint32_t>(bytes_[addr]) |
+           (static_cast<uint32_t>(bytes_[addr + 1]) << 8) |
+           (static_cast<uint32_t>(bytes_[addr + 2]) << 16) |
+           (static_cast<uint32_t>(bytes_[addr + 3]) << 24);
+}
+
+uint64_t
+Memory::read64(uint32_t addr) const
+{
+    return static_cast<uint64_t>(read32(addr)) |
+           (static_cast<uint64_t>(read32(addr + 4)) << 32);
+}
+
+void
+Memory::write8(uint32_t addr, uint8_t value)
+{
+    check(addr, 1);
+    bytes_[addr] = value;
+}
+
+void
+Memory::write16(uint32_t addr, uint16_t value)
+{
+    check(addr, 2);
+    bytes_[addr] = static_cast<uint8_t>(value);
+    bytes_[addr + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+void
+Memory::write32(uint32_t addr, uint32_t value)
+{
+    check(addr, 4);
+    for (unsigned i = 0; i < 4; ++i)
+        bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+void
+Memory::write64(uint32_t addr, uint64_t value)
+{
+    write32(addr, static_cast<uint32_t>(value));
+    write32(addr + 4, static_cast<uint32_t>(value >> 32));
+}
+
+void
+Memory::writeBlock(uint32_t addr, const std::vector<uint8_t> &data)
+{
+    check(addr, static_cast<unsigned>(data.size()));
+    std::copy(data.begin(), data.end(), bytes_.begin() + addr);
+}
+
+std::vector<uint8_t>
+Memory::readBlock(uint32_t addr, size_t len) const
+{
+    check(addr, static_cast<unsigned>(len));
+    return std::vector<uint8_t>(bytes_.begin() + addr,
+                                bytes_.begin() + addr + len);
+}
+
+} // namespace gfp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Flat little-endian byte-addressable memory for the GFP simulator.
+ * Out-of-range accesses are user (program) errors and terminate the run.
+ */
+
+#ifndef GFP_SIM_MEMORY_H
+#define GFP_SIM_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gfp {
+
+class Memory
+{
+  public:
+    explicit Memory(size_t size_bytes = 256 * 1024);
+
+    size_t size() const { return bytes_.size(); }
+
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint32_t read32(uint32_t addr) const;
+    uint64_t read64(uint32_t addr) const;
+
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+    void write64(uint32_t addr, uint64_t value);
+
+    /** Bulk copy into memory (program loading, input buffers). */
+    void writeBlock(uint32_t addr, const std::vector<uint8_t> &data);
+
+    /** Bulk copy out of memory (result buffers). */
+    std::vector<uint8_t> readBlock(uint32_t addr, size_t len) const;
+
+    void fill(uint8_t value) { std::fill(bytes_.begin(), bytes_.end(), value); }
+
+  private:
+    void check(uint32_t addr, unsigned bytes) const;
+
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace gfp
+
+#endif // GFP_SIM_MEMORY_H

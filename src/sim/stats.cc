@@ -1,0 +1,32 @@
+#include "sim/stats.h"
+
+#include "common/strutil.h"
+
+namespace gfp {
+
+std::string
+CycleStats::summary() const
+{
+    return strprintf(
+        "instrs=%llu cycles=%llu | LD %llu/%llu ST %llu/%llu "
+        "ALU %llu/%llu BR %llu/%llu GFSIMD %llu/%llu GF32 %llu/%llu "
+        "GFCFG %llu/%llu (ops/cycles)",
+        static_cast<unsigned long long>(instrs),
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(load_ops),
+        static_cast<unsigned long long>(load_cycles),
+        static_cast<unsigned long long>(store_ops),
+        static_cast<unsigned long long>(store_cycles),
+        static_cast<unsigned long long>(alu_ops),
+        static_cast<unsigned long long>(alu_cycles),
+        static_cast<unsigned long long>(branch_ops),
+        static_cast<unsigned long long>(branch_cycles),
+        static_cast<unsigned long long>(gf_simd_ops),
+        static_cast<unsigned long long>(gf_simd_cycles),
+        static_cast<unsigned long long>(gf32_ops),
+        static_cast<unsigned long long>(gf32_cycles),
+        static_cast<unsigned long long>(gfcfg_ops),
+        static_cast<unsigned long long>(gfcfg_cycles));
+}
+
+} // namespace gfp

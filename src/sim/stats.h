@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cycle and instruction statistics for the GFP simulator, broken down by
+ * the categories the paper's Table 7 reports: loads, stores, 32-bit GF
+ * partial products, SIMD GF operations, "ALUs" (all integer/bitwise
+ * data processing) and control flow.
+ */
+
+#ifndef GFP_SIM_STATS_H
+#define GFP_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace gfp {
+
+struct CycleStats
+{
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+
+    uint64_t load_ops = 0, load_cycles = 0;
+    uint64_t store_ops = 0, store_cycles = 0;
+    uint64_t alu_ops = 0, alu_cycles = 0;
+    uint64_t branch_ops = 0, branch_cycles = 0;
+    uint64_t gf_simd_ops = 0, gf_simd_cycles = 0;
+    uint64_t gf32_ops = 0, gf32_cycles = 0;
+    uint64_t gfcfg_ops = 0, gfcfg_cycles = 0;
+
+    void
+    record(InstrClass cls, unsigned cycles_taken)
+    {
+        ++instrs;
+        cycles += cycles_taken;
+        switch (cls) {
+          case InstrClass::kLoad:
+            ++load_ops; load_cycles += cycles_taken; break;
+          case InstrClass::kStore:
+            ++store_ops; store_cycles += cycles_taken; break;
+          case InstrClass::kBranch:
+            ++branch_ops; branch_cycles += cycles_taken; break;
+          case InstrClass::kGfSimd:
+            ++gf_simd_ops; gf_simd_cycles += cycles_taken; break;
+          case InstrClass::kGf32:
+            ++gf32_ops; gf32_cycles += cycles_taken; break;
+          case InstrClass::kGfCfg:
+            ++gfcfg_ops; gfcfg_cycles += cycles_taken; break;
+          case InstrClass::kAlu:
+            ++alu_ops; alu_cycles += cycles_taken; break;
+        }
+    }
+
+    CycleStats
+    operator-(const CycleStats &o) const
+    {
+        CycleStats d;
+        d.instrs = instrs - o.instrs;
+        d.cycles = cycles - o.cycles;
+        d.load_ops = load_ops - o.load_ops;
+        d.load_cycles = load_cycles - o.load_cycles;
+        d.store_ops = store_ops - o.store_ops;
+        d.store_cycles = store_cycles - o.store_cycles;
+        d.alu_ops = alu_ops - o.alu_ops;
+        d.alu_cycles = alu_cycles - o.alu_cycles;
+        d.branch_ops = branch_ops - o.branch_ops;
+        d.branch_cycles = branch_cycles - o.branch_cycles;
+        d.gf_simd_ops = gf_simd_ops - o.gf_simd_ops;
+        d.gf_simd_cycles = gf_simd_cycles - o.gf_simd_cycles;
+        d.gf32_ops = gf32_ops - o.gf32_ops;
+        d.gf32_cycles = gf32_cycles - o.gf32_cycles;
+        d.gfcfg_ops = gfcfg_ops - o.gfcfg_ops;
+        d.gfcfg_cycles = gfcfg_cycles - o.gfcfg_cycles;
+        return d;
+    }
+
+    /** Ops in the paper's "ALUs" bucket (data processing + control). */
+    uint64_t aluBucketOps() const { return alu_ops + branch_ops; }
+    uint64_t aluBucketCycles() const { return alu_cycles + branch_cycles; }
+
+    std::string summary() const;
+};
+
+} // namespace gfp
+
+#endif // GFP_SIM_STATS_H

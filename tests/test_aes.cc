@@ -1,0 +1,198 @@
+/**
+ * @file
+ * AES validation against FIPS-197 / NIST SP 800-38A vectors, plus
+ * per-kernel checks (S-box as GF inverse + affine, MixColumns as GF
+ * inner products) since the evaluation measures those kernels
+ * individually.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strutil.h"
+#include "crypto/aes.h"
+#include "gf/field.h"
+#include "gf/polys.h"
+
+namespace gfp {
+namespace {
+
+AesBlock
+block(const std::string &hex)
+{
+    auto v = fromHex(hex);
+    AesBlock b{};
+    std::copy(v.begin(), v.end(), b.begin());
+    return b;
+}
+
+std::string
+hex(const AesBlock &b)
+{
+    return toHex(std::vector<uint8_t>(b.begin(), b.end()));
+}
+
+TEST(AesSbox, MatchesFipsTable)
+{
+    // Spot values from the FIPS-197 S-box table.
+    EXPECT_EQ(Aes::sbox(0x00), 0x63);
+    EXPECT_EQ(Aes::sbox(0x01), 0x7c);
+    EXPECT_EQ(Aes::sbox(0x53), 0xed);
+    EXPECT_EQ(Aes::sbox(0xff), 0x16);
+    EXPECT_EQ(Aes::sbox(0x9a), 0xb8);
+}
+
+TEST(AesSbox, InverseRoundTripsAllBytes)
+{
+    for (unsigned x = 0; x < 256; ++x) {
+        EXPECT_EQ(Aes::invSbox(Aes::sbox(x)), x);
+        EXPECT_EQ(Aes::sbox(Aes::invSbox(x)), x);
+    }
+}
+
+TEST(AesSbox, IsGfInversePlusAffine)
+{
+    // The structural claim the paper's gfMultInv_simd instruction rests
+    // on: sbox(x) == affine(inv(x)) for every byte.
+    GFField f(8, kAesPoly);
+    for (unsigned x = 0; x < 256; ++x) {
+        uint8_t inv = static_cast<uint8_t>(f.inv(x));
+        uint8_t affine = inv;
+        for (int k = 1; k <= 4; ++k)
+            affine ^= static_cast<uint8_t>((inv << k) | (inv >> (8 - k)));
+        affine ^= 0x63;
+        EXPECT_EQ(Aes::sbox(x), affine) << "x=" << x;
+    }
+}
+
+TEST(AesKernels, MixColumnsFipsExample)
+{
+    // FIPS-197 round-1 intermediate of the Appendix B example.
+    AesBlock s = block("d4bf5d30e0b452aeb84111f11e2798e5");
+    Aes::mixColumns(s);
+    EXPECT_EQ(hex(s), "046681e5e0cb199a48f8d37a2806264c");
+}
+
+TEST(AesKernels, InvMixColumnsInverts)
+{
+    AesBlock s = block("00112233445566778899aabbccddeeff");
+    AesBlock orig = s;
+    Aes::mixColumns(s);
+    Aes::invMixColumns(s);
+    EXPECT_EQ(s, orig);
+}
+
+TEST(AesKernels, ShiftRowsFipsExample)
+{
+    AesBlock s = block("d42711aee0bf98f1b8b45de51e415230");
+    Aes::shiftRows(s);
+    EXPECT_EQ(hex(s), "d4bf5d30e0b452aeb84111f11e2798e5");
+    Aes::invShiftRows(s);
+    EXPECT_EQ(hex(s), "d42711aee0bf98f1b8b45de51e415230");
+}
+
+TEST(AesKernels, SubBytesFipsExample)
+{
+    AesBlock s = block("193de3bea0f4e22b9ac68d2ae9f84808");
+    Aes::subBytes(s);
+    EXPECT_EQ(hex(s), "d42711aee0bf98f1b8b45de51e415230");
+}
+
+TEST(AesKeySchedule, Fips128Expansion)
+{
+    Aes aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const auto &w = aes.roundKeys();
+    ASSERT_EQ(w.size(), 44u);
+    EXPECT_EQ(w[0], 0x2b7e1516u);
+    EXPECT_EQ(w[4], 0xa0fafe17u);
+    EXPECT_EQ(w[43], 0xb6630ca6u);
+}
+
+TEST(AesEncrypt, Fips197AppendixB)
+{
+    Aes aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock ct = aes.encryptBlock(block("3243f6a8885a308d313198a2e0370734"));
+    EXPECT_EQ(hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(AesEncrypt, Fips197AppendixC128)
+{
+    Aes aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock ct = aes.encryptBlock(block("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesEncrypt, Fips197AppendixC192)
+{
+    Aes aes(fromHex("000102030405060708090a0b0c0d0e0f1011121314151617"));
+    AesBlock ct = aes.encryptBlock(block("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(hex(ct), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(AesEncrypt, Fips197AppendixC256)
+{
+    Aes aes(fromHex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+    AesBlock ct = aes.encryptBlock(block("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(hex(ct), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesDecrypt, InvertsAllKeySizes)
+{
+    std::vector<size_t> key_sizes{16, 24, 32};
+    for (size_t ks : key_sizes) {
+        std::vector<uint8_t> key(ks);
+        for (size_t i = 0; i < ks; ++i)
+            key[i] = static_cast<uint8_t>(i * 7 + 1);
+        Aes aes(key);
+        AesBlock pt = block("00112233445566778899aabbccddeeff");
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(pt)), pt)
+            << "keysize=" << ks;
+    }
+}
+
+TEST(AesModes, EcbMultipleBlocks)
+{
+    Aes aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    // SP 800-38A ECB-AES128 vectors, first two blocks.
+    auto pt = fromHex("6bc1bee22e409f96e93d7e117393172a"
+                      "ae2d8a571e03ac9c9eb76fac45af8e51");
+    auto ct = aes.encryptEcb(pt);
+    EXPECT_EQ(toHex(ct), "3ad77bb40d7a3660a89ecaf32466ef97"
+                         "f5d3d58503b9699de785895a96fdbaaf");
+    EXPECT_EQ(aes.decryptEcb(ct), pt);
+}
+
+TEST(AesModes, CtrKnownVector)
+{
+    // SP 800-38A CTR-AES128, first block.
+    Aes aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock iv = block("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    auto pt = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    auto ct = aes.applyCtr(pt, iv);
+    EXPECT_EQ(toHex(ct), "874d6191b620e3261bef6864990db6ce");
+    EXPECT_EQ(aes.applyCtr(ct, iv), pt); // CTR is an involution
+}
+
+TEST(AesModes, CtrHandlesPartialBlocks)
+{
+    Aes aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock iv{};
+    std::vector<uint8_t> pt(37, 0x5a);
+    auto ct = aes.applyCtr(pt, iv);
+    EXPECT_EQ(ct.size(), 37u);
+    EXPECT_EQ(aes.applyCtr(ct, iv), pt);
+}
+
+TEST(Aes, RejectsBadKeySize)
+{
+    EXPECT_DEATH(Aes aes(std::vector<uint8_t>(15)), "16/24/32");
+}
+
+TEST(Aes, EcbRejectsPartialBlocks)
+{
+    Aes aes(std::vector<uint8_t>(16, 0));
+    EXPECT_DEATH(aes.encryptEcb(std::vector<uint8_t>(15)), "multiple of 16");
+}
+
+} // namespace
+} // namespace gfp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the wide binary fields (GF(2^233) and friends): sparse
+ * reduction, multiplication paths, squaring, and both inversion
+ * algorithms (Itoh-Tsujii vs. extended Euclid must agree).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf/binary_field.h"
+
+namespace gfp {
+namespace {
+
+class NistFields : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(NistFields, FieldAxioms)
+{
+    BinaryField f = BinaryField::nist(GetParam());
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Gf2x a = f.randomElement(seed);
+        Gf2x b = f.randomElement(seed + 100);
+        Gf2x c = f.randomElement(seed + 200);
+
+        EXPECT_TRUE(f.contains(f.mul(a, b)));
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        EXPECT_EQ(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+        EXPECT_EQ(f.sqr(a), f.mul(a, a));
+        EXPECT_EQ(f.mulKaratsuba(a, b), f.mul(a, b));
+        if (!a.isZero()) {
+            EXPECT_TRUE(f.mul(a, f.invItohTsujii(a)).isOne());
+            EXPECT_EQ(f.invItohTsujii(a), f.invEuclid(a));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNist, NistFields,
+                         ::testing::Values("113", "131", "163", "233",
+                                           "283", "409", "571"));
+
+TEST(BinaryField, ReduceMatchesGenericMod)
+{
+    BinaryField f = BinaryField::nist("233");
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        Gf2x v = Gf2x::random(465, seed + 1); // up to 2m-1 bits
+        EXPECT_EQ(f.reduce(v), v.mod(f.modulus()));
+    }
+}
+
+TEST(BinaryField, K233KnownStructure)
+{
+    BinaryField f = BinaryField::nist("233");
+    EXPECT_EQ(f.m(), 233u);
+    // x^233 ≡ x^74 + 1 (mod p)
+    EXPECT_EQ(f.reduce(Gf2x::monomial(233)),
+              Gf2x::fromExponents({74, 0}));
+    // x^232 * x = x^233
+    Gf2x x232 = Gf2x::monomial(232);
+    EXPECT_EQ(f.mul(x232, Gf2x(2)), Gf2x::fromExponents({74, 0}));
+}
+
+TEST(BinaryField, ItohTsujiiOperationCounts)
+{
+    // For m = 233 the ITA chain on e = 232 = 0b11101000 costs
+    // floor(log2 e) + popcount(e) - 1 = 7 + 4 - 1 = 10 multiplies and
+    // m - 1 = 232 squarings in total (231 inside the chain + the final
+    // squaring of a^(2^(m-1)-1)).
+    BinaryField f = BinaryField::nist("233");
+    unsigned mults = 0, sqrs = 0;
+    Gf2x a = f.randomElement(42);
+    f.invItohTsujii(a, &mults, &sqrs);
+    EXPECT_EQ(mults, 10u);
+    EXPECT_EQ(sqrs, 232u);
+}
+
+TEST(BinaryField, InverseOfZeroIsZero)
+{
+    BinaryField f = BinaryField::nist("233");
+    EXPECT_TRUE(f.invItohTsujii(Gf2x()).isZero());
+    EXPECT_TRUE(f.invEuclid(Gf2x()).isZero());
+}
+
+TEST(BinaryField, InverseOfOneIsOne)
+{
+    BinaryField f = BinaryField::nist("163");
+    EXPECT_TRUE(f.invItohTsujii(Gf2x(uint64_t{1})).isOne());
+    EXPECT_TRUE(f.invEuclid(Gf2x(uint64_t{1})).isOne());
+}
+
+TEST(BinaryField, DivisionInvertsMultiplication)
+{
+    BinaryField f = BinaryField::nist("233");
+    Gf2x a = f.randomElement(7);
+    Gf2x b = f.randomElement(8);
+    EXPECT_EQ(f.div(f.mul(a, b), b), a);
+    EXPECT_DEATH(f.div(a, Gf2x()), "division by zero");
+}
+
+TEST(BinaryField, FermatLikeProperty)
+{
+    // a^(2^m) == a: m+0 squarings bring an element back to itself.
+    BinaryField f = BinaryField::nist("113");
+    Gf2x a = f.randomElement(77);
+    EXPECT_EQ(f.sqrN(a, 113), a);
+}
+
+TEST(BinaryField, RejectsBadPolynomial)
+{
+    EXPECT_DEATH(BinaryField(233, {233, 74}), "must include x\\^m and 1");
+    EXPECT_DEATH(BinaryField(10, {10, 10, 0}), "middle term");
+    EXPECT_DEATH(BinaryField::nist("512"), "unknown NIST");
+}
+
+} // namespace
+} // namespace gfp

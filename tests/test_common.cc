@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit operations, carry-less
+ * multiplication, string helpers, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/random.h"
+#include "common/strutil.h"
+
+namespace gfp {
+namespace {
+
+TEST(Bitops, BitAndSetBit)
+{
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(setBit(0, 5, 1), 0b100000u);
+    EXPECT_EQ(setBit(0xff, 0, 0), 0xfeu);
+}
+
+TEST(Bitops, Parity)
+{
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(0b1011), 1u);
+    EXPECT_EQ(parity(0xffffffffffffffffull), 0u);
+}
+
+TEST(Bitops, Clmul8KnownValues)
+{
+    // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+    EXPECT_EQ(clmul8(0b11, 0b11), 0b101u);
+    // x^7 * x^7 = x^14
+    EXPECT_EQ(clmul8(0x80, 0x80), 0x4000u);
+    EXPECT_EQ(clmul8(0, 0xff), 0u);
+    EXPECT_EQ(clmul8(1, 0xab), 0xabu);
+}
+
+TEST(Bitops, ClmulWidthsConsistent)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        uint8_t a = rng.nextByte(), b = rng.nextByte();
+        EXPECT_EQ(clmul16(a, b), clmul8(a, b));
+        EXPECT_EQ(clmul32(a, b), clmul8(a, b));
+    }
+}
+
+TEST(Bitops, Clmul32MatchesByteDecomposition)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        uint32_t a = rng.next32(), b = rng.next32();
+        uint64_t acc = 0;
+        for (unsigned x = 0; x < 4; ++x)
+            for (unsigned y = 0; y < 4; ++y)
+                acc ^= static_cast<uint64_t>(clmul8(lane(a, x), lane(b, y)))
+                       << (8 * (x + y));
+        EXPECT_EQ(clmul32(a, b), acc);
+    }
+}
+
+TEST(Bitops, Clmul64MatchesClmul32Composition)
+{
+    Rng rng(21);
+    for (int i = 0; i < 50; ++i) {
+        uint64_t a = rng.next64(), b = rng.next64();
+        uint64_t hi, lo;
+        clmul64(a, b, hi, lo);
+
+        // Compose from 32-bit pieces: a = a1*X + a0, b = b1*X + b0.
+        uint32_t a0 = static_cast<uint32_t>(a), a1 = a >> 32;
+        uint32_t b0 = static_cast<uint32_t>(b), b1 = b >> 32;
+        uint64_t p00 = clmul32(a0, b0);
+        uint64_t p01 = clmul32(a0, b1);
+        uint64_t p10 = clmul32(a1, b0);
+        uint64_t p11 = clmul32(a1, b1);
+        uint64_t mid = p01 ^ p10;
+        uint64_t exp_lo = p00 ^ (mid << 32);
+        uint64_t exp_hi = p11 ^ (mid >> 32);
+        EXPECT_EQ(lo, exp_lo);
+        EXPECT_EQ(hi, exp_hi);
+    }
+}
+
+TEST(Bitops, LaneHelpers)
+{
+    uint32_t w = 0x44332211;
+    EXPECT_EQ(lane(w, 0), 0x11);
+    EXPECT_EQ(lane(w, 3), 0x44);
+    EXPECT_EQ(withLane(w, 1, 0xaa), 0x4433aa11u);
+    EXPECT_EQ(splat(0x5e), 0x5e5e5e5eu);
+}
+
+TEST(Bitops, Degree)
+{
+    EXPECT_EQ(degree(0), -1);
+    EXPECT_EQ(degree(1), 0);
+    EXPECT_EQ(degree(0x11b), 8);
+    EXPECT_EQ(degree(uint64_t{1} << 63), 63);
+}
+
+TEST(Strutil, Strprintf)
+{
+    EXPECT_EQ(strprintf("a=%d b=%s", 3, "x"), "a=3 b=x");
+    EXPECT_EQ(strprintf("%05x", 0x1a), "0001a");
+}
+
+TEST(Strutil, TrimSplit)
+{
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    auto f = split("a,b,,c", ',');
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[2], "c");
+    auto g = split("a,b,,c", ',', true);
+    ASSERT_EQ(g.size(), 4u);
+    EXPECT_EQ(g[2], "");
+}
+
+TEST(Strutil, HexRoundTrip)
+{
+    std::vector<uint8_t> v{0xde, 0xad, 0x00, 0x3f};
+    EXPECT_EQ(toHex(v), "dead003f");
+    EXPECT_EQ(fromHex("dead003f"), v);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // namespace
+} // namespace gfp

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Elliptic-curve tests: NIST curve constants (base point on curve,
+ * order annihilates the base point), affine group laws, López-Dahab
+ * projective arithmetic vs. the affine reference, the Sec. 3.3.4
+ * evaluation scalar, field-operation budgets, and ECDH.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/ecc.h"
+
+namespace gfp {
+namespace {
+
+class NistCurves : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(NistCurves, BasePointOnCurve)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    EXPECT_TRUE(c.isOnCurve(c.basePoint()));
+}
+
+TEST_P(NistCurves, OrderAnnihilatesBasePoint)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    EcPoint z = c.scalarMult(c.order(), c.basePoint());
+    EXPECT_TRUE(z.infinity);
+}
+
+TEST_P(NistCurves, GroupLawBasics)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    const EcPoint &g = c.basePoint();
+
+    EcPoint g2 = c.doubleAffine(g);
+    EXPECT_TRUE(c.isOnCurve(g2));
+    EXPECT_EQ(c.addAffine(g, g), g2);
+
+    EcPoint g3 = c.addAffine(g2, g);
+    EXPECT_TRUE(c.isOnCurve(g3));
+    EXPECT_EQ(c.addAffine(g, g2), g3); // commutative
+
+    // Identity and inverse.
+    EXPECT_EQ(c.addAffine(g, EcPoint::infinityPoint()), g);
+    EXPECT_TRUE(c.addAffine(g, c.negate(g)).infinity);
+    EXPECT_TRUE(c.isOnCurve(c.negate(g)));
+}
+
+TEST_P(NistCurves, ProjectiveMatchesAffine)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    const EcPoint &g = c.basePoint();
+
+    // Doubling chain.
+    LdPoint p = c.toProjective(g);
+    EcPoint aff = g;
+    for (int i = 0; i < 6; ++i) {
+        p = c.doubleLd(p);
+        aff = c.doubleAffine(aff);
+        EXPECT_EQ(c.toAffine(p), aff) << "doubling step " << i;
+    }
+    // Mixed addition.
+    p = c.addMixed(p, g);
+    aff = c.addAffine(aff, g);
+    EXPECT_EQ(c.toAffine(p), aff);
+}
+
+TEST_P(NistCurves, ScalarMultLdMatchesAffine)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    const EcPoint &g = c.basePoint();
+    for (uint64_t k : {1ull, 2ull, 3ull, 7ull, 100ull, 0xdeadbeefull}) {
+        EXPECT_EQ(c.scalarMult(Gf2x(k), g), c.scalarMultAffine(Gf2x(k), g))
+            << "k=" << k;
+    }
+    Gf2x big = Gf2x::random(113, 5);
+    EXPECT_EQ(c.scalarMult(big, g), c.scalarMultAffine(big, g));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, NistCurves,
+                         ::testing::Values("K-163", "B-163", "K-233",
+                                           "B-233", "K-283", "B-283"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             n.erase(n.find('-'), 1);
+                             return n;
+                         });
+
+TEST(Ecc, ScalarMultSmallMultiples)
+{
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    const EcPoint &g = c.basePoint();
+    // kG by repeated addition vs. scalar mult.
+    EcPoint acc = EcPoint::infinityPoint();
+    for (uint64_t k = 1; k <= 20; ++k) {
+        acc = c.addAffine(acc, g);
+        EXPECT_EQ(c.scalarMult(Gf2x(k), g), acc) << "k=" << k;
+    }
+}
+
+TEST(Ecc, ScalarMultDistributes)
+{
+    // (k1 + k2) G == k1 G + k2 G (integer addition of scalars).
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    const EcPoint &g = c.basePoint();
+    uint64_t k1 = 123456789, k2 = 987654321;
+    EcPoint lhs = c.scalarMult(Gf2x(k1 + k2), g);
+    EcPoint rhs = c.addAffine(c.scalarMult(Gf2x(k1), g),
+                              c.scalarMult(Gf2x(k2), g));
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Ecc, ZeroAndInfinityCases)
+{
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    EXPECT_TRUE(c.scalarMult(Gf2x(), c.basePoint()).infinity);
+    EXPECT_TRUE(c.scalarMult(Gf2x(5), EcPoint::infinityPoint()).infinity);
+    EXPECT_TRUE(c.isOnCurve(EcPoint::infinityPoint()));
+}
+
+TEST(Ecc, EvaluationScalarShape)
+{
+    Gf2x k = EllipticCurve::evaluationScalar(1);
+    EXPECT_EQ(k.degree(), 112); // 113-bit scalar, top bit set
+    unsigned ones = 0;
+    for (unsigned i = 0; i < 112; ++i)
+        ones += k.getBit(i);
+    EXPECT_EQ(ones, 56u); // 56 additions during double-and-add
+}
+
+TEST(Ecc, PointOpFieldBudgets)
+{
+    // Table 9 rests on these budgets: LD doubling needs 4 field
+    // multiplies (one by the curve constant b) + 5 squarings; mixed
+    // addition 8 multiplies + 5 squarings; neither needs an inversion.
+    EllipticCurve c = EllipticCurve::nist("B-233"); // a = 1, random b
+    LdPoint p = c.toProjective(c.basePoint());
+    p = c.doubleLd(p); // move off Z == 1
+
+    c.resetOpCount();
+    c.doubleLd(p);
+    EXPECT_EQ(c.opCount().mul, 4u);
+    EXPECT_EQ(c.opCount().sqr, 5u);
+    EXPECT_EQ(c.opCount().inv, 0u);
+
+    c.resetOpCount();
+    c.addMixed(p, c.basePoint());
+    EXPECT_EQ(c.opCount().mul, 8u);
+    EXPECT_EQ(c.opCount().sqr, 5u);
+    EXPECT_EQ(c.opCount().inv, 0u);
+
+    // Koblitz (a = 0, b = 1) drops the constant multiply in doubling.
+    EllipticCurve k = EllipticCurve::nist("K-233");
+    LdPoint kp = k.toProjective(k.basePoint());
+    kp = k.doubleLd(kp);
+    k.resetOpCount();
+    k.doubleLd(kp);
+    EXPECT_EQ(k.opCount().mul, 3u);
+    EXPECT_EQ(k.opCount().sqr, 5u);
+
+    // Conversion back to affine costs exactly one inversion.
+    c.resetOpCount();
+    c.toAffine(p);
+    EXPECT_EQ(c.opCount().inv, 1u);
+}
+
+TEST(Ecc, EvaluationWorkloadOpCount)
+{
+    // 112 doublings + 56 additions + 1 final conversion: the op counts
+    // scale exactly with the scalar shape.
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    Gf2x k = EllipticCurve::evaluationScalar(3);
+    c.resetOpCount();
+    c.scalarMult(k, c.basePoint());
+    // K-233: 112 doubles * 3 mults + 56 adds * 8 mults + 2 in the
+    // final projective-to-affine conversion.
+    EXPECT_EQ(c.opCount().mul, 112u * 3 + 56u * 8 + 2);
+    EXPECT_EQ(c.opCount().inv, 1u);
+}
+
+TEST(Ecdh, SharedSecretsAgree)
+{
+    for (const char *name : {"K-233", "B-163"}) {
+        EllipticCurve c = EllipticCurve::nist(name);
+        Ecdh ecdh(c);
+        auto alice = ecdh.generate(1001);
+        auto bob = ecdh.generate(2002);
+        EXPECT_TRUE(c.isOnCurve(alice.public_point));
+        EXPECT_TRUE(c.isOnCurve(bob.public_point));
+        Gf2x s1 = ecdh.sharedSecret(alice.private_scalar, bob.public_point);
+        Gf2x s2 = ecdh.sharedSecret(bob.private_scalar, alice.public_point);
+        EXPECT_EQ(s1, s2) << name;
+        EXPECT_FALSE(s1.isZero());
+    }
+}
+
+TEST(Ecdh, DifferentSeedsDifferentKeys)
+{
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    Ecdh ecdh(c);
+    auto a = ecdh.generate(1);
+    auto b = ecdh.generate(2);
+    EXPECT_FALSE(a.public_point == b.public_point);
+}
+
+TEST(Ecc, RejectsSingularCurve)
+{
+    EXPECT_DEATH(EllipticCurve(BinaryField::nist("233"), Gf2x(1), Gf2x()),
+                 "b != 0");
+}
+
+} // namespace
+} // namespace gfp

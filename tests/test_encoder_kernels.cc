@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Validation of the RS encoder assembly kernels and of the SIMD
+ * lane-width ablation variant of the syndrome kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coding/channel.h"
+#include "coding/decoder_kernels.h"
+#include "coding/rs.h"
+#include "common/random.h"
+#include "kernels/coding_kernels.h"
+#include "sim/machine.h"
+
+namespace gfp {
+namespace {
+
+class RsEncoderKernel
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(RsEncoderKernel, MatchesReferenceEncoder)
+{
+    auto [m, t] = GetParam();
+    RSCode code(m, t);
+    Rng rng(m * 13 + t);
+    std::vector<GFElem> info(code.k());
+    for (auto &sym : info)
+        sym = rng.below(code.field().order());
+    auto expect = code.encode(info);
+    std::vector<uint8_t> info_bytes(info.begin(), info.end());
+    std::vector<uint8_t> expect_bytes(expect.begin(), expect.end());
+
+    for (int variant = 0; variant < 3; ++variant) {
+        std::string src;
+        CoreKind kind;
+        switch (variant) {
+          case 0:
+            src = rsEncodeAsmBaseline(code.field(), t,
+                                      BaselineFlavor::kHandOptimized);
+            kind = CoreKind::kBaseline;
+            break;
+          case 1:
+            src = rsEncodeAsmBaseline(code.field(), t,
+                                      BaselineFlavor::kCompiled);
+            kind = CoreKind::kBaseline;
+            break;
+          default:
+            src = rsEncodeAsmGfcore(code.field(), t);
+            kind = CoreKind::kGfProcessor;
+        }
+        Machine mach(src, kind);
+        mach.writeBytes("infodata", info_bytes);
+        mach.runToHalt();
+        EXPECT_EQ(mach.readBytes("cwdata", code.n()), expect_bytes)
+            << "variant=" << variant;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, RsEncoderKernel,
+    ::testing::Values(std::tuple{8u, 8u}, std::tuple{8u, 4u},
+                      std::tuple{8u, 2u}, std::tuple{5u, 2u}),
+    [](const auto &info) {
+        return "m" + std::to_string(std::get<0>(info.param)) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RsEncoderKernel, GfCoreIsFaster)
+{
+    GFField f(8);
+    RSCode code(8, 8);
+    Rng rng(3);
+    std::vector<uint8_t> info(code.k());
+    for (auto &b : info)
+        b = rng.nextByte();
+
+    Machine base(rsEncodeAsmBaseline(f, 8), CoreKind::kBaseline);
+    base.writeBytes("infodata", info);
+    uint64_t bc = base.runToHalt().cycles;
+
+    Machine gf(rsEncodeAsmGfcore(f, 8), CoreKind::kGfProcessor);
+    gf.writeBytes("infodata", info);
+    uint64_t gc = gf.runToHalt().cycles;
+
+    EXPECT_GT(bc, 5 * gc);
+}
+
+TEST(RsEncoderKernel, EncodedWordHasZeroSyndromes)
+{
+    GFField f(8);
+    Machine m(rsEncodeAsmGfcore(f, 8), CoreKind::kGfProcessor);
+    Rng rng(21);
+    std::vector<uint8_t> info(239);
+    for (auto &b : info)
+        b = rng.nextByte();
+    m.writeBytes("infodata", info);
+    m.runToHalt();
+    auto cw = m.readBytes("cwdata", 255);
+    std::vector<GFElem> symbols(cw.begin(), cw.end());
+    for (GFElem s : syndromes(f, symbols, 16))
+        EXPECT_EQ(s, 0);
+}
+
+class LaneAblation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LaneAblation, CorrectAtEveryWidth)
+{
+    unsigned lanes = GetParam();
+    GFField f(8);
+    RSCode code(8, 8);
+    Rng rng(7);
+    std::vector<GFElem> info(code.k());
+    for (auto &sym : info)
+        sym = rng.nextByte();
+    ExactErrorInjector inj(8);
+    auto rx = inj.corruptSymbols(code.encode(info), 8, 8);
+    auto expect = syndromes(f, rx, 16);
+
+    Machine m(syndromeAsmGfcoreLanes(f, 255, 16, lanes),
+              CoreKind::kGfProcessor);
+    m.writeBytes("rxdata",
+                 std::vector<uint8_t>(rx.begin(), rx.end()));
+    m.runToHalt();
+    EXPECT_EQ(m.readBytes("synd", 16),
+              std::vector<uint8_t>(expect.begin(), expect.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LaneAblation,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const auto &info) {
+                             return "lanes" + std::to_string(info.param);
+                         });
+
+TEST(LaneAblation, ThroughputScalesWithWidth)
+{
+    GFField f(8);
+    std::vector<uint8_t> rx(255, 0x5a);
+    uint64_t cycles[3];
+    unsigned widths[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+        Machine m(syndromeAsmGfcoreLanes(f, 255, 16, widths[i]),
+                  CoreKind::kGfProcessor);
+        m.writeBytes("rxdata", rx);
+        cycles[i] = m.runToHalt().cycles;
+    }
+    // Close to linear scaling up to the 4-way width.
+    EXPECT_GT(cycles[0], 18 * 255 / 10 * 4); // sanity floor
+    EXPECT_GT(cycles[0], cycles[1] * 17 / 10);
+    EXPECT_GT(cycles[1], cycles[2] * 17 / 10);
+}
+
+} // namespace
+} // namespace gfp

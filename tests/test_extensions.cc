@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the extension features beyond the paper's headline path:
+ * the Montgomery-ladder scalar multiplication, RS errors-and-erasures
+ * decoding, the closed-form BCH error-locator (Fig. 1(a)'s "Closed
+ * Form ELP" kernel), and the circulant-ring configuration of the
+ * programmable reduction matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coding/channel.h"
+#include "coding/decoder_kernels.h"
+#include "coding/rs.h"
+#include "common/bitops.h"
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/ecc.h"
+#include "gfau/gf_unit.h"
+
+namespace gfp {
+namespace {
+
+// ----------------------- Montgomery ladder ---------------------------
+
+class MontgomeryLadder : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MontgomeryLadder, MatchesDoubleAndAdd)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    const EcPoint &g = c.basePoint();
+    for (uint64_t k : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull,
+                       0xfeedull, 0x123456789abcdefull}) {
+        EXPECT_EQ(c.scalarMultMontgomery(Gf2x(k), g),
+                  c.scalarMult(Gf2x(k), g))
+            << "k=" << k;
+    }
+    Gf2x big = Gf2x::random(113, 77);
+    EXPECT_EQ(c.scalarMultMontgomery(big, g), c.scalarMult(big, g));
+}
+
+TEST_P(MontgomeryLadder, EdgeScalars)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    const EcPoint &g = c.basePoint();
+    EXPECT_TRUE(c.scalarMultMontgomery(Gf2x(), g).infinity);
+    EXPECT_EQ(c.scalarMultMontgomery(Gf2x(uint64_t{1}), g), g);
+    // k = order gives infinity; k = order - 1 gives -P.
+    EXPECT_TRUE(c.scalarMultMontgomery(c.order(), g).infinity);
+    Gf2x om1 = c.order() ^ Gf2x(uint64_t{1});
+    EXPECT_EQ(c.scalarMultMontgomery(om1, g), c.negate(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, MontgomeryLadder,
+                         ::testing::Values("K-233", "B-233", "K-163"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             n.erase(n.find('-'), 1);
+                             return n;
+                         });
+
+TEST(MontgomeryLadder, EcdhStillAgrees)
+{
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    Gf2x da = Gf2x::random(200, 1), db = Gf2x::random(200, 2);
+    EcPoint qa = c.scalarMultMontgomery(da, c.basePoint());
+    EcPoint qb = c.scalarMultMontgomery(db, c.basePoint());
+    EXPECT_EQ(c.scalarMultMontgomery(da, qb),
+              c.scalarMultMontgomery(db, qa));
+}
+
+// ------------------- errors-and-erasures decoding --------------------
+
+TEST(Erasures, ErasureLocatorRoots)
+{
+    GFField f(8);
+    std::vector<unsigned> where{3, 57, 200};
+    GFPoly gamma = erasureLocator(f, where);
+    EXPECT_EQ(gamma.degree(), 3);
+    for (unsigned i : where)
+        EXPECT_EQ(gamma.eval(f.exp((255 - i) % 255)), 0);
+}
+
+TEST(Erasures, CorrectsFull2tErasures)
+{
+    // With no unknown errors, 2t erased symbols are recoverable —
+    // twice the plain error-correction radius.
+    RSCode code(8, 8);
+    Rng rng(5);
+    std::vector<GFElem> info(code.k());
+    for (auto &s : info)
+        s = rng.nextByte();
+    auto cw = code.encode(info);
+
+    ExactErrorInjector inj(6);
+    auto pos = inj.pickPositions(code.n(), 16);
+    auto rx = cw;
+    for (unsigned p : pos)
+        rx[p] = rng.nextByte(); // garbage at the declared positions
+
+    auto res = code.decodeWithErasures(rx, pos);
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+TEST(Erasures, MixedErrorsAndErasures)
+{
+    // 2*nu + e <= 2t: sweep the boundary.
+    RSCode code(8, 8);
+    Rng rng(9);
+    for (auto [errors, erases] : {std::pair{0u, 16u}, {1u, 14u},
+                                  {4u, 8u}, {7u, 2u}, {8u, 0u},
+                                  {2u, 12u}}) {
+        std::vector<GFElem> info(code.k());
+        for (auto &s : info)
+            s = rng.nextByte();
+        auto cw = code.encode(info);
+
+        ExactErrorInjector inj(errors * 100 + erases);
+        auto pos = inj.pickPositions(code.n(), errors + erases);
+        std::vector<unsigned> err_pos(pos.begin(), pos.begin() + errors);
+        std::vector<unsigned> era_pos(pos.begin() + errors, pos.end());
+
+        auto rx = cw;
+        for (unsigned p : err_pos)
+            rx[p] ^= static_cast<GFElem>(1 + rng.below(255));
+        for (unsigned p : era_pos)
+            rx[p] = rng.nextByte();
+
+        auto res = code.decodeWithErasures(rx, era_pos);
+        EXPECT_TRUE(res.ok) << "nu=" << errors << " e=" << erases;
+        EXPECT_EQ(res.codeword, cw) << "nu=" << errors << " e=" << erases;
+    }
+}
+
+TEST(Erasures, BeyondBudgetIsFlagged)
+{
+    RSCode code(8, 2);
+    std::vector<GFElem> info(code.k(), 0x11);
+    auto cw = code.encode(info);
+    auto rx = cw;
+    // 5 erasures > 2t = 4.
+    std::vector<unsigned> era{1, 2, 3, 4, 5};
+    for (unsigned p : era)
+        rx[p] = 0xff;
+    auto res = code.decodeWithErasures(rx, era);
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Erasures, NoErasuresEqualsPlainDecode)
+{
+    RSCode code(8, 4);
+    Rng rng(12);
+    std::vector<GFElem> info(code.k());
+    for (auto &s : info)
+        s = rng.nextByte();
+    ExactErrorInjector inj(13);
+    auto rx = inj.corruptSymbols(code.encode(info), 4, 8);
+    auto plain = code.decode(rx);
+    auto with = code.decodeWithErasures(rx, {});
+    EXPECT_EQ(plain.ok, with.ok);
+    EXPECT_EQ(plain.codeword, with.codeword);
+}
+
+// ----------------------- closed-form BCH ELP -------------------------
+
+class ClosedFormElp
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(ClosedFormElp, MatchesBerlekampMassey)
+{
+    auto [m, t] = GetParam();
+    GFField f(m);
+    unsigned n = f.groupOrder();
+    Rng rng(m * 100 + t);
+    ExactErrorInjector inj(m * 7 + t + 1);
+
+    // All-zero codeword + random error patterns of every weight <= t.
+    for (unsigned errors = 0; errors <= t; ++errors) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<GFElem> rx(n, 0);
+            auto pos = inj.pickPositions(n, errors);
+            for (unsigned p : pos)
+                rx[p] = 1; // binary errors
+            auto synd = syndromes(f, rx, 2 * t);
+
+            GFPoly closed = closedFormElpBch(f, synd, t);
+            GFPoly bma = berlekampMassey(f, synd);
+            // Both must locate the same error positions.
+            EXPECT_EQ(chienSearch(f, closed, n), chienSearch(f, bma, n))
+                << "m=" << m << " t=" << t << " errors=" << errors
+                << " trial=" << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, ClosedFormElp,
+    ::testing::Values(std::tuple{5u, 1u}, std::tuple{5u, 2u},
+                      std::tuple{5u, 3u}, std::tuple{6u, 3u},
+                      std::tuple{8u, 3u}),
+    [](const auto &info) {
+        return "m" + std::to_string(std::get<0>(info.param)) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------- circulant-ring config ------------------------
+
+TEST(CirculantRing, MultIsCircularConvolution)
+{
+    GFArithmeticUnit u;
+    u.loadConfig(GFConfig::circulant(8));
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+        uint8_t a = rng.nextByte(), b = rng.nextByte();
+        // Reference: carry-less product folded mod x^8 + 1.
+        uint16_t full = clmul8(a, b);
+        uint8_t expect = static_cast<uint8_t>(full ^ (full >> 8));
+        EXPECT_EQ(lane(u.simdMult(splat(a), splat(b)), 0), expect);
+    }
+}
+
+TEST(CirculantRing, MultByXRotates)
+{
+    GFArithmeticUnit u;
+    u.loadConfig(GFConfig::circulant(8));
+    for (unsigned v = 0; v < 256; ++v) {
+        uint8_t rot = static_cast<uint8_t>((v << 1) | (v >> 7));
+        EXPECT_EQ(lane(u.simdMult(splat(v), splat(0x02)), 0), rot);
+    }
+}
+
+TEST(CirculantRing, AesAffineIsMultiplyBy1F)
+{
+    // The trick the AES kernels rely on: sbox(x) == inv(x)*0x1f + 0x63
+    // in the x^8+1 ring, and the inverse affine is *0x4a + 0x05.
+    GFArithmeticUnit field_u, ring_u;
+    field_u.configureField(8, 0x11b);
+    ring_u.loadConfig(GFConfig::circulant(8));
+    for (unsigned x = 0; x < 256; ++x) {
+        uint8_t inv = lane(field_u.simdInverse(splat(x)), 0);
+        uint8_t affine =
+            lane(ring_u.simdMult(splat(inv), splat(0x1f)), 0) ^ 0x63;
+        EXPECT_EQ(affine, Aes::sbox(static_cast<uint8_t>(x))) << x;
+
+        uint8_t pre =
+            lane(ring_u.simdMult(splat(x), splat(0x4a)), 0) ^ 0x05;
+        uint8_t isb = lane(field_u.simdInverse(splat(pre)), 0);
+        EXPECT_EQ(isb, Aes::invSbox(static_cast<uint8_t>(x))) << x;
+    }
+}
+
+TEST(CirculantRing, PackRoundTrips)
+{
+    GFConfig cfg = GFConfig::circulant(8);
+    GFConfig back = GFConfig::unpack(cfg.pack());
+    EXPECT_EQ(back, cfg);
+}
+
+TEST(CirculantRing, SmallerWidths)
+{
+    // mod x^4 + 1: bit 4+j wraps to bit j.
+    GFArithmeticUnit u;
+    u.loadConfig(GFConfig::circulant(4));
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 0; b < 16; ++b) {
+            uint16_t full = clmul8(a, b);
+            uint8_t expect = static_cast<uint8_t>(
+                (full ^ (full >> 4)) & 0xf);
+            EXPECT_EQ(lane(u.simdMult(splat(a), splat(b)), 0), expect);
+        }
+    }
+}
+
+} // namespace
+} // namespace gfp

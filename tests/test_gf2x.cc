@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for Gf2x big binary polynomials: the carry-less multiply
+ * (schoolbook over 32-bit partial products, and Karatsuba), squaring,
+ * reduction, and division.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf/gf2x.h"
+
+namespace gfp {
+namespace {
+
+TEST(Gf2x, BasicConstruction)
+{
+    Gf2x z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.degree(), -1);
+
+    Gf2x one(uint64_t{1});
+    EXPECT_TRUE(one.isOne());
+
+    Gf2x m = Gf2x::monomial(233);
+    EXPECT_EQ(m.degree(), 233);
+    EXPECT_EQ(m.getBit(233), 1u);
+    EXPECT_EQ(m.getBit(232), 0u);
+}
+
+TEST(Gf2x, FromExponents)
+{
+    Gf2x k233 = Gf2x::fromExponents({233, 74, 0});
+    EXPECT_EQ(k233.degree(), 233);
+    EXPECT_EQ(k233.getBit(74), 1u);
+    EXPECT_EQ(k233.getBit(0), 1u);
+    EXPECT_EQ(k233.getBit(73), 0u);
+}
+
+TEST(Gf2x, ShiftRoundTrip)
+{
+    Gf2x p = Gf2x::random(200, 1);
+    for (unsigned k : {1u, 31u, 32u, 64u, 65u, 130u}) {
+        EXPECT_EQ(p.shiftLeft(k).shiftRight(k), p) << "k=" << k;
+        EXPECT_EQ(p.shiftLeft(k).degree(), p.degree() + static_cast<int>(k));
+    }
+}
+
+TEST(Gf2x, TruncatedKeepsLowBits)
+{
+    Gf2x p = Gf2x::random(100, 2);
+    Gf2x t = p.truncated(40);
+    for (unsigned i = 0; i < 40; ++i)
+        EXPECT_EQ(t.getBit(i), p.getBit(i));
+    EXPECT_LT(t.degree(), 40);
+    // p == trunc + (p >> 40) << 40
+    EXPECT_EQ(t ^ p.shiftRight(40).shiftLeft(40), p);
+}
+
+TEST(Gf2x, MulSmallKnownValues)
+{
+    // (x + 1)(x^2 + x + 1) = x^3 + 1
+    Gf2x a(0b11), b(0b111);
+    EXPECT_EQ(a * b, Gf2x(0b1001));
+    EXPECT_TRUE((a * Gf2x()).isZero());
+    EXPECT_EQ(a * Gf2x(uint64_t{1}), a);
+}
+
+TEST(Gf2x, SchoolbookPartialProductCount)
+{
+    // 233-bit operands occupy 8 32-bit limbs; the direct product issues
+    // 64 gf32bMult operations — the count in the paper's Table 7.
+    Gf2x a = Gf2x::random(233, 3), b = Gf2x::random(233, 4);
+    unsigned count = 0;
+    a.mulSchoolbook(b, &count);
+    EXPECT_EQ(count, 64u);
+}
+
+TEST(Gf2x, KaratsubaPartialProductCount)
+{
+    // Two Karatsuba levels: 3 * 3 * (4 limbs x 4 limbs schoolbook /4)
+    // = 9 blocks of 2x2 = 36 partial products.
+    Gf2x a = Gf2x::random(233, 5), b = Gf2x::random(233, 6);
+    unsigned count = 0;
+    a.mulKaratsuba(b, 2, &count);
+    EXPECT_EQ(count, 36u);
+}
+
+TEST(Gf2x, KaratsubaMatchesSchoolbook)
+{
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+        unsigned bits_a = 1 + (seed * 37) % 500;
+        unsigned bits_b = 1 + (seed * 91) % 500;
+        Gf2x a = Gf2x::random(bits_a, seed * 2 + 1);
+        Gf2x b = Gf2x::random(bits_b, seed * 2 + 2);
+        for (unsigned levels : {1u, 2u, 3u}) {
+            EXPECT_EQ(a.mulKaratsuba(b, levels), a.mulSchoolbook(b))
+                << "seed=" << seed << " levels=" << levels;
+        }
+    }
+}
+
+TEST(Gf2x, MulCommutativeAssociativeDistributive)
+{
+    Gf2x a = Gf2x::random(150, 7);
+    Gf2x b = Gf2x::random(200, 8);
+    Gf2x c = Gf2x::random(100, 9);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b ^ c), (a * b) ^ (a * c));
+}
+
+TEST(Gf2x, SquareMatchesSelfMultiply)
+{
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        Gf2x a = Gf2x::random(1 + (seed * 53) % 600, seed + 100);
+        EXPECT_EQ(a.square(), a * a) << "seed=" << seed;
+    }
+    EXPECT_TRUE(Gf2x().square().isZero());
+}
+
+TEST(Gf2x, SquareSpreadsBits)
+{
+    Gf2x a = Gf2x::fromExponents({0, 5, 100});
+    Gf2x sq = a.square();
+    EXPECT_EQ(sq, Gf2x::fromExponents({0, 10, 200}));
+}
+
+TEST(Gf2x, DivModRoundTrip)
+{
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+        Gf2x a = Gf2x::random(300, seed + 1);
+        Gf2x b = Gf2x::random(1 + (seed * 13) % 150, seed + 500);
+        if (b.isZero())
+            continue;
+        Gf2x q, r;
+        a.divmod(b, q, r);
+        EXPECT_LT(r.degree(), b.degree());
+        EXPECT_EQ((q * b) ^ r, a);
+        EXPECT_EQ(a.mod(b), r);
+    }
+}
+
+TEST(Gf2x, GcdBasics)
+{
+    Gf2x a = Gf2x::random(80, 11);
+    EXPECT_EQ(Gf2x::gcd(a, Gf2x()), a);
+    // gcd(p*q, p*r) is divisible by p
+    Gf2x p = Gf2x::fromExponents({5, 2, 0});
+    Gf2x q = Gf2x::fromExponents({7, 1, 0});
+    Gf2x r = Gf2x::fromExponents({6, 3, 0});
+    Gf2x g = Gf2x::gcd(p * q, p * r);
+    EXPECT_TRUE((g.mod(p)).isZero());
+}
+
+TEST(Gf2x, Words32RoundTrip)
+{
+    Gf2x a = Gf2x::random(233, 21);
+    auto w = a.toWords32(8);
+    EXPECT_EQ(w.size(), 8u);
+    EXPECT_EQ(Gf2x::fromWords32(w), a);
+}
+
+TEST(Gf2x, HexRoundTrip)
+{
+    Gf2x a = Gf2x::random(233, 31);
+    EXPECT_EQ(Gf2x::fromHexString(a.toHexString()), a);
+    EXPECT_EQ(Gf2x::fromHexString("11b"), Gf2x(0x11b));
+    EXPECT_EQ(Gf2x(0x11b).toHexString(), "11b");
+}
+
+} // namespace
+} // namespace gfp

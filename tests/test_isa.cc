@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the ISA layer: instruction encode/decode round trips, the
+ * disassembler, and the two-pass assembler (labels, sections,
+ * directives, pseudo-instructions, error cases).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace gfp {
+namespace {
+
+TEST(Encoding, RoundTripAllShapes)
+{
+    std::vector<Instr> cases = {
+        {Op::kAdd, 1, 2, 3, 0, 0},
+        {Op::kMov, 4, 5, 0, 0, 0},
+        {Op::kCmp, 0, 6, 7, 0, 0},
+        {Op::kAddi, 1, 2, 0, 0, -5},
+        {Op::kAddi, 1, 2, 0, 0, 2047},
+        {Op::kAddi, 1, 2, 0, 0, -2048},
+        {Op::kMovi, 3, 0, 0, 0, 0xffff},
+        {Op::kMovt, 3, 0, 0, 0, 0xabcd},
+        {Op::kLdr, 4, 13, 0, 0, -8},
+        {Op::kStrb, 5, 6, 0, 0, 100},
+        {Op::kLdrr, 7, 8, 9, 0, 0},
+        {Op::kB, 0, 0, 0, 0, -300},
+        {Op::kBne, 0, 0, 0, 0, 32767},
+        {Op::kBl, 0, 0, 0, 0, -32768},
+        {Op::kJr, 0, 14, 0, 0, 0},
+        {Op::kRet, 0, 0, 0, 0, 0},
+        {Op::kHalt, 0, 0, 0, 0, 0},
+        {Op::kGfMuls, 1, 2, 3, 0, 0},
+        {Op::kGfInvs, 4, 5, 0, 0, 0},
+        {Op::kGf32Mul, 6, 8, 9, 7, 0},
+        {Op::kGfCfg, 0, 0, 0, 0, 0xabcde},
+    };
+    for (const Instr &in : cases) {
+        Instr out = decode(encode(in));
+        EXPECT_EQ(out, in) << disassemble(in);
+    }
+}
+
+TEST(Encoding, RangeChecksDie)
+{
+    EXPECT_DEATH(encode({Op::kAddi, 0, 0, 0, 0, 2048}), "12-bit");
+    EXPECT_DEATH(encode({Op::kMovi, 0, 0, 0, 0, 0x10000}), "16-bit");
+    EXPECT_DEATH(encode({Op::kB, 0, 0, 0, 0, 40000}), "16-bit");
+    EXPECT_DEATH(encode({Op::kGfCfg, 0, 0, 0, 0, 1 << 20}), "20-bit");
+}
+
+TEST(Encoding, DecodeUnknownOpcodeDies)
+{
+    EXPECT_DEATH(decode(0xff000000u), "unknown opcode");
+}
+
+TEST(Disasm, RepresentativeStrings)
+{
+    EXPECT_EQ(disassemble({Op::kAdd, 1, 2, 3, 0, 0}), "add     r1, r2, r3");
+    EXPECT_EQ(disassemble({Op::kLdr, 4, 13, 0, 0, -8}),
+              "ldr     r4, [sp, #-8]");
+    EXPECT_EQ(disassemble({Op::kLdr, 4, 2, 0, 0, 0}), "ldr     r4, [r2]");
+    EXPECT_EQ(disassemble({Op::kLdrbr, 1, 2, 3, 0, 0}),
+              "ldrb    r1, [r2, r3]");
+    EXPECT_EQ(disassemble({Op::kGf32Mul, 6, 8, 9, 7, 0}),
+              "gf32mul r6, r7, r8, r9");
+    EXPECT_EQ(disassemble({Op::kB, 0, 0, 0, 0, 4}, 0x100), "b       0x114");
+    EXPECT_EQ(disassemble({Op::kRet, 0, 0, 0, 0, 0}), "ret");
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = Assembler::assemble(R"(
+        movi r0, #42
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 2u);
+    Instr i0 = decode(p.code[0]);
+    EXPECT_EQ(i0.op, Op::kMovi);
+    EXPECT_EQ(i0.rd, 0);
+    EXPECT_EQ(i0.imm, 42);
+    EXPECT_EQ(decode(p.code[1]).op, Op::kHalt);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = Assembler::assemble(R"(
+        movi r0, #0
+    loop:
+        addi r0, r0, #1
+        cmpi r0, #10
+        bne  loop
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 5u);
+    EXPECT_EQ(p.symbol("loop"), 4u);
+    Instr bne = decode(p.code[3]);
+    EXPECT_EQ(bne.op, Op::kBne);
+    // bne at byte 12; target 4: offset = (4 - 16)/4 = -3
+    EXPECT_EQ(bne.imm, -3);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = Assembler::assemble(R"(
+        b end
+        nop
+    end:
+        halt
+    )");
+    Instr b0 = decode(p.code[0]);
+    EXPECT_EQ(b0.imm, 1); // skip one instruction
+}
+
+TEST(Assembler, DataSectionAndSymbols)
+{
+    Program p = Assembler::assemble(R"(
+        la   r1, table
+        ldrb r2, [r1, #2]
+        halt
+    .data
+    table:
+        .byte 10, 20, 30, 40
+    val:
+        .word 0xdeadbeef
+    buf:
+        .space 8
+    )");
+    // la = 2 instrs + 2 = 4 instrs = 16 bytes; data base aligned to 16.
+    EXPECT_EQ(p.data_base % 8, 0u);
+    EXPECT_EQ(p.symbol("table"), p.data_base);
+    EXPECT_EQ(p.symbol("val"), p.data_base + 4);
+    EXPECT_EQ(p.symbol("buf"), p.data_base + 8);
+    ASSERT_EQ(p.data.size(), 16u);
+    EXPECT_EQ(p.data[0], 10);
+    EXPECT_EQ(p.data[3], 40);
+    EXPECT_EQ(p.data[4], 0xef);
+    EXPECT_EQ(p.data[7], 0xde);
+}
+
+TEST(Assembler, AlignDirective)
+{
+    Program p = Assembler::assemble(R"(
+        halt
+    .data
+        .byte 1
+        .align 8
+    blob:
+        .word 1, 2
+    )");
+    EXPECT_EQ(p.symbol("blob") % 8, 0u);
+}
+
+TEST(Assembler, LiPseudoSizes)
+{
+    Program small = Assembler::assemble("li r0, #100\nhalt");
+    EXPECT_EQ(small.code.size(), 2u);
+
+    Program large = Assembler::assemble("li r0, #0x12345\nhalt");
+    EXPECT_EQ(large.code.size(), 3u);
+    EXPECT_EQ(decode(large.code[0]).op, Op::kMovi);
+    EXPECT_EQ(decode(large.code[0]).imm, 0x2345);
+    EXPECT_EQ(decode(large.code[1]).op, Op::kMovt);
+    EXPECT_EQ(decode(large.code[1]).imm, 0x1);
+
+    Program neg = Assembler::assemble("li r0, #-1\nhalt");
+    EXPECT_EQ(neg.code.size(), 3u);
+}
+
+TEST(Assembler, WordDirectiveWithLabelRef)
+{
+    Program p = Assembler::assemble(R"(
+        halt
+    .data
+    table:
+        .word after
+    after:
+        .byte 1
+    )");
+    uint32_t stored = p.data[0] | (p.data[1] << 8) | (p.data[2] << 16) |
+                      (p.data[3] << 24);
+    EXPECT_EQ(stored, p.symbol("after"));
+}
+
+TEST(Assembler, MemoryOperandVariants)
+{
+    Program p = Assembler::assemble(R"(
+        ldr  r1, [r2]
+        ldr  r1, [r2, #4]
+        ldr  r1, [r2, r3]
+        strh r1, [r2, r3]
+        halt
+    )");
+    EXPECT_EQ(decode(p.code[0]).op, Op::kLdr);
+    EXPECT_EQ(decode(p.code[0]).imm, 0);
+    EXPECT_EQ(decode(p.code[1]).imm, 4);
+    EXPECT_EQ(decode(p.code[2]).op, Op::kLdrr);
+    EXPECT_EQ(decode(p.code[3]).op, Op::kStrhr);
+}
+
+TEST(Assembler, GfInstructions)
+{
+    Program p = Assembler::assemble(R"(
+        gfcfg cfg
+        gfmuls r1, r2, r3
+        gfinvs r4, r5
+        gfsqs  r6, r7
+        gfpows r8, r9, r10
+        gfadds r11, r12, r1
+        gf32mul r2, r3, r4, r5
+        halt
+    .data
+    .align 8
+    cfg:
+        .word 0, 0
+    )");
+    EXPECT_EQ(decode(p.code[0]).op, Op::kGfCfg);
+    EXPECT_EQ(static_cast<uint32_t>(decode(p.code[0]).imm), p.symbol("cfg"));
+    Instr gf32 = decode(p.code[6]);
+    EXPECT_EQ(gf32.rd, 2);   // high word
+    EXPECT_EQ(gf32.rd2, 3);  // low word
+    EXPECT_EQ(gf32.rs1, 4);
+    EXPECT_EQ(gf32.rs2, 5);
+}
+
+TEST(Assembler, CommentsAndWhitespace)
+{
+    Program p = Assembler::assemble(R"(
+        ; full-line comment
+        movi r0, #1   ; trailing comment
+        // c++ style
+        halt          // done
+    )");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, SpAndLrAliases)
+{
+    Program p = Assembler::assemble(R"(
+        str lr, [sp, #-4]
+        halt
+    )");
+    Instr i = decode(p.code[0]);
+    EXPECT_EQ(i.rd, kRegLr);
+    EXPECT_EQ(i.rs1, kRegSp);
+}
+
+TEST(Assembler, ErrorsAreFatal)
+{
+    EXPECT_DEATH(Assembler::assemble("bogus r1, r2"), "unknown mnemonic");
+    EXPECT_DEATH(Assembler::assemble("b nowhere"), "undefined label");
+    EXPECT_DEATH(Assembler::assemble("add r1, r2"), "expects 3 operands");
+    EXPECT_DEATH(Assembler::assemble("movi r16, #1"), "expected register");
+    EXPECT_DEATH(Assembler::assemble("addi r1, r2, #9999"), "12-bit");
+    EXPECT_DEATH(Assembler::assemble(".word 5"), "in .text");
+    EXPECT_DEATH(Assembler::assemble(".data\nmovi r0, #1"), "in .data");
+}
+
+} // namespace
+} // namespace gfp
