@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_power_gating"
+  "../bench/ablation_power_gating.pdb"
+  "CMakeFiles/ablation_power_gating.dir/ablation_power_gating.cc.o"
+  "CMakeFiles/ablation_power_gating.dir/ablation_power_gating.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_simd_width"
+  "../bench/ablation_simd_width.pdb"
+  "CMakeFiles/ablation_simd_width.dir/ablation_simd_width.cc.o"
+  "CMakeFiles/ablation_simd_width.dir/ablation_simd_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simd_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ecdh_scalar_mult"
+  "../bench/ecdh_scalar_mult.pdb"
+  "CMakeFiles/ecdh_scalar_mult.dir/ecdh_scalar_mult.cc.o"
+  "CMakeFiles/ecdh_scalar_mult.dir/ecdh_scalar_mult.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdh_scalar_mult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/encoder_speedup"
+  "../bench/encoder_speedup.pdb"
+  "CMakeFiles/encoder_speedup.dir/encoder_speedup.cc.o"
+  "CMakeFiles/encoder_speedup.dir/encoder_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_coding_flexibility"
+  "../bench/fig03_coding_flexibility.pdb"
+  "CMakeFiles/fig03_coding_flexibility.dir/fig03_coding_flexibility.cc.o"
+  "CMakeFiles/fig03_coding_flexibility.dir/fig03_coding_flexibility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_coding_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

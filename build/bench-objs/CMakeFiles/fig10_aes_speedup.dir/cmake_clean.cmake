@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_aes_speedup"
+  "../bench/fig10_aes_speedup.pdb"
+  "CMakeFiles/fig10_aes_speedup.dir/fig10_aes_speedup.cc.o"
+  "CMakeFiles/fig10_aes_speedup.dir/fig10_aes_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_aes_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_gf"
+  "../bench/microbench_gf.pdb"
+  "CMakeFiles/microbench_gf.dir/microbench_gf.cc.o"
+  "CMakeFiles/microbench_gf.dir/microbench_gf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_mult_resources"
+  "../bench/table02_mult_resources.pdb"
+  "CMakeFiles/table02_mult_resources.dir/table02_mult_resources.cc.o"
+  "CMakeFiles/table02_mult_resources.dir/table02_mult_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_mult_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

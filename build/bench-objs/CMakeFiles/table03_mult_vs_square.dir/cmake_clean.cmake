@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_mult_vs_square"
+  "../bench/table03_mult_vs_square.pdb"
+  "CMakeFiles/table03_mult_vs_square.dir/table03_mult_vs_square.cc.o"
+  "CMakeFiles/table03_mult_vs_square.dir/table03_mult_vs_square.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_mult_vs_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

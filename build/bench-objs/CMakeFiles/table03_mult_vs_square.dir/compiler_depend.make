@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table03_mult_vs_square.
+# This may be replaced when dependencies are built.

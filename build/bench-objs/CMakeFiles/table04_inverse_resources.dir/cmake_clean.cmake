@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_inverse_resources"
+  "../bench/table04_inverse_resources.pdb"
+  "CMakeFiles/table04_inverse_resources.dir/table04_inverse_resources.cc.o"
+  "CMakeFiles/table04_inverse_resources.dir/table04_inverse_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_inverse_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_inverse_resources.
+# This may be replaced when dependencies are built.

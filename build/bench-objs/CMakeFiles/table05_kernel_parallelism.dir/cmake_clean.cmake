@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05_kernel_parallelism"
+  "../bench/table05_kernel_parallelism.pdb"
+  "CMakeFiles/table05_kernel_parallelism.dir/table05_kernel_parallelism.cc.o"
+  "CMakeFiles/table05_kernel_parallelism.dir/table05_kernel_parallelism.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_kernel_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_syndrome_innerloop"
+  "../bench/table06_syndrome_innerloop.pdb"
+  "CMakeFiles/table06_syndrome_innerloop.dir/table06_syndrome_innerloop.cc.o"
+  "CMakeFiles/table06_syndrome_innerloop.dir/table06_syndrome_innerloop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_syndrome_innerloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

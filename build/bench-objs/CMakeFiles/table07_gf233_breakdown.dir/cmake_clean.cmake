@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table07_gf233_breakdown"
+  "../bench/table07_gf233_breakdown.pdb"
+  "CMakeFiles/table07_gf233_breakdown.dir/table07_gf233_breakdown.cc.o"
+  "CMakeFiles/table07_gf233_breakdown.dir/table07_gf233_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_gf233_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

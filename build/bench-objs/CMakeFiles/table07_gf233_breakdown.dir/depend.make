@@ -1,0 +1,2 @@
+# Empty dependencies file for table07_gf233_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table08_gf233_platforms"
+  "../bench/table08_gf233_platforms.pdb"
+  "CMakeFiles/table08_gf233_platforms.dir/table08_gf233_platforms.cc.o"
+  "CMakeFiles/table08_gf233_platforms.dir/table08_gf233_platforms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_gf233_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table09_point_ops"
+  "../bench/table09_point_ops.pdb"
+  "CMakeFiles/table09_point_ops.dir/table09_point_ops.cc.o"
+  "CMakeFiles/table09_point_ops.dir/table09_point_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_point_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

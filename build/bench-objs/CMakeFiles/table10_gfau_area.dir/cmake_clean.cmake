@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_gfau_area"
+  "../bench/table10_gfau_area.pdb"
+  "CMakeFiles/table10_gfau_area.dir/table10_gfau_area.cc.o"
+  "CMakeFiles/table10_gfau_area.dir/table10_gfau_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_gfau_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table11_processor"
+  "../bench/table11_processor.pdb"
+  "CMakeFiles/table11_processor.dir/table11_processor.cc.o"
+  "CMakeFiles/table11_processor.dir/table11_processor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table12_area_vs_nanoaes"
+  "../bench/table12_area_vs_nanoaes.pdb"
+  "CMakeFiles/table12_area_vs_nanoaes.dir/table12_area_vs_nanoaes.cc.o"
+  "CMakeFiles/table12_area_vs_nanoaes.dir/table12_area_vs_nanoaes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_area_vs_nanoaes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

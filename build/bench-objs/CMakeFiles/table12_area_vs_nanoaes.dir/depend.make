@@ -1,0 +1,2 @@
+# Empty dependencies file for table12_area_vs_nanoaes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table13_energy_vs_asic"
+  "../bench/table13_energy_vs_asic.pdb"
+  "CMakeFiles/table13_energy_vs_asic.dir/table13_energy_vs_asic.cc.o"
+  "CMakeFiles/table13_energy_vs_asic.dir/table13_energy_vs_asic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_energy_vs_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table13_energy_vs_asic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_coding"
+  "../examples/adaptive_coding.pdb"
+  "CMakeFiles/adaptive_coding.dir/adaptive_coding.cpp.o"
+  "CMakeFiles/adaptive_coding.dir/adaptive_coding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

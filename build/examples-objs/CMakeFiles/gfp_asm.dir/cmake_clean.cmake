@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gfp_asm"
+  "../examples/gfp_asm.pdb"
+  "CMakeFiles/gfp_asm.dir/gfp_asm.cpp.o"
+  "CMakeFiles/gfp_asm.dir/gfp_asm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

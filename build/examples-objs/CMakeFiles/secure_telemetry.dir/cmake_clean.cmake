@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/secure_telemetry"
+  "../examples/secure_telemetry.pdb"
+  "CMakeFiles/secure_telemetry.dir/secure_telemetry.cpp.o"
+  "CMakeFiles/secure_telemetry.dir/secure_telemetry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/bch.cc" "src/coding/CMakeFiles/gfp_coding.dir/bch.cc.o" "gcc" "src/coding/CMakeFiles/gfp_coding.dir/bch.cc.o.d"
+  "/root/repo/src/coding/channel.cc" "src/coding/CMakeFiles/gfp_coding.dir/channel.cc.o" "gcc" "src/coding/CMakeFiles/gfp_coding.dir/channel.cc.o.d"
+  "/root/repo/src/coding/decoder_kernels.cc" "src/coding/CMakeFiles/gfp_coding.dir/decoder_kernels.cc.o" "gcc" "src/coding/CMakeFiles/gfp_coding.dir/decoder_kernels.cc.o.d"
+  "/root/repo/src/coding/minpoly.cc" "src/coding/CMakeFiles/gfp_coding.dir/minpoly.cc.o" "gcc" "src/coding/CMakeFiles/gfp_coding.dir/minpoly.cc.o.d"
+  "/root/repo/src/coding/rs.cc" "src/coding/CMakeFiles/gfp_coding.dir/rs.cc.o" "gcc" "src/coding/CMakeFiles/gfp_coding.dir/rs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/gfp_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

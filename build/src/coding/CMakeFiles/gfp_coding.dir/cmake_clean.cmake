@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_coding.dir/bch.cc.o"
+  "CMakeFiles/gfp_coding.dir/bch.cc.o.d"
+  "CMakeFiles/gfp_coding.dir/channel.cc.o"
+  "CMakeFiles/gfp_coding.dir/channel.cc.o.d"
+  "CMakeFiles/gfp_coding.dir/decoder_kernels.cc.o"
+  "CMakeFiles/gfp_coding.dir/decoder_kernels.cc.o.d"
+  "CMakeFiles/gfp_coding.dir/minpoly.cc.o"
+  "CMakeFiles/gfp_coding.dir/minpoly.cc.o.d"
+  "CMakeFiles/gfp_coding.dir/rs.cc.o"
+  "CMakeFiles/gfp_coding.dir/rs.cc.o.d"
+  "libgfp_coding.a"
+  "libgfp_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

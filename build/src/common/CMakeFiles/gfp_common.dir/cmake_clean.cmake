@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_common.dir/logging.cc.o"
+  "CMakeFiles/gfp_common.dir/logging.cc.o.d"
+  "CMakeFiles/gfp_common.dir/strutil.cc.o"
+  "CMakeFiles/gfp_common.dir/strutil.cc.o.d"
+  "libgfp_common.a"
+  "libgfp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

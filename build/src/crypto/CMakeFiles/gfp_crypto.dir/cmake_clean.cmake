@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_crypto.dir/aes.cc.o"
+  "CMakeFiles/gfp_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/gfp_crypto.dir/ecc.cc.o"
+  "CMakeFiles/gfp_crypto.dir/ecc.cc.o.d"
+  "libgfp_crypto.a"
+  "libgfp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

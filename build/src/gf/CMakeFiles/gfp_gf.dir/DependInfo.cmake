@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/binary_field.cc" "src/gf/CMakeFiles/gfp_gf.dir/binary_field.cc.o" "gcc" "src/gf/CMakeFiles/gfp_gf.dir/binary_field.cc.o.d"
+  "/root/repo/src/gf/field.cc" "src/gf/CMakeFiles/gfp_gf.dir/field.cc.o" "gcc" "src/gf/CMakeFiles/gfp_gf.dir/field.cc.o.d"
+  "/root/repo/src/gf/gf2x.cc" "src/gf/CMakeFiles/gfp_gf.dir/gf2x.cc.o" "gcc" "src/gf/CMakeFiles/gfp_gf.dir/gf2x.cc.o.d"
+  "/root/repo/src/gf/poly.cc" "src/gf/CMakeFiles/gfp_gf.dir/poly.cc.o" "gcc" "src/gf/CMakeFiles/gfp_gf.dir/poly.cc.o.d"
+  "/root/repo/src/gf/polys.cc" "src/gf/CMakeFiles/gfp_gf.dir/polys.cc.o" "gcc" "src/gf/CMakeFiles/gfp_gf.dir/polys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_gf.dir/binary_field.cc.o"
+  "CMakeFiles/gfp_gf.dir/binary_field.cc.o.d"
+  "CMakeFiles/gfp_gf.dir/field.cc.o"
+  "CMakeFiles/gfp_gf.dir/field.cc.o.d"
+  "CMakeFiles/gfp_gf.dir/gf2x.cc.o"
+  "CMakeFiles/gfp_gf.dir/gf2x.cc.o.d"
+  "CMakeFiles/gfp_gf.dir/poly.cc.o"
+  "CMakeFiles/gfp_gf.dir/poly.cc.o.d"
+  "CMakeFiles/gfp_gf.dir/polys.cc.o"
+  "CMakeFiles/gfp_gf.dir/polys.cc.o.d"
+  "libgfp_gf.a"
+  "libgfp_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

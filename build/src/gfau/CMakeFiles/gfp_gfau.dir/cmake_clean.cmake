@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_gfau.dir/config_reg.cc.o"
+  "CMakeFiles/gfp_gfau.dir/config_reg.cc.o.d"
+  "CMakeFiles/gfp_gfau.dir/gf_unit.cc.o"
+  "CMakeFiles/gfp_gfau.dir/gf_unit.cc.o.d"
+  "CMakeFiles/gfp_gfau.dir/units.cc.o"
+  "CMakeFiles/gfp_gfau.dir/units.cc.o.d"
+  "libgfp_gfau.a"
+  "libgfp_gfau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_gfau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/resource_models.cc" "src/hwmodel/CMakeFiles/gfp_hwmodel.dir/resource_models.cc.o" "gcc" "src/hwmodel/CMakeFiles/gfp_hwmodel.dir/resource_models.cc.o.d"
+  "/root/repo/src/hwmodel/synthesis.cc" "src/hwmodel/CMakeFiles/gfp_hwmodel.dir/synthesis.cc.o" "gcc" "src/hwmodel/CMakeFiles/gfp_hwmodel.dir/synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_hwmodel.dir/resource_models.cc.o"
+  "CMakeFiles/gfp_hwmodel.dir/resource_models.cc.o.d"
+  "CMakeFiles/gfp_hwmodel.dir/synthesis.cc.o"
+  "CMakeFiles/gfp_hwmodel.dir/synthesis.cc.o.d"
+  "libgfp_hwmodel.a"
+  "libgfp_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_isa.dir/assembler.cc.o"
+  "CMakeFiles/gfp_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/gfp_isa.dir/disasm.cc.o"
+  "CMakeFiles/gfp_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/gfp_isa.dir/encoding.cc.o"
+  "CMakeFiles/gfp_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/gfp_isa.dir/isa.cc.o"
+  "CMakeFiles/gfp_isa.dir/isa.cc.o.d"
+  "libgfp_isa.a"
+  "libgfp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

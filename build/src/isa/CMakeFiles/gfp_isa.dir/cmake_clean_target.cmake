@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgfp_isa.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_kernels.dir/aes_kernels.cc.o"
+  "CMakeFiles/gfp_kernels.dir/aes_kernels.cc.o.d"
+  "CMakeFiles/gfp_kernels.dir/coding_kernels.cc.o"
+  "CMakeFiles/gfp_kernels.dir/coding_kernels.cc.o.d"
+  "CMakeFiles/gfp_kernels.dir/kernellib.cc.o"
+  "CMakeFiles/gfp_kernels.dir/kernellib.cc.o.d"
+  "CMakeFiles/gfp_kernels.dir/wide_kernels.cc.o"
+  "CMakeFiles/gfp_kernels.dir/wide_kernels.cc.o.d"
+  "libgfp_kernels.a"
+  "libgfp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

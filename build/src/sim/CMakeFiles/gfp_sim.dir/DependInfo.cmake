@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/gfp_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/gfp_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/gfp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/gfp_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/gfp_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/gfp_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/gfp_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/gfp_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfau/CMakeFiles/gfp_gfau.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/gfp_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfp_sim.dir/cpu.cc.o"
+  "CMakeFiles/gfp_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/gfp_sim.dir/machine.cc.o"
+  "CMakeFiles/gfp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/gfp_sim.dir/memory.cc.o"
+  "CMakeFiles/gfp_sim.dir/memory.cc.o.d"
+  "CMakeFiles/gfp_sim.dir/stats.cc.o"
+  "CMakeFiles/gfp_sim.dir/stats.cc.o.d"
+  "libgfp_sim.a"
+  "libgfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aes.dir/test_aes.cc.o"
+  "CMakeFiles/test_aes.dir/test_aes.cc.o.d"
+  "test_aes"
+  "test_aes.pdb"
+  "test_aes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

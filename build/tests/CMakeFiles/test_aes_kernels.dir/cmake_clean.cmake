@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aes_kernels.dir/test_aes_kernels.cc.o"
+  "CMakeFiles/test_aes_kernels.dir/test_aes_kernels.cc.o.d"
+  "test_aes_kernels"
+  "test_aes_kernels.pdb"
+  "test_aes_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aes_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding_kernels.dir/test_coding_kernels.cc.o"
+  "CMakeFiles/test_coding_kernels.dir/test_coding_kernels.cc.o.d"
+  "test_coding_kernels"
+  "test_coding_kernels.pdb"
+  "test_coding_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

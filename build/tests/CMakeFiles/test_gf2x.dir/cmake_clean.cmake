@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf2x.dir/test_gf2x.cc.o"
+  "CMakeFiles/test_gf2x.dir/test_gf2x.cc.o.d"
+  "test_gf2x"
+  "test_gf2x.pdb"
+  "test_gf2x[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf2x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfau.dir/test_gfau.cc.o"
+  "CMakeFiles/test_gfau.dir/test_gfau.cc.o.d"
+  "test_gfau"
+  "test_gfau.pdb"
+  "test_gfau[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

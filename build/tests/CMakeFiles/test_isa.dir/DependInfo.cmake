@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/test_isa.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/gfp_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfau/CMakeFiles/gfp_gfau.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/gfp_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gfp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gfp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/gfp_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
