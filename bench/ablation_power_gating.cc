@@ -31,7 +31,7 @@ measure(const char *name, const std::string &src, Setup setup)
 {
     Machine m(src, CoreKind::kGfProcessor);
     setup(m);
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     return {name, s.gf_simd_ops + s.gf32_ops + s.gfcfg_ops, s.cycles};
 }
 

@@ -32,7 +32,7 @@ main()
         kb.resize(16);
         m.writeBytes("kwords", kb);
         m.writeWord("kbits", k.bitLength());
-        CycleStats s = m.runToHalt();
+        CycleStats s = m.runOk();
 
         bool ok = bench::readElem(m, "resx") == expect.x &&
                   bench::readElem(m, "resy") == expect.y;

@@ -27,7 +27,7 @@ main()
         auto run = [&](const std::string &src, CoreKind kind) {
             Machine mach(src, kind);
             mach.writeBytes("infodata", info);
-            return mach.runToHalt().cycles;
+            return mach.runOk().cycles;
         };
         uint64_t comp = run(rsEncodeAsmBaseline(
                                 code.field(), t, BaselineFlavor::kCompiled),

@@ -38,17 +38,17 @@ measure(const std::string &src_hand, const std::string &src_compiled,
     {
         Machine m(src_hand, CoreKind::kBaseline);
         setup(m);
-        out.hand = m.runToHalt().cycles;
+        out.hand = m.runOk().cycles;
     }
     {
         Machine m(src_compiled, CoreKind::kBaseline);
         setup(m);
-        out.compiled = m.runToHalt().cycles;
+        out.compiled = m.runOk().cycles;
     }
     {
         Machine m(src_gf, CoreKind::kGfProcessor);
         setup(m);
-        out.gf = m.runToHalt().cycles;
+        out.gf = m.runOk().cycles;
     }
     return out;
 }

@@ -33,7 +33,7 @@ main()
         m.writeBytes("state", state);
         m.writeBytes("rkeys", rkeys);
         m.writeBytes("key", key);
-        return m.runToHalt().cycles;
+        return m.runOk().cycles;
     };
     auto row = [&](const char *name, uint64_t base, uint64_t gf,
                    const char *paper) {

@@ -22,7 +22,7 @@ mixRow(const char *app, const char *kernel, const char *parallelism,
 {
     Machine m(src, CoreKind::kGfProcessor);
     setup(m);
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     std::printf("  %-8s %-12s %6llu GF-SIMD %5llu GF32  (%s)\n", app,
                 kernel,
                 static_cast<unsigned long long>(s.gf_simd_ops),

@@ -54,7 +54,7 @@ profile(const std::string &src,
         }
         c.cycles += cyc;
     });
-    m.runToHalt();
+    m.runOk();
     return out;
 }
 

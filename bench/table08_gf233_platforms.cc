@@ -25,7 +25,7 @@ main()
         m.writeBytes("opa", a);
         if (two_ops)
             m.writeBytes("opb", b);
-        return m.runToHalt().cycles;
+        return m.runOk().cycles;
     };
     uint64_t mult = run(mult233DirectAsm(), true);
     uint64_t mult_k = run(mult233KaratsubaAsm(), true);
@@ -35,7 +35,7 @@ main()
         Machine m(mult233BaselineAsm(), CoreKind::kBaseline);
         m.writeBytes("opa", a);
         m.writeBytes("opb", b);
-        mult_sw = m.runToHalt().cycles;
+        mult_sw = m.runOk().cycles;
     }
 
     Literature lit;

@@ -25,12 +25,12 @@ main()
         m.writeBytes("pz", bench::elemBytes(p0.z));
         m.writeBytes("qx", bench::elemBytes(curve.basePoint().x));
         m.writeBytes("qy", bench::elemBytes(curve.basePoint().y));
-        return m.runToHalt().cycles;
+        return m.runOk().cycles;
     };
     auto runInv = [&](bool kara) {
         Machine m(inverse233Asm(kara), CoreKind::kGfProcessor);
         m.writeBytes("opa", bench::elemBytes(p0.x));
-        return m.runToHalt().cycles;
+        return m.runOk().cycles;
     };
 
     uint64_t pa_d = runPoint(pointAddAsm(false));

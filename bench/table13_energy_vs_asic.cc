@@ -21,7 +21,7 @@ main()
     Machine m(aesBlockAsmGfcore(false), CoreKind::kGfProcessor);
     m.writeBytes("rkeys", bench::roundKeyBytes(aes));
     m.writeBytes("state", std::vector<uint8_t>(16, 0x5a));
-    uint64_t cycles = m.runToHalt().cycles;
+    uint64_t cycles = m.runOk().cycles;
 
     ProcessorSynthesis p;
     Literature lit;

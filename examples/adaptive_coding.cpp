@@ -17,8 +17,10 @@
 
 #include "coding/bch.h"
 #include "coding/channel.h"
+#include "coding/resilient_decoder.h"
 #include "coding/rs.h"
 #include "kernels/coding_kernels.h"
+#include "sim/fault_injector.h"
 #include "sim/machine.h"
 
 using namespace gfp;
@@ -93,7 +95,56 @@ decoderCycles(const Rung &rung)
     Machine m(syndromeAsmGfcore(f, n, 2 * rung.t),
               CoreKind::kGfProcessor);
     m.writeBytes("rxdata", std::vector<uint8_t>(n, 0));
-    return m.runToHalt().cycles;
+    return m.runOk().cycles;
+}
+
+/**
+ * SEU-resilience demo: run the RS(15,9,3) decode pipeline while a
+ * seeded fault injector strikes the GF core's configuration register
+ * and data memory.  Every upset ends in a structured outcome — a
+ * contained trap plus a scrub, or a detected-uncorrectable flag —
+ * never a host abort.
+ */
+void
+resilienceDemo()
+{
+    std::printf("== SEU resilience: RS(15,9,3) under fault "
+                "injection ==\n");
+
+    const unsigned m = 4, t = 3;
+    GFField field(m);
+    unsigned n = field.groupOrder();
+    ScreenProgram screen{syndromeAsmGfcore(field, n, 2 * t)};
+
+    unsigned tally[3] = {0, 0, 0};
+    unsigned traps_contained = 0;
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        ResilientRsDecoder dec(m, t, screen);
+        std::vector<GFElem> info(dec.code().k(),
+                                 static_cast<GFElem>(seed % 16));
+        auto cw = dec.code().encode(info);
+        ExactErrorInjector chan(seed);
+        auto rx = chan.corruptSymbols(cw, seed % (t + 1), m);
+
+        FaultInjector inj;
+        // Horizon ~ one screen pass, so upsets land mid-kernel.
+        inj.setSchedule(FaultInjector::randomCampaign(
+            seed, 2, 120, 256 * 1024,
+            {FaultTarget::kConfigReg, FaultTarget::kDataMemory}));
+        inj.attach(dec.core());
+
+        auto res = dec.decode(rx);
+        ++tally[static_cast<unsigned>(res.report.outcome)];
+        traps_contained += res.report.last_trap.kind != TrapKind::kNone;
+        if (seed < 3)
+            std::printf("  campaign %llu: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        res.report.summary().c_str());
+    }
+    std::printf("  40 campaigns: %u corrected, %u recovered after "
+                "scrub, %u detected uncorrectable; %u trapped screens "
+                "contained, 0 host aborts\n\n",
+                tally[0], tally[1], tally[2], traps_contained);
 }
 
 } // namespace
@@ -132,6 +183,8 @@ main()
                     static_cast<unsigned long long>(cyc));
     }
     std::printf("one gfConfig instruction retargets the datapath "
-                "between GF(2^5) and GF(2^8) codes at run time.\n");
+                "between GF(2^5) and GF(2^8) codes at run time.\n\n");
+
+    resilienceDemo();
     return 0;
 }

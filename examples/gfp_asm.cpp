@@ -87,7 +87,14 @@ main(int argc, char **argv)
         });
     }
 
-    CycleStats stats = machine.runToHalt();
+    // The program came from the user, not from a kernel generator:
+    // run it untrusted, so a bad program is a diagnostic, not an abort.
+    RunResult result = machine.runToHalt();
+    if (!result.ok()) {
+        std::fprintf(stderr, "\ntrap: %s\n", result.trap.describe().c_str());
+        return 2;
+    }
+    CycleStats stats = result.stats;
 
     std::printf("\nhalted after %llu instructions, %llu cycles\n",
                 static_cast<unsigned long long>(stats.instrs),

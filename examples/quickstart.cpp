@@ -90,7 +90,7 @@ main()
     machine.writeBytes("veca", va);
     machine.writeBytes("vecb", vb);
 
-    CycleStats stats = machine.runToHalt();
+    CycleStats stats = machine.runOk();
     auto out = machine.readBytes("out", 16);
 
     bool all_ok = true;

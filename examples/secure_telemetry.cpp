@@ -51,10 +51,16 @@ main()
     Ecdh ecdh(curve);
     auto sensor = ecdh.generate(0xA11CE);
     auto gateway = ecdh.generate(0xB0B);
-    Gf2x s1 = ecdh.sharedSecret(sensor.private_scalar,
-                                gateway.public_point);
-    Gf2x s2 = ecdh.sharedSecret(gateway.private_scalar,
-                                sensor.public_point);
+    auto s1_opt = ecdh.sharedSecret(sensor.private_scalar,
+                                    gateway.public_point);
+    auto s2_opt = ecdh.sharedSecret(gateway.private_scalar,
+                                    sensor.public_point);
+    if (!s1_opt || !s2_opt) {
+        std::printf("ECDH rejected: degenerate public point\n");
+        return 1;
+    }
+    Gf2x s1 = *s1_opt;
+    Gf2x s2 = *s2_opt;
     std::printf("ECDH shared secret agreement: %s\n",
                 s1 == s2 ? "yes" : "NO");
 
@@ -112,7 +118,7 @@ main()
         Machine m(aesBlockAsmGfcore(false), CoreKind::kGfProcessor);
         m.writeBytes("rkeys", roundKeyBytes(aes));
         m.writeBytes("state", std::vector<uint8_t>(16, 0));
-        uint64_t per_block = m.runToHalt().cycles;
+        uint64_t per_block = m.runOk().cycles;
         unsigned blocks = (plaintext.size() + 15) / 16;
         cycles_aes = per_block * blocks;
         std::printf("AES-CTR keystream: %u blocks x %llu cycles = "
@@ -126,7 +132,7 @@ main()
         std::vector<uint8_t> rx_bytes(received.begin(), received.end());
         Machine m(syndromeAsmGfcore(f, 255, 16), CoreKind::kGfProcessor);
         m.writeBytes("rxdata", rx_bytes);
-        cycles_rs = m.runToHalt().cycles;
+        cycles_rs = m.runOk().cycles;
         std::printf("RS syndrome screen (the always-on kernel): "
                     "%llu cycles\n",
                     static_cast<unsigned long long>(cycles_rs));

@@ -1,0 +1,200 @@
+#include "coding/resilient_decoder.h"
+
+#include <algorithm>
+
+#include "coding/decoder_kernels.h"
+#include "common/strutil.h"
+#include "gfau/config_reg.h"
+
+namespace gfp {
+
+namespace {
+
+/** Watchdog for one screen attempt: generous for any n <= 255 screen,
+ *  but bounds a fault that corrupts the kernel's loop counter. */
+constexpr uint64_t kScreenMaxInstrs = 4'000'000;
+
+std::vector<GFElem>
+toSymbols(const std::vector<uint8_t> &bytes)
+{
+    return std::vector<GFElem>(bytes.begin(), bytes.end());
+}
+
+} // anonymous namespace
+
+const char *
+resilientOutcomeName(ResilientOutcome outcome)
+{
+    switch (outcome) {
+      case ResilientOutcome::kCorrected:             return "corrected";
+      case ResilientOutcome::kRecoveredAfterScrub:
+        return "recovered_after_scrub";
+      case ResilientOutcome::kDetectedUncorrectable:
+        return "detected_uncorrectable";
+    }
+    return "?";
+}
+
+std::string
+ResilientReport::summary() const
+{
+    std::string s = strprintf("%s errors=%u scrubs=%u",
+                              resilientOutcomeName(outcome), errors,
+                              scrubs);
+    if (escalated_to_erasures)
+        s += " (errors-and-erasures)";
+    if (last_trap)
+        s += " [last trap: " + last_trap.describe() + "]";
+    return s;
+}
+
+SyndromeScreen::SyndromeScreen(const GFField &field, ScreenProgram spec,
+                               unsigned two_t)
+    : machine_(spec.asm_source, CoreKind::kGfProcessor),
+      spec_(std::move(spec)), two_t_(two_t),
+      good_blob_(GFConfig::derive(field.m(), field.poly()).pack())
+{
+}
+
+void
+SyndromeScreen::scrub(const std::vector<uint8_t> &rx)
+{
+    machine_.reset();
+    machine_.writeBytes(spec_.rx_label, rx);
+    // Re-issue the known-good configuration image: the gfcfg
+    // instruction at the top of the kernel re-loads the live register
+    // from this blob, clearing any upset in either copy.
+    machine_.memory().write64(machine_.addr(spec_.cfg_label), good_blob_);
+}
+
+SyndromeScreen::Result
+SyndromeScreen::run(const std::vector<uint8_t> &rx,
+                    const std::vector<GFElem> &expected_synd,
+                    unsigned max_scrubs)
+{
+    Result res;
+    for (unsigned attempt = 0; attempt <= max_scrubs; ++attempt) {
+        if (attempt > 0)
+            ++res.scrubs;
+        scrub(rx);
+        RunResult r = machine_.runToHalt(kScreenMaxInstrs);
+        if (!r.ok()) {
+            res.last_trap = r.trap;
+            continue;
+        }
+        res.synd = toSymbols(machine_.readBytes(spec_.synd_label, two_t_));
+        // Redundant-recompute check: a silently wrong field (P-matrix
+        // upset) shows up here as a syndrome mismatch.
+        if (res.synd == expected_synd) {
+            res.trusted = true;
+            break;
+        }
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------- RS --
+
+ResilientRsDecoder::ResilientRsDecoder(unsigned m, unsigned t,
+                                       ScreenProgram screen,
+                                       unsigned max_scrubs)
+    : code_(m, t), screen_(code_.field(), std::move(screen), 2 * t),
+      max_scrubs_(max_scrubs)
+{
+}
+
+ResilientRsDecoder::Result
+ResilientRsDecoder::decode(const std::vector<GFElem> &received,
+                           const std::vector<unsigned> &erasure_hints)
+{
+    Result out;
+    ResilientReport &rep = out.report;
+
+    std::vector<GFElem> expected =
+        syndromes(code_.field(), received, 2 * code_.t());
+
+    std::vector<uint8_t> rx(received.size());
+    std::transform(received.begin(), received.end(), rx.begin(),
+                   [](GFElem s) { return static_cast<uint8_t>(s); });
+
+    SyndromeScreen::Result sres =
+        screen_.run(rx, expected, max_scrubs_);
+    rep.scrubs = sres.scrubs;
+    rep.screen_agreed = sres.trusted;
+    rep.last_trap = sres.last_trap;
+
+    // Fast-path accept: a trusted screen with all-zero syndromes means
+    // the received word already is a codeword.
+    if (sres.trusted &&
+        std::all_of(expected.begin(), expected.end(),
+                    [](GFElem s) { return s == 0; })) {
+        rep.outcome = rep.scrubs ? ResilientOutcome::kRecoveredAfterScrub
+                                 : ResilientOutcome::kCorrected;
+        out.codeword = received;
+        return out;
+    }
+
+    RSCode::DecodeResult dres = code_.decode(received);
+    if (!dres.ok && !erasure_hints.empty()) {
+        dres = code_.decodeWithErasures(received, erasure_hints);
+        if (dres.ok)
+            rep.escalated_to_erasures = true;
+    }
+    if (dres.ok) {
+        rep.outcome = rep.scrubs ? ResilientOutcome::kRecoveredAfterScrub
+                                 : ResilientOutcome::kCorrected;
+        rep.errors = dres.errors;
+        out.codeword = std::move(dres.codeword);
+    } else {
+        rep.outcome = ResilientOutcome::kDetectedUncorrectable;
+    }
+    return out;
+}
+
+// --------------------------------------------------------------- BCH --
+
+ResilientBchDecoder::ResilientBchDecoder(unsigned m, unsigned t,
+                                         ScreenProgram screen,
+                                         unsigned max_scrubs)
+    : code_(m, t), screen_(code_.field(), std::move(screen), 2 * t),
+      max_scrubs_(max_scrubs)
+{
+}
+
+ResilientBchDecoder::Result
+ResilientBchDecoder::decode(const std::vector<uint8_t> &received)
+{
+    Result out;
+    ResilientReport &rep = out.report;
+
+    std::vector<GFElem> expected =
+        syndromes(code_.field(), toSymbols(received), 2 * code_.t());
+
+    SyndromeScreen::Result sres =
+        screen_.run(received, expected, max_scrubs_);
+    rep.scrubs = sres.scrubs;
+    rep.screen_agreed = sres.trusted;
+    rep.last_trap = sres.last_trap;
+
+    if (sres.trusted &&
+        std::all_of(expected.begin(), expected.end(),
+                    [](GFElem s) { return s == 0; })) {
+        rep.outcome = rep.scrubs ? ResilientOutcome::kRecoveredAfterScrub
+                                 : ResilientOutcome::kCorrected;
+        out.codeword = received;
+        return out;
+    }
+
+    BCHCode::DecodeResult dres = code_.decode(received);
+    if (dres.ok) {
+        rep.outcome = rep.scrubs ? ResilientOutcome::kRecoveredAfterScrub
+                                 : ResilientOutcome::kCorrected;
+        rep.errors = dres.errors;
+        out.codeword = std::move(dres.codeword);
+    } else {
+        rep.outcome = ResilientOutcome::kDetectedUncorrectable;
+    }
+    return out;
+}
+
+} // namespace gfp

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Graceful degradation for the BCH/RS decode path under SEUs.
+ *
+ * The hardware syndrome screen (a Machine running a GF-core syndrome
+ * kernel) is the fault-exposed stage: an injected upset can trap the
+ * guest (config m-field flip, corrupted instruction, wild access) or —
+ * the dangerous class — silently select a wrong reduction matrix and
+ * produce valid-looking wrong syndromes.  The ResilientDecoder closes
+ * the loop:
+ *
+ *   1. run the screen; on a trap, *scrub* — reset the core, re-issue
+ *      the known-good gfConfig blob and the received word — and retry;
+ *   2. cross-check the screen's syndromes against an independent
+ *      software recomputation (redundant recompute, the standard SEU
+ *      detection for unprotected datapaths); mismatch also scrubs;
+ *   3. decode on the host reference codec; on an RS decode failure,
+ *      escalate to errors-and-erasures using caller-provided erasure
+ *      hints (e.g. channel burst-state flags);
+ *   4. report a structured outcome:
+ *        kCorrected             decoded without any scrub
+ *        kRecoveredAfterScrub   decoded, but only after >= 1 scrub
+ *        kDetectedUncorrectable decode failed; flagged, never silent
+ *
+ * The screen program is supplied by the caller (generated with
+ * kernels/coding_kernels.h) so this layer stays independent of the
+ * kernel generators.
+ */
+
+#ifndef GFP_CODING_RESILIENT_DECODER_H
+#define GFP_CODING_RESILIENT_DECODER_H
+
+#include <string>
+#include <vector>
+
+#include "coding/bch.h"
+#include "coding/rs.h"
+#include "sim/machine.h"
+
+namespace gfp {
+
+enum class ResilientOutcome
+{
+    kCorrected,
+    kRecoveredAfterScrub,
+    kDetectedUncorrectable,
+};
+
+const char *resilientOutcomeName(ResilientOutcome outcome);
+
+/** The fault-exposed syndrome-screen stage and its data labels. */
+struct ScreenProgram
+{
+    std::string asm_source;          ///< e.g. syndromeAsmGfcore(...)
+    std::string rx_label = "rxdata"; ///< received word, 1 symbol/byte
+    std::string synd_label = "synd"; ///< 2t output syndromes
+    std::string cfg_label = "cfg";   ///< 64-bit gfConfig blob
+};
+
+/** What happened on one resilient decode. */
+struct ResilientReport
+{
+    ResilientOutcome outcome = ResilientOutcome::kDetectedUncorrectable;
+    unsigned errors = 0;        ///< bits/symbols corrected by the codec
+    unsigned scrubs = 0;        ///< screen retries with config re-issue
+    bool screen_agreed = false; ///< screen matched the software check
+    bool escalated_to_erasures = false; ///< RS errors-and-erasures used
+    Trap last_trap;             ///< last screen trap (kind kNone if none)
+
+    std::string summary() const;
+};
+
+/**
+ * Shared screen runner: executes the syndrome kernel on the simulated
+ * GF core with scrub-and-retry.  Exposed so soak tests can drive the
+ * screen directly; the decoders below own one each.
+ */
+class SyndromeScreen
+{
+  public:
+    SyndromeScreen(const GFField &field, ScreenProgram spec,
+                   unsigned two_t);
+
+    /** The simulated core (attachment point for a FaultInjector). */
+    Core &core() { return machine_.core(); }
+    Machine &machine() { return machine_; }
+
+    struct Result
+    {
+        bool trusted = false;       ///< screen agreed with the recompute
+        std::vector<GFElem> synd;   ///< syndromes from the last attempt
+        unsigned scrubs = 0;
+        Trap last_trap;
+    };
+
+    /**
+     * Run the screen over @p rx (one symbol per byte), retrying with a
+     * scrub after each trap or after a mismatch against
+     * @p expected_synd, up to @p max_scrubs times.
+     */
+    Result run(const std::vector<uint8_t> &rx,
+               const std::vector<GFElem> &expected_synd,
+               unsigned max_scrubs);
+
+  private:
+    void scrub(const std::vector<uint8_t> &rx);
+
+    Machine machine_;
+    ScreenProgram spec_;
+    unsigned two_t_;
+    uint64_t good_blob_; ///< known-good gfConfig image for scrubbing
+};
+
+class ResilientRsDecoder
+{
+  public:
+    ResilientRsDecoder(unsigned m, unsigned t, ScreenProgram screen,
+                       unsigned max_scrubs = 2);
+
+    const RSCode &code() const { return code_; }
+    Core &core() { return screen_.core(); }
+
+    struct Result
+    {
+        ResilientReport report;
+        std::vector<GFElem> codeword; ///< corrected (valid if decoded)
+    };
+
+    /**
+     * Resiliently decode @p received.  @p erasure_hints are positions
+     * the caller believes unreliable (channel state information); they
+     * are used only if plain decoding fails.
+     */
+    Result decode(const std::vector<GFElem> &received,
+                  const std::vector<unsigned> &erasure_hints = {});
+
+  private:
+    RSCode code_;
+    SyndromeScreen screen_;
+    unsigned max_scrubs_;
+};
+
+class ResilientBchDecoder
+{
+  public:
+    ResilientBchDecoder(unsigned m, unsigned t, ScreenProgram screen,
+                        unsigned max_scrubs = 2);
+
+    const BCHCode &code() const { return code_; }
+    Core &core() { return screen_.core(); }
+
+    struct Result
+    {
+        ResilientReport report;
+        std::vector<uint8_t> codeword;
+    };
+
+    Result decode(const std::vector<uint8_t> &received);
+
+  private:
+    BCHCode code_;
+    SyndromeScreen screen_;
+    unsigned max_scrubs_;
+};
+
+} // namespace gfp
+
+#endif // GFP_CODING_RESILIENT_DECODER_H

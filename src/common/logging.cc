@@ -2,8 +2,62 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace gfp {
+
+namespace {
+
+FatalHandler &
+fatalHandler()
+{
+    static FatalHandler handler;
+    return handler;
+}
+
+MessageSink &
+messageSink()
+{
+    static MessageSink sink;
+    return sink;
+}
+
+void
+emit(const char *level, const std::string &msg)
+{
+    if (messageSink())
+        messageSink()(level, msg);
+    else
+        std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // anonymous namespace
+
+FatalHandler
+setFatalHandler(FatalHandler handler)
+{
+    return std::exchange(fatalHandler(), std::move(handler));
+}
+
+MessageSink
+setMessageSink(MessageSink sink)
+{
+    return std::exchange(messageSink(), std::move(sink));
+}
+
+ScopedFatalThrow::ScopedFatalThrow()
+    : prev_(setFatalHandler([](const char *file, int line,
+                               const std::string &msg) {
+          throw FatalError(strprintf("fatal: %s (%s:%d)", msg.c_str(),
+                                     file, line));
+      }))
+{
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    setFatalHandler(std::move(prev_));
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -15,6 +69,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalHandler())
+        fatalHandler()(file, line, msg); // may throw to unwind
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }
@@ -22,13 +78,13 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit("warn", strprintf("%s (%s:%d)", msg.c_str(), file, line));
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("info", msg);
 }
 
 } // namespace gfp

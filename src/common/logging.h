@@ -5,16 +5,27 @@
  *
  * panic()  — an internal invariant was violated: a bug in this library.
  *            Aborts (so a debugger or core dump can catch it).
- * fatal()  — the *user* asked for something impossible (bad code
+ * fatal()  — the *host* asked for something impossible (bad code
  *            parameters, malformed assembly, out-of-range field size).
  *            Exits with an error code.
  * warn()   — something is suspicious but the run can continue.
  * inform() — plain status output.
+ *
+ * Guest-attributable errors (a simulated program touching memory out of
+ * range, an illegal instruction word, a corrupted GFAU configuration)
+ * are NOT fatal: they surface as structured Traps from the simulator —
+ * see sim/trap.h.  GFP_FATAL is reserved for host misuse.
+ *
+ * Both the fatal path and the warn/inform stream are routed through
+ * overridable handlers so tests can assert on host-fatal paths without
+ * death tests (see ScopedFatalThrow) and tools can capture diagnostics.
  */
 
 #ifndef GFP_COMMON_LOGGING_H
 #define GFP_COMMON_LOGGING_H
 
+#include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "common/strutil.h"
@@ -24,14 +35,64 @@ namespace gfp {
 /** Abort with a formatted message; use for internal invariant violations. */
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 
-/** Exit(1) with a formatted message; use for user-caused errors. */
+/** Exit(1) with a formatted message; use for host-caused errors. */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 
-/** Print a warning to stderr and continue. */
+/** Print a warning to the message sink and continue. */
 void warnImpl(const char *file, int line, const std::string &msg);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to the message sink. */
 void informImpl(const std::string &msg);
+
+/**
+ * Handler invoked by GFP_FATAL *before* the default print-and-exit(1).
+ * It may throw to unwind instead (the test hook); if it returns
+ * normally, the default exit(1) still happens, so production behavior
+ * is unchanged when a handler merely observes.
+ */
+using FatalHandler =
+    std::function<void(const char *file, int line, const std::string &msg)>;
+
+/** Install a fatal handler; returns the previous one (empty = none). */
+FatalHandler setFatalHandler(FatalHandler handler);
+
+/**
+ * Sink for warn/inform output.  @p level is "warn" or "info".
+ * Default (empty sink) writes to stderr.
+ */
+using MessageSink =
+    std::function<void(const char *level, const std::string &msg)>;
+
+/** Install a message sink; returns the previous one (empty = stderr). */
+MessageSink setMessageSink(MessageSink sink);
+
+/** Thrown by the ScopedFatalThrow handler in place of exit(1). */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII test helper: while alive, GFP_FATAL throws FatalError (carrying
+ * the formatted message) instead of exiting, so a unit test can write
+ *
+ *     ScopedFatalThrow guard;
+ *     EXPECT_THROW(fromHex("abc"), FatalError);
+ *
+ * instead of a death test.  Restores the previous handler on scope exit.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+  private:
+    FatalHandler prev_;
+};
 
 } // namespace gfp
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/logging.h"
+
 namespace gfp {
 
 std::string
@@ -105,20 +107,14 @@ std::vector<uint8_t>
 fromHex(const std::string &hex)
 {
     std::vector<uint8_t> out;
-    if (hex.size() % 2 != 0) {
-        std::fprintf(stderr, "fromHex: odd-length hex string '%s'\n",
-                     hex.c_str());
-        std::exit(1);
-    }
+    if (hex.size() % 2 != 0)
+        GFP_FATAL("fromHex: odd-length hex string '%s'", hex.c_str());
     out.reserve(hex.size() / 2);
     for (size_t i = 0; i < hex.size(); i += 2) {
         int hi = hexVal(hex[i]);
         int lo = hexVal(hex[i + 1]);
-        if (hi < 0 || lo < 0) {
-            std::fprintf(stderr, "fromHex: bad hex digit in '%s'\n",
-                         hex.c_str());
-            std::exit(1);
-        }
+        if (hi < 0 || lo < 0)
+            GFP_FATAL("fromHex: bad hex digit in '%s'", hex.c_str());
         out.push_back(static_cast<uint8_t>((hi << 4) | lo));
     }
     return out;

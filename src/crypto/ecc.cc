@@ -396,12 +396,12 @@ Ecdh::generate(uint64_t seed) const
     return KeyPair{d, curve_->scalarMult(d, curve_->basePoint())};
 }
 
-Gf2x
+std::optional<Gf2x>
 Ecdh::sharedSecret(const Gf2x &my_private, const EcPoint &their_public) const
 {
     EcPoint s = curve_->scalarMult(my_private, their_public);
     if (s.infinity)
-        GFP_FATAL("ECDH produced the point at infinity");
+        return std::nullopt;
     return s.x;
 }
 

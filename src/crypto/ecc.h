@@ -13,6 +13,7 @@
 #define GFP_CRYPTO_ECC_H
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "gf/binary_field.h"
@@ -143,9 +144,15 @@ class Ecdh
     /** Generate a key pair from a deterministic seed. */
     KeyPair generate(uint64_t seed) const;
 
-    /** Shared secret: my_private * their_public (x-coordinate). */
-    Gf2x sharedSecret(const Gf2x &my_private,
-                      const EcPoint &their_public) const;
+    /**
+     * Shared secret: my_private * their_public (x-coordinate).
+     * Returns std::nullopt if the product is the point at infinity —
+     * a property of the *inputs* (e.g. a malicious or small-order
+     * public point), so the caller must reject the exchange rather
+     * than the host aborting.
+     */
+    std::optional<Gf2x> sharedSecret(const Gf2x &my_private,
+                                     const EcPoint &their_public) const;
 
   private:
     const EllipticCurve *curve_;

@@ -61,13 +61,19 @@ GFConfig
 GFConfig::unpack(uint64_t blob)
 {
     GFConfig cfg;
-    for (unsigned j = 0; j < 7; ++j)
-        cfg.p_cols[j] = static_cast<uint8_t>(blob >> (8 * j));
-    cfg.m = static_cast<unsigned>((blob >> 56) & 0xf);
-    if (cfg.m < 2 || cfg.m > 8)
+    if (!tryUnpack(blob, cfg))
         GFP_FATAL("gfConfig blob carries invalid field width %u", cfg.m);
-    cfg.poly = 0; // not part of the hardware register; P suffices
     return cfg;
+}
+
+bool
+GFConfig::tryUnpack(uint64_t blob, GFConfig &out)
+{
+    for (unsigned j = 0; j < 7; ++j)
+        out.p_cols[j] = static_cast<uint8_t>(blob >> (8 * j));
+    out.m = static_cast<unsigned>((blob >> 56) & 0xf);
+    out.poly = 0; // not part of the hardware register; P suffices
+    return out.valid();
 }
 
 } // namespace gfp

@@ -63,8 +63,25 @@ struct GFConfig
     /** Deserialize from the 64-bit blob. */
     static GFConfig unpack(uint64_t blob);
 
-    /** Mask selecting the m low bits of a lane. */
-    uint8_t laneMask() const { return static_cast<uint8_t>((1u << m) - 1); }
+    /**
+     * Non-fatal deserialize: false if the blob carries an invalid field
+     * width (the guest loaded a corrupted gfConfig blob — a trap, not a
+     * host error).  @p out is filled either way with the raw register
+     * contents, so fault-injection code can install a corrupt image.
+     */
+    static bool tryUnpack(uint64_t blob, GFConfig &out);
+
+    /** Field width is one the datapath supports (2..8).  False only
+     *  after an SEU flipped the m field of the live register. */
+    bool valid() const { return m >= 2 && m <= 8; }
+
+    /** Mask selecting the m low bits of a lane.  Safe (but meaningless)
+     *  for a corrupt m: the shift count is capped at the 4-bit field. */
+    uint8_t
+    laneMask() const
+    {
+        return static_cast<uint8_t>((1u << (m & 0xf)) - 1);
+    }
 
     bool operator==(const GFConfig &o) const
     {

@@ -26,6 +26,19 @@ GFArithmeticUnit::configureField(unsigned m, uint32_t poly)
     loadConfig(GFConfig::derive(m, poly));
 }
 
+void
+GFArithmeticUnit::injectConfigBitFlip(unsigned bit)
+{
+    bit %= 60;
+    GFConfig raw = cfg_;
+    if (bit < 56)
+        raw.p_cols[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    else
+        raw.m ^= 1u << (bit - 56);
+    raw.poly = 0; // the derivation provenance is gone
+    cfg_ = raw;   // installed without validation, unlike loadConfig
+}
+
 uint32_t
 GFArithmeticUnit::simdMult(uint32_t a, uint32_t b)
 {

@@ -67,6 +67,24 @@ class GFArithmeticUnit
 
     const GFConfig &config() const { return cfg_; }
 
+    /**
+     * The live register holds a usable field width.  A single-event
+     * upset in the 4-bit m field (injectConfigBitFlip) can make this
+     * false; the core then traps GfConfigCorrupt on the next GF
+     * instruction instead of computing in an undefined datapath mode.
+     * Upsets in the 56 P-matrix bits keep the register "valid" but
+     * silently select a wrong field — the dangerous class, detectable
+     * only by redundant recomputation (see coding/resilient_decoder.h).
+     */
+    bool configValid() const { return cfg_.valid(); }
+
+    /**
+     * SEU model: flip one bit of the live 60-bit configuration register
+     * (bits 0..55 = the seven P columns, bits 56..59 = m).  @p bit is
+     * taken modulo 60.  No validation — that is the point.
+     */
+    void injectConfigBitFlip(unsigned bit);
+
     /** gfMult_simd: lane-wise GF multiply of four packed elements. */
     uint32_t simdMult(uint32_t a, uint32_t b);
 

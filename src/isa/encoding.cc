@@ -96,10 +96,19 @@ encode(const Instr &in)
 Instr
 decode(uint32_t word)
 {
+    Instr in;
+    if (!tryDecode(word, in))
+        GFP_FATAL("decode: unknown opcode byte 0x%02x (word 0x%08x)",
+                  word >> 24, word);
+    return in;
+}
+
+bool
+tryDecode(uint32_t word, Instr &out)
+{
     unsigned op_field = word >> 24;
     if (op_field >= static_cast<unsigned>(Op::kNumOps))
-        GFP_FATAL("decode: unknown opcode byte 0x%02x (word 0x%08x)",
-                  op_field, word);
+        return false;
 
     Instr in;
     in.op = static_cast<Op>(op_field);
@@ -127,7 +136,8 @@ decode(uint32_t word)
         in.rd2 = (word >> 8) & 0xf;
         break;
     }
-    return in;
+    out = in;
+    return true;
 }
 
 } // namespace gfp

@@ -30,6 +30,14 @@ uint32_t encode(const Instr &instr);
 /** Decode a 32-bit instruction word; fatal on an unknown opcode. */
 Instr decode(uint32_t word);
 
+/**
+ * Non-fatal decode: false on an unknown opcode (@p out untouched).
+ * The simulator fetch path uses this so an undecodable word — e.g. pc
+ * running off into data, or an SEU-corrupted instruction — surfaces as
+ * an IllegalInstruction trap rather than killing the host.
+ */
+bool tryDecode(uint32_t word, Instr &out);
+
 /** Immediate-field kind an opcode uses. */
 enum class ImmKind { kNone, kImm16, kSImm16, kImm12, kImm20 };
 

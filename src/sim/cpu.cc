@@ -19,6 +19,9 @@ Core::reset(uint32_t pc)
     pc_ = pc;
     flags_ = Flags();
     halted_ = false;
+    trap_ = Trap();
+    pending_trap_ = TrapKind::kNone;
+    requested_trap_ = TrapKind::kNone;
 }
 
 uint32_t
@@ -91,8 +94,18 @@ Core::execute(const Instr &in)
     unsigned cycles = 1;
 
     if (isGfOp(in.op) && kind_ == CoreKind::kBaseline) {
-        GFP_FATAL("GF instruction '%s' executed on the baseline core "
-                  "(pc=0x%x)", opName(in.op), pc_);
+        pending_trap_ = TrapKind::kGfOnBaseline;
+        pending_addr_ = static_cast<uint32_t>(in.op);
+        return 0;
+    }
+    // An SEU in the m field of the live config register leaves the
+    // datapath in an undefined mode: detect it at the next GF
+    // instruction (gfcfg excepted — reloading is how software scrubs).
+    if (isGfOp(in.op) && in.op != Op::kGfCfg &&
+        kind_ == CoreKind::kGfProcessor && !gfau_.configValid()) {
+        pending_trap_ = TrapKind::kGfConfigCorrupt;
+        pending_addr_ = 0;
+        return 0;
     }
 
     switch (in.op) {
@@ -235,11 +248,18 @@ Core::execute(const Instr &in)
         r[in.rd2] = lo;
         break;
       }
-      case Op::kGfCfg:
-        gfau_.loadConfig(
-            GFConfig::unpack(mem_.read64(static_cast<uint32_t>(in.imm))));
+      case Op::kGfCfg: {
+        uint64_t blob = mem_.read64(static_cast<uint32_t>(in.imm));
+        GFConfig cfg;
+        if (!GFConfig::tryUnpack(blob, cfg)) {
+            pending_trap_ = TrapKind::kGfConfigCorrupt;
+            pending_addr_ = static_cast<uint32_t>(in.imm);
+            return 0;
+        }
+        gfau_.loadConfig(cfg);
         cycles = 2;
         break;
+      }
 
       default:
         GFP_PANIC("unhandled opcode %s", opName(in.op));
@@ -249,33 +269,109 @@ Core::execute(const Instr &in)
     return cycles;
 }
 
-unsigned
-Core::step()
+Core::StepResult
+Core::takeTrap(TrapKind kind, uint32_t addr)
 {
-    GFP_ASSERT(!halted_, "step() on a halted core");
-    uint32_t word = mem_.read32(pc_);
-    Instr in = decode(word);
-    if (trace_)
-        trace_(pc_, in);
-    unsigned cycles = execute(in);
-    stats_.record(classOf(in.op), cycles);
-    return cycles;
+    trap_ = Trap{kind, pc_, addr, stats_.cycles};
+    StepResult out;
+    out.trap = trap_;
+    return out;
 }
 
-uint64_t
+Core::StepResult
+Core::step()
+{
+    GFP_ASSERT(!stopped(), "step() on a stopped core");
+
+    // A fault hook asked for a trap (e.g. a parity-signaled SEU):
+    // deliver it before fetching the next instruction.
+    if (requested_trap_ != TrapKind::kNone) {
+        TrapKind kind = requested_trap_;
+        requested_trap_ = TrapKind::kNone;
+        return takeTrap(kind, 0);
+    }
+
+    uint32_t word;
+    try {
+        word = mem_.read32(pc_);
+    } catch (const MemoryFault &f) {
+        return takeTrap(TrapKind::kOutOfRangeAccess, f.addr());
+    }
+
+    Instr in;
+    if (!tryDecode(word, in))
+        return takeTrap(TrapKind::kIllegalInstruction, word);
+    if (trace_)
+        trace_(pc_, in);
+
+    StepResult out;
+    try {
+        out.cycles = execute(in);
+    } catch (const MemoryFault &f) {
+        return takeTrap(TrapKind::kOutOfRangeAccess, f.addr());
+    }
+    if (pending_trap_ != TrapKind::kNone) {
+        TrapKind kind = pending_trap_;
+        pending_trap_ = TrapKind::kNone;
+        return takeTrap(kind, pending_addr_);
+    }
+
+    stats_.record(classOf(in.op), out.cycles);
+    if (fault_hook_)
+        fault_hook_(*this, stats_.cycles);
+    return out;
+}
+
+RunResult
 Core::run(uint64_t max_instrs)
 {
-    uint64_t n = 0;
-    while (!halted_) {
-        if (n >= max_instrs) {
-            GFP_FATAL("program did not halt within %llu instructions "
-                      "(pc=0x%x) — runaway loop?",
-                      static_cast<unsigned long long>(max_instrs), pc_);
-        }
-        step();
-        ++n;
+    CycleStats before = stats_;
+    RunResult res;
+    if (trap_) {
+        // A trapped core stays trapped until reset(): report the same
+        // trap again instead of re-executing.
+        res.trap = trap_;
+        return res;
     }
-    return n;
+    while (!halted_) {
+        if (res.instrs >= max_instrs) {
+            // Runaway guard: report a Watchdog trap but leave the core
+            // runnable — whether to grant more instructions is host
+            // policy, not core state.
+            res.trap = Trap{TrapKind::kWatchdog, pc_, 0, stats_.cycles};
+            break;
+        }
+        StepResult s = step();
+        if (s.trap) {
+            res.trap = s.trap;
+            break;
+        }
+        ++res.instrs;
+    }
+    res.halted = halted_;
+    res.stats = stats_ - before;
+    return res;
+}
+
+void
+Core::injectFault(FaultTarget target, uint32_t index, unsigned bit)
+{
+    switch (target) {
+      case FaultTarget::kDataMemory:
+        mem_.flipBit(index % static_cast<uint32_t>(mem_.size()), bit);
+        ++stats_.faults_mem;
+        break;
+      case FaultTarget::kRegisterFile:
+        regs_[index % kNumRegs] ^= 1u << (bit % 32);
+        ++stats_.faults_reg;
+        break;
+      case FaultTarget::kConfigReg:
+        GFP_ASSERT(kind_ == CoreKind::kGfProcessor,
+                   "config-register fault on a baseline core");
+        gfau_.injectConfigBitFlip(bit);
+        ++stats_.faults_cfg;
+        break;
+    }
 }
 
 } // namespace gfp

@@ -6,7 +6,7 @@
  * methodology (Sec. 3.3.1):
  *  - the *baseline* core (CoreKind::kBaseline) models the Cortex M0+
  *    class machine the paper compares against: same registers, same ALU
- *    and memory instructions, no GF arithmetic unit (GF opcodes fault);
+ *    and memory instructions, no GF arithmetic unit (GF opcodes trap);
  *  - the *GF processor* (CoreKind::kGfProcessor) adds the GF arithmetic
  *    unit and the Table 1 instructions.
  *
@@ -16,6 +16,13 @@
  *   gfConfig               2 cycles (reads its 64-bit blob from memory)
  *   everything else        1 cycle (including all SIMD GF instructions
  *                          and the 32-bit partial product)
+ *
+ * Guest errors never abort the host: out-of-range accesses, illegal
+ * instruction words, GF opcodes on the baseline, and corrupted gfConfig
+ * blobs stop the core with a structured Trap (sim/trap.h).  A trapped
+ * core reports the faulting pc/address/cycle and can be reset() and
+ * rerun.  Fault-injection campaigns hook in per retired instruction via
+ * setFaultHook and deliver SEUs through injectFault.
  */
 
 #ifndef GFP_SIM_CPU_H
@@ -28,10 +35,14 @@
 #include "isa/isa.h"
 #include "sim/memory.h"
 #include "sim/stats.h"
+#include "sim/trap.h"
 
 namespace gfp {
 
 enum class CoreKind { kBaseline, kGfProcessor };
+
+/** Architectural state an SEU can strike (sim/fault_injector.h). */
+enum class FaultTarget { kDataMemory, kRegisterFile, kConfigReg };
 
 class Core
 {
@@ -40,24 +51,44 @@ class Core
 
     CoreKind kind() const { return kind_; }
 
-    /** Reset architectural state; sp defaults to the top of memory. */
+    /** Reset architectural state; sp defaults to the top of memory.
+     *  Clears halted and trapped state (stats are kept). */
     void reset(uint32_t pc = 0);
 
     bool halted() const { return halted_; }
+
+    /** The core took a trap; see trap() for details. */
+    bool trapped() const { return trap_.kind != TrapKind::kNone; }
+
+    /** The last trap taken (kind == kNone if none since reset). */
+    const Trap &trap() const { return trap_; }
+
+    /** Halted or trapped — no further step() is legal until reset(). */
+    bool stopped() const { return halted_ || trapped(); }
+
     uint32_t pc() const { return pc_; }
 
     uint32_t reg(unsigned idx) const;
     void setReg(unsigned idx, uint32_t value);
 
-    /** Execute one instruction. Returns the cycles it took. */
-    unsigned step();
+    /** Outcome of one step: the cycles it took, or the trap it hit. */
+    struct StepResult
+    {
+        unsigned cycles = 0;
+        Trap trap;
+        bool ok() const { return !trap; }
+    };
+
+    /** Execute one instruction; never aborts on guest errors. */
+    StepResult step();
 
     /**
-     * Run until HALT or until @p max_instrs instructions retire.
-     * Returns the number of instructions executed; fatal if the limit is
-     * hit without halting (runaway program).
+     * Run until HALT, a trap, or until @p max_instrs instructions
+     * retire (which yields a Watchdog trap in the result — the core
+     * itself stays runnable, the guard is host policy).  The result
+     * carries the stats delta of this run.
      */
-    uint64_t run(uint64_t max_instrs = 500'000'000);
+    RunResult run(uint64_t max_instrs = 500'000'000);
 
     const CycleStats &stats() const { return stats_; }
     void resetStats() { stats_ = CycleStats(); }
@@ -70,6 +101,28 @@ class Core
     using TraceHook = std::function<void(uint32_t, const Instr &)>;
     void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
 
+    /**
+     * Optional per-cycle fault hook, called after every retired
+     * instruction with the core and its cumulative cycle count — the
+     * attachment point for FaultInjector.  The hook may mutate state
+     * via injectFault and may requestTrap.
+     */
+    using FaultHook = std::function<void(Core &, uint64_t)>;
+    void setFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+    /**
+     * Deliver one SEU: flip bit @p bit of the chosen target.
+     *  kDataMemory   index = byte address (mod memory size), bit mod 8
+     *  kRegisterFile index = register (mod 16), bit mod 32
+     *  kConfigReg    bit mod 60 (GF core only; see GFArithmeticUnit)
+     * Updates the per-target injection counters in CycleStats.
+     */
+    void injectFault(FaultTarget target, uint32_t index, unsigned bit);
+
+    /** Ask the core to take @p kind before the next instruction —
+     *  used by fault hooks modeling parity/EDAC-signaled upsets. */
+    void requestTrap(TrapKind kind) { requested_trap_ = kind; }
+
   private:
     struct Flags
     {
@@ -79,6 +132,7 @@ class Core
     void setFlagsSub(uint32_t a, uint32_t b);
     bool condition(Op op) const;
     unsigned execute(const Instr &in);
+    StepResult takeTrap(TrapKind kind, uint32_t addr);
 
     Memory &mem_;
     CoreKind kind_;
@@ -87,8 +141,13 @@ class Core
     uint32_t pc_ = 0;
     Flags flags_;
     bool halted_ = false;
+    Trap trap_;
+    TrapKind pending_trap_ = TrapKind::kNone;   // raised inside execute()
+    uint32_t pending_addr_ = 0;
+    TrapKind requested_trap_ = TrapKind::kNone; // raised via requestTrap()
     CycleStats stats_;
     TraceHook trace_;
+    FaultHook fault_hook_;
 };
 
 } // namespace gfp

@@ -1,0 +1,93 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gfp {
+
+void
+FaultInjector::schedule(const FaultEvent &event)
+{
+    GFP_ASSERT(next_ == 0, "schedule() after injection started");
+    schedule_.push_back(event);
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+void
+FaultInjector::setSchedule(std::vector<FaultEvent> events)
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    schedule_ = std::move(events);
+    next_ = 0;
+    fired_ = 0;
+}
+
+std::vector<FaultEvent>
+FaultInjector::randomCampaign(uint64_t seed, unsigned n_events,
+                              uint64_t cycle_horizon, size_t mem_bytes,
+                              const std::vector<FaultTarget> &targets)
+{
+    GFP_ASSERT(!targets.empty(), "campaign needs at least one target");
+    GFP_ASSERT(cycle_horizon > 0 && mem_bytes > 0);
+    Rng rng(seed);
+    std::vector<FaultEvent> events;
+    events.reserve(n_events);
+    for (unsigned i = 0; i < n_events; ++i) {
+        FaultEvent e;
+        e.cycle = rng.below(cycle_horizon);
+        e.target = targets[rng.below(targets.size())];
+        switch (e.target) {
+          case FaultTarget::kDataMemory:
+            e.index = static_cast<uint32_t>(rng.below(mem_bytes));
+            e.bit = static_cast<unsigned>(rng.below(8));
+            break;
+          case FaultTarget::kRegisterFile:
+            e.index = static_cast<uint32_t>(rng.below(kNumRegs));
+            e.bit = static_cast<unsigned>(rng.below(32));
+            break;
+          case FaultTarget::kConfigReg:
+            e.index = 0;
+            e.bit = static_cast<unsigned>(rng.below(60));
+            break;
+        }
+        events.push_back(e);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return events;
+}
+
+void
+FaultInjector::attach(Core &core)
+{
+    core.setFaultHook([this](Core &c, uint64_t cycle) {
+        onRetire(c, cycle);
+    });
+}
+
+void
+FaultInjector::onRetire(Core &core, uint64_t cycle)
+{
+    bool delivered = false;
+    while (next_ < schedule_.size() && schedule_[next_].cycle <= cycle) {
+        const FaultEvent &e = schedule_[next_];
+        core.injectFault(e.target, e.index, e.bit);
+        ++next_;
+        ++fired_;
+        delivered = true;
+    }
+    if (delivered && trap_on_inject_)
+        core.requestTrap(TrapKind::kInjectedFault);
+}
+
+} // namespace gfp

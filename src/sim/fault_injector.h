@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic single-event-upset (SEU) injection for the GFP core.
+ *
+ * The paper's IoT deployment model puts the processor in noisy, low
+ * power environments where bit upsets are routine, and the reverse
+ * engineering literature on GF(2^m) reduction polynomials shows that a
+ * corrupted field configuration yields a *valid-looking but wrong*
+ * field — so upsets must be injectable (to measure) and detectable (to
+ * recover), never assumed away.
+ *
+ * A FaultInjector holds a schedule of FaultEvents and attaches to a
+ * Core through its per-cycle fault hook.  After every retired
+ * instruction, events whose cycle has been reached are delivered via
+ * Core::injectFault, which flips one bit of data memory, the register
+ * file, or the live 60-bit GFAU configuration register and counts the
+ * flip in CycleStats.  Schedules derive from an explicit list or from
+ * a seeded generator, so every campaign replays bit-for-bit.
+ *
+ * Schedule format: each event is {cycle, target, index, bit} and fires
+ * at the first retire whose cumulative cycle count >= cycle (events at
+ * cycle 0 therefore land right after the first instruction).  Each
+ * event fires exactly once, even across Machine::reset() retries.
+ */
+
+#ifndef GFP_SIM_FAULT_INJECTOR_H
+#define GFP_SIM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cpu.h"
+
+namespace gfp {
+
+/** One scheduled upset. */
+struct FaultEvent
+{
+    uint64_t cycle = 0;       ///< fire at the first retire >= this cycle
+    FaultTarget target = FaultTarget::kDataMemory;
+    uint32_t index = 0;       ///< byte address / register number
+    unsigned bit = 0;         ///< bit to flip within the target
+};
+
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Add one event to the schedule (kept sorted by cycle). */
+    void schedule(const FaultEvent &event);
+
+    /** Replace the schedule wholesale. */
+    void setSchedule(std::vector<FaultEvent> events);
+
+    /**
+     * Seeded campaign generator: @p n_events upsets uniformly spread
+     * over [0, cycle_horizon) cycles, striking the targets listed in
+     * @p targets (pass kConfigReg only for a GF-processor core).
+     * Memory indices are drawn below @p mem_bytes.  Deterministic in
+     * @p seed.
+     */
+    static std::vector<FaultEvent> randomCampaign(
+        uint64_t seed, unsigned n_events, uint64_t cycle_horizon,
+        size_t mem_bytes, const std::vector<FaultTarget> &targets);
+
+    /**
+     * When enabled, every delivered event also requests an
+     * InjectedFault trap — modeling a parity/EDAC-protected structure
+     * that *signals* the upset instead of silently absorbing it.
+     */
+    void setTrapOnInject(bool on) { trap_on_inject_ = on; }
+
+    /** Install this injector as @p core's fault hook.  The injector
+     *  must outlive the core's use of the hook. */
+    void attach(Core &core);
+
+    /** Events delivered so far (each event fires exactly once). */
+    uint64_t firedCount() const { return fired_; }
+
+    /** Events still waiting for their cycle. */
+    size_t pendingCount() const { return schedule_.size() - next_; }
+
+  private:
+    void onRetire(Core &core, uint64_t cycle);
+
+    std::vector<FaultEvent> schedule_; // sorted by cycle
+    size_t next_ = 0;                  // first un-fired event
+    uint64_t fired_ = 0;
+    bool trap_on_inject_ = false;
+};
+
+} // namespace gfp
+
+#endif // GFP_SIM_FAULT_INJECTOR_H

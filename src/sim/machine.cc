@@ -46,37 +46,65 @@ Machine::reset()
     core_->resetStats();
 }
 
-CycleStats
+RunResult
 Machine::runToHalt(uint64_t max_instrs)
 {
-    CycleStats before = core_->stats();
-    core_->run(max_instrs);
-    return core_->stats() - before;
+    return core_->run(max_instrs);
 }
+
+CycleStats
+Machine::runOk(uint64_t max_instrs)
+{
+    RunResult r = core_->run(max_instrs);
+    if (!r.ok())
+        GFP_FATAL("trusted guest program stopped abnormally: %s",
+                  r.trap.describe().c_str());
+    return r.stats;
+}
+
+// The label helpers run on behalf of the *host* (loading inputs,
+// reading results), so an out-of-range access here is host misuse and
+// escalates to fatal rather than becoming a trap.
 
 uint32_t
 Machine::readWord(const std::string &label, unsigned index) const
 {
-    return mem_.read32(program_.symbol(label) + 4 * index);
+    try {
+        return mem_.read32(program_.symbol(label) + 4 * index);
+    } catch (const MemoryFault &f) {
+        GFP_FATAL("readWord('%s', %u): %s", label.c_str(), index, f.what());
+    }
 }
 
 void
 Machine::writeWord(const std::string &label, uint32_t value, unsigned index)
 {
-    mem_.write32(program_.symbol(label) + 4 * index, value);
+    try {
+        mem_.write32(program_.symbol(label) + 4 * index, value);
+    } catch (const MemoryFault &f) {
+        GFP_FATAL("writeWord('%s', %u): %s", label.c_str(), index, f.what());
+    }
 }
 
 std::vector<uint8_t>
 Machine::readBytes(const std::string &label, size_t len) const
 {
-    return mem_.readBlock(program_.symbol(label), len);
+    try {
+        return mem_.readBlock(program_.symbol(label), len);
+    } catch (const MemoryFault &f) {
+        GFP_FATAL("readBytes('%s', %zu): %s", label.c_str(), len, f.what());
+    }
 }
 
 void
 Machine::writeBytes(const std::string &label,
                     const std::vector<uint8_t> &bytes)
 {
-    mem_.writeBlock(program_.symbol(label), bytes);
+    try {
+        mem_.writeBlock(program_.symbol(label), bytes);
+    } catch (const MemoryFault &f) {
+        GFP_FATAL("writeBytes('%s'): %s", label.c_str(), f.what());
+    }
 }
 
 } // namespace gfp

@@ -2,13 +2,22 @@
  * @file
  * Convenience harness bundling an assembled program, memory, and a core.
  *
- * Typical use by kernels, tests, and benchmarks:
+ * Typical use by kernels, tests, and benchmarks (trusted programs,
+ * where a trap means the host generated bad code — runOk() escalates
+ * it to a fatal):
  *
  *     Machine mach(asm_source, CoreKind::kGfProcessor);
  *     mach.writeBytes("input", codeword);
  *     mach.setArgs({n_symbols});
- *     CycleStats s = mach.runToHalt();
+ *     CycleStats s = mach.runOk();
  *     auto synd = mach.readBytes("syndromes", 2 * t);
+ *
+ * Untrusted or fault-injected guests use runToHalt(), which returns a
+ * RunResult whose Trap must be checked — no guest behavior (nor any
+ * injected SEU) can abort the host through this path:
+ *
+ *     RunResult r = mach.runToHalt();
+ *     if (!r.ok()) { ... r.trap.describe() ... }
  */
 
 #ifndef GFP_SIM_MACHINE_H
@@ -48,10 +57,18 @@ class Machine
     void reset();
 
     /**
-     * Run to HALT and return the cycle statistics of this run.
-     * @param max_instrs runaway guard.
+     * Run to HALT, a trap, or the @p max_instrs watchdog.  Returns a
+     * RunResult carrying the stop reason and the cycle statistics of
+     * this run; never aborts the host on a guest fault.
      */
-    CycleStats runToHalt(uint64_t max_instrs = 500'000'000);
+    RunResult runToHalt(uint64_t max_instrs = 500'000'000);
+
+    /**
+     * Run a *trusted* program to HALT and return the cycle statistics.
+     * Any trap is escalated to GFP_FATAL: the host generated the
+     * program, so a trap here is host misuse, not guest input.
+     */
+    CycleStats runOk(uint64_t max_instrs = 500'000'000);
 
     // -- memory helpers (labels resolve through the symbol table) --
     uint32_t readWord(const std::string &label, unsigned index = 0) const;

@@ -2,19 +2,25 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/strutil.h"
 
 namespace gfp {
+
+MemoryFault::MemoryFault(uint32_t addr, unsigned bytes, size_t mem_size)
+    : std::runtime_error(strprintf("memory access of %u bytes at 0x%x "
+                                   "out of range (size 0x%zx)",
+                                   bytes, addr, mem_size)),
+      addr_(addr), bytes_(bytes)
+{
+}
 
 Memory::Memory(size_t size_bytes) : bytes_(size_bytes, 0) {}
 
 void
 Memory::check(uint32_t addr, unsigned bytes) const
 {
-    if (static_cast<uint64_t>(addr) + bytes > bytes_.size()) {
-        GFP_FATAL("memory access of %u bytes at 0x%x out of range "
-                  "(size 0x%zx)", bytes, addr, bytes_.size());
-    }
+    if (static_cast<uint64_t>(addr) + bytes > bytes_.size())
+        throw MemoryFault(addr, bytes, bytes_.size());
 }
 
 uint8_t
@@ -76,6 +82,13 @@ Memory::write64(uint32_t addr, uint64_t value)
 {
     write32(addr, static_cast<uint32_t>(value));
     write32(addr + 4, static_cast<uint32_t>(value >> 32));
+}
+
+void
+Memory::flipBit(uint32_t addr, unsigned bit)
+{
+    check(addr, 1);
+    bytes_[addr] ^= static_cast<uint8_t>(1u << (bit % 8));
 }
 
 void

@@ -1,7 +1,11 @@
 /**
  * @file
  * Flat little-endian byte-addressable memory for the GFP simulator.
- * Out-of-range accesses are user (program) errors and terminate the run.
+ *
+ * Out-of-range accesses throw MemoryFault.  The Core catches it and
+ * converts it into a structured Trap (guest error, host survives);
+ * host-facing helpers (Machine::readWord etc.) catch it and escalate to
+ * GFP_FATAL, because an out-of-range *host* access is host misuse.
  */
 
 #ifndef GFP_SIM_MEMORY_H
@@ -9,9 +13,24 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace gfp {
+
+/** Thrown on an out-of-range access; carries the faulting address. */
+class MemoryFault : public std::runtime_error
+{
+  public:
+    MemoryFault(uint32_t addr, unsigned bytes, size_t mem_size);
+
+    uint32_t addr() const { return addr_; }
+    unsigned bytes() const { return bytes_; }
+
+  private:
+    uint32_t addr_;
+    unsigned bytes_;
+};
 
 class Memory
 {
@@ -29,6 +48,9 @@ class Memory
     void write16(uint32_t addr, uint16_t value);
     void write32(uint32_t addr, uint32_t value);
     void write64(uint32_t addr, uint64_t value);
+
+    /** Flip one bit (SEU model); @p bit is taken modulo 8. */
+    void flipBit(uint32_t addr, unsigned bit);
 
     /** Bulk copy into memory (program loading, input buffers). */
     void writeBlock(uint32_t addr, const std::vector<uint8_t> &data);

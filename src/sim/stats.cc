@@ -7,7 +7,7 @@ namespace gfp {
 std::string
 CycleStats::summary() const
 {
-    return strprintf(
+    std::string s = strprintf(
         "instrs=%llu cycles=%llu | LD %llu/%llu ST %llu/%llu "
         "ALU %llu/%llu BR %llu/%llu GFSIMD %llu/%llu GF32 %llu/%llu "
         "GFCFG %llu/%llu (ops/cycles)",
@@ -27,6 +27,13 @@ CycleStats::summary() const
         static_cast<unsigned long long>(gf32_cycles),
         static_cast<unsigned long long>(gfcfg_ops),
         static_cast<unsigned long long>(gfcfg_cycles));
+    if (faultsInjected()) {
+        s += strprintf(" | SEU mem/reg/cfg %llu/%llu/%llu",
+                       static_cast<unsigned long long>(faults_mem),
+                       static_cast<unsigned long long>(faults_reg),
+                       static_cast<unsigned long long>(faults_cfg));
+    }
+    return s;
 }
 
 } // namespace gfp

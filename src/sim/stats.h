@@ -29,6 +29,16 @@ struct CycleStats
     uint64_t gf32_ops = 0, gf32_cycles = 0;
     uint64_t gfcfg_ops = 0, gfcfg_cycles = 0;
 
+    // SEU injection counters (sim/fault_injector.h), per target.
+    uint64_t faults_mem = 0;  ///< data-memory bit flips delivered
+    uint64_t faults_reg = 0;  ///< register-file bit flips delivered
+    uint64_t faults_cfg = 0;  ///< GFAU config-register bit flips delivered
+
+    uint64_t faultsInjected() const
+    {
+        return faults_mem + faults_reg + faults_cfg;
+    }
+
     void
     record(InstrClass cls, unsigned cycles_taken)
     {
@@ -72,6 +82,9 @@ struct CycleStats
         d.gf32_cycles = gf32_cycles - o.gf32_cycles;
         d.gfcfg_ops = gfcfg_ops - o.gfcfg_ops;
         d.gfcfg_cycles = gfcfg_cycles - o.gfcfg_cycles;
+        d.faults_mem = faults_mem - o.faults_mem;
+        d.faults_reg = faults_reg - o.faults_reg;
+        d.faults_cfg = faults_cfg - o.faults_cfg;
         return d;
     }
 

@@ -1,0 +1,30 @@
+#include "sim/trap.h"
+
+#include "common/strutil.h"
+
+namespace gfp {
+
+const char *
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::kNone:               return "None";
+      case TrapKind::kOutOfRangeAccess:   return "OutOfRangeAccess";
+      case TrapKind::kIllegalInstruction: return "IllegalInstruction";
+      case TrapKind::kGfOnBaseline:       return "GfOnBaseline";
+      case TrapKind::kGfConfigCorrupt:    return "GfConfigCorrupt";
+      case TrapKind::kWatchdog:           return "Watchdog";
+      case TrapKind::kInjectedFault:      return "InjectedFault";
+    }
+    return "?";
+}
+
+std::string
+Trap::describe() const
+{
+    return strprintf("%s at pc=0x%x addr=0x%x cycle=%llu",
+                     trapKindName(kind), pc, addr,
+                     static_cast<unsigned long long>(cycle));
+}
+
+} // namespace gfp

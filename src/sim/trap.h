@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The trap architecture of the GFP simulator.
+ *
+ * The paper targets low-power IoT nodes where single-event upsets and
+ * corrupted codewords are the operating reality, so *guest-attributable*
+ * errors — anything a simulated program (or an injected fault) can
+ * cause — must never abort the host process.  They surface instead as
+ * structured Traps carried in a RunResult:
+ *
+ *   kOutOfRangeAccess   load/store/fetch outside the memory array
+ *   kIllegalInstruction undecodable instruction word
+ *   kGfOnBaseline       a GF instruction reached the baseline core
+ *   kGfConfigCorrupt    gfConfig blob or live 56-bit GFAU register
+ *                       carries an invalid field width
+ *   kWatchdog           the max_instrs runaway guard expired
+ *   kInjectedFault      a scheduled SEU was delivered with the
+ *                       trap-on-inject policy enabled (models a
+ *                       parity/EDAC-signaled upset)
+ *
+ * Host-attributable misuse (bad constructor arguments, undefined
+ * labels, malformed assembly) stays fatal — see common/logging.h.
+ */
+
+#ifndef GFP_SIM_TRAP_H
+#define GFP_SIM_TRAP_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace gfp {
+
+enum class TrapKind : uint8_t {
+    kNone = 0,
+    kOutOfRangeAccess,
+    kIllegalInstruction,
+    kGfOnBaseline,
+    kGfConfigCorrupt,
+    kWatchdog,
+    kInjectedFault,
+};
+
+const char *trapKindName(TrapKind kind);
+
+/** One delivered trap: what happened, where, and when. */
+struct Trap
+{
+    TrapKind kind = TrapKind::kNone;
+
+    /** pc of the faulting instruction (the instruction did not retire,
+     *  except for kWatchdog/kInjectedFault where pc is the next fetch). */
+    uint32_t pc = 0;
+
+    /** Fault detail: the out-of-range address, the undecodable
+     *  instruction word, or the gfcfg blob address, as applicable. */
+    uint32_t addr = 0;
+
+    /** Core cycle count when the trap was taken. */
+    uint64_t cycle = 0;
+
+    explicit operator bool() const { return kind != TrapKind::kNone; }
+
+    /** One-line human-readable rendering. */
+    std::string describe() const;
+};
+
+/**
+ * Outcome of Core::run / Machine::runToHalt.  Exactly one of
+ * (halted, trap) describes why the run ended; `stats` is the cycle
+ * statistics delta of this run (valid either way — a trapped run still
+ * reports the work done up to the trap).
+ */
+struct RunResult
+{
+    bool halted = false;
+    uint64_t instrs = 0;
+    Trap trap;
+    CycleStats stats;
+
+    /** Ran to HALT with no trap. */
+    bool ok() const { return halted && !trap; }
+};
+
+} // namespace gfp
+
+#endif // GFP_SIM_TRAP_H

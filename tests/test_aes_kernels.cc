@@ -57,7 +57,7 @@ TEST(AesKernels, AddRoundKeyBothCores)
         Machine m(aesArkAsm(), kind);
         m.writeBytes("state", stateBytes(kState));
         m.writeBytes("rkeys", roundKeyBytes(aes));
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(m.readBytes("state", 16), stateBytes(expect));
     }
 }
@@ -73,13 +73,13 @@ TEST(AesKernels, SubBytesBothDirections)
 
         Machine base(aesSubBytesAsmBaseline(inverse), CoreKind::kBaseline);
         base.writeBytes("state", stateBytes(kState));
-        CycleStats bs = base.runToHalt();
+        CycleStats bs = base.runOk();
         EXPECT_EQ(base.readBytes("state", 16), stateBytes(expect))
             << "baseline inverse=" << inverse;
 
         Machine gf(aesSubBytesAsmGfcore(inverse), CoreKind::kGfProcessor);
         gf.writeBytes("state", stateBytes(kState));
-        CycleStats gs = gf.runToHalt();
+        CycleStats gs = gf.runOk();
         EXPECT_EQ(gf.readBytes("state", 16), stateBytes(expect))
             << "gfcore inverse=" << inverse;
 
@@ -99,7 +99,7 @@ TEST(AesKernels, ShiftRowsBothDirections)
                               CoreKind::kGfProcessor}) {
             Machine m(aesShiftRowsAsm(inverse), kind);
             m.writeBytes("state", stateBytes(kState));
-            m.runToHalt();
+            m.runOk();
             EXPECT_EQ(m.readBytes("state", 16), stateBytes(expect))
                 << "inverse=" << inverse;
         }
@@ -123,12 +123,12 @@ TEST_P(MixColKernel, MatchesReference)
     Machine base(aesMixColAsmBaseline(inverse, flavor),
                  CoreKind::kBaseline);
     base.writeBytes("state", stateBytes(kState));
-    CycleStats bs = base.runToHalt();
+    CycleStats bs = base.runOk();
     EXPECT_EQ(base.readBytes("state", 16), stateBytes(expect));
 
     Machine gf(aesMixColAsmGfcore(inverse), CoreKind::kGfProcessor);
     gf.writeBytes("state", stateBytes(kState));
-    CycleStats gs = gf.runToHalt();
+    CycleStats gs = gf.runOk();
     EXPECT_EQ(gf.readBytes("state", 16), stateBytes(expect));
 
     EXPECT_GT(bs.cycles, gs.cycles);
@@ -156,10 +156,10 @@ TEST(AesKernels, InvMixColGainsExceedMixColGains)
     auto ratio = [&](bool inverse) {
         Machine base(aesMixColAsmBaseline(inverse), CoreKind::kBaseline);
         base.writeBytes("state", stateBytes(kState));
-        uint64_t b = base.runToHalt().cycles;
+        uint64_t b = base.runOk().cycles;
         Machine gf(aesMixColAsmGfcore(inverse), CoreKind::kGfProcessor);
         gf.writeBytes("state", stateBytes(kState));
-        uint64_t g = gf.runToHalt().cycles;
+        uint64_t g = gf.runOk().cycles;
         return static_cast<double>(b) / static_cast<double>(g);
     };
     EXPECT_GT(ratio(true), 1.5 * ratio(false));
@@ -173,7 +173,7 @@ TEST(AesKernels, KeyExpansionBothCores)
                           : aesKeyExpandAsmBaseline(),
                   gf_core ? CoreKind::kGfProcessor : CoreKind::kBaseline);
         m.writeBytes("key", kKey);
-        m.runToHalt();
+        m.runOk();
         for (unsigned i = 0; i < 44; ++i) {
             EXPECT_EQ(m.readWord("xkey", i), aes.roundKeys()[i])
                 << "gf_core=" << gf_core << " word " << i;
@@ -195,7 +195,7 @@ TEST(AesKernels, FullBlockEncryptFips197)
                   gf_core ? CoreKind::kGfProcessor : CoreKind::kBaseline);
         m.writeBytes("state", stateBytes(kState));
         m.writeBytes("rkeys", roundKeyBytes(aes));
-        cycles[gf_core] = m.runToHalt().cycles;
+        cycles[gf_core] = m.runOk().cycles;
         EXPECT_EQ(m.readBytes("state", 16), stateBytes(expect))
             << "gf_core=" << gf_core;
     }
@@ -214,7 +214,7 @@ TEST(AesKernels, FullBlockDecryptInverts)
                   gf_core ? CoreKind::kGfProcessor : CoreKind::kBaseline);
         m.writeBytes("state", stateBytes(ct));
         m.writeBytes("rkeys", roundKeyBytes(aes));
-        cycles[gf_core] = m.runToHalt().cycles;
+        cycles[gf_core] = m.runOk().cycles;
         EXPECT_EQ(m.readBytes("state", 16), stateBytes(kState))
             << "gf_core=" << gf_core;
     }
@@ -236,7 +236,7 @@ TEST(AesKernels, MultiBlockConsistency)
             b = rng.nextByte();
         m.reset();
         m.writeBytes("state", stateBytes(pt));
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(m.readBytes("state", 16),
                   stateBytes(aes.encryptBlock(pt)));
     }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Statistical and determinism tests for the channel models.  The fault
+ * campaign (test_fault_injection.cc) and the coding experiments both
+ * lean on these models being seeded-reproducible and on their error
+ * statistics matching the configured parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coding/channel.h"
+
+namespace gfp {
+namespace {
+
+std::vector<uint8_t>
+zeros(size_t n)
+{
+    return std::vector<uint8_t>(n, 0);
+}
+
+unsigned
+countOnes(const std::vector<uint8_t> &bits)
+{
+    unsigned n = 0;
+    for (uint8_t b : bits)
+        n += b;
+    return n;
+}
+
+TEST(BscChannel, SameSeedSameErrors)
+{
+    BscChannel a(0.01, 77), b(0.01, 77);
+    auto ra = a.transmit(zeros(4096));
+    auto rb = b.transmit(zeros(4096));
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(a.bitErrors(), b.bitErrors());
+}
+
+TEST(BscChannel, DifferentSeedsDifferentErrors)
+{
+    BscChannel a(0.05, 1), b(0.05, 2);
+    EXPECT_NE(a.transmit(zeros(4096)), b.transmit(zeros(4096)));
+}
+
+TEST(BscChannel, EmpiricalFlipRateMatchesP)
+{
+    // 100k bits at p = 0.02: expect ~2000 flips; a +/-5 sigma window
+    // (sigma = sqrt(n*p*(1-p)) ~ 44) keeps this deterministic-seed test
+    // far from flaky while still catching a miscalibrated model.
+    const double p = 0.02;
+    const size_t n = 100'000;
+    BscChannel ch(p, 12345);
+    auto out = ch.transmit(zeros(n));
+    double expect = p * n;
+    double sigma = std::sqrt(n * p * (1 - p));
+    EXPECT_NEAR(countOnes(out), expect, 5 * sigma);
+    EXPECT_EQ(ch.bitErrors(), countOnes(out));
+}
+
+TEST(BscChannel, SymbolTransmitCountsBitErrors)
+{
+    BscChannel ch(0.05, 9);
+    std::vector<GFElem> word(255, 0);
+    auto rx = ch.transmitSymbols(word, 8);
+    unsigned wrong_symbols = 0;
+    for (size_t i = 0; i < rx.size(); ++i)
+        wrong_symbols += rx[i] != 0;
+    EXPECT_GT(ch.bitErrors(), 0u);
+    // Every flipped bit lands in some symbol; symbol errors can't
+    // exceed bit errors.
+    EXPECT_LE(wrong_symbols, ch.bitErrors());
+    EXPECT_GT(wrong_symbols, 0u);
+}
+
+TEST(GilbertElliottChannel, SameSeedSameErrors)
+{
+    GilbertElliottChannel a(0.01, 0.2, 0.0005, 0.3, 42);
+    GilbertElliottChannel b(0.01, 0.2, 0.0005, 0.3, 42);
+    auto ra = a.transmit(zeros(8192));
+    auto rb = b.transmit(zeros(8192));
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(a.bitErrors(), b.bitErrors());
+}
+
+TEST(GilbertElliottChannel, ErrorsAreBursty)
+{
+    // In a burst channel, an error is much likelier right after another
+    // error than unconditionally: P(err | prev err) >> P(err).  The
+    // stationary marginal here is well under 5%, while within a bad
+    // state the error rate is 30%.
+    GilbertElliottChannel ch(0.005, 0.1, 0.0005, 0.3, 2024);
+    const size_t n = 200'000;
+    auto out = ch.transmit(zeros(n));
+
+    uint64_t errors = 0, pairs = 0;
+    for (size_t i = 0; i < n; ++i)
+        errors += out[i];
+    for (size_t i = 1; i < n; ++i)
+        pairs += out[i] && out[i - 1];
+    ASSERT_GT(errors, 100u);
+
+    double marginal = static_cast<double>(errors) / n;
+    double after_error = static_cast<double>(pairs) / errors;
+    EXPECT_GT(after_error, 4 * marginal)
+        << "marginal=" << marginal << " after_error=" << after_error;
+}
+
+TEST(GilbertElliottChannel, DegeneratesToBscWhenStatesMatch)
+{
+    // With pe_good == pe_bad the Markov state is irrelevant: the
+    // empirical rate must match that single p.
+    const double p = 0.03;
+    GilbertElliottChannel ch(0.01, 0.01, p, p, 7);
+    const size_t n = 100'000;
+    auto out = ch.transmit(zeros(n));
+    double sigma = std::sqrt(n * p * (1 - p));
+    EXPECT_NEAR(countOnes(out), p * n, 5 * sigma);
+}
+
+TEST(ExactErrorInjector, FlipsExactlyCount)
+{
+    ExactErrorInjector inj(3);
+    for (unsigned count : {0u, 1u, 5u, 63u}) {
+        auto out = inj.flipBits(zeros(63), count);
+        EXPECT_EQ(countOnes(out), count);
+    }
+}
+
+TEST(ExactErrorInjector, CorruptsExactlyCountSymbols)
+{
+    ExactErrorInjector inj(4);
+    std::vector<GFElem> word(255, 0);
+    auto rx = inj.corruptSymbols(word, 10, 8);
+    unsigned wrong = 0;
+    for (GFElem s : rx)
+        wrong += s != 0;
+    EXPECT_EQ(wrong, 10u);
+}
+
+TEST(ExactErrorInjector, PositionsDistinctAndInRange)
+{
+    ExactErrorInjector inj(5);
+    auto pos = inj.pickPositions(31, 31); // full draw: a permutation
+    std::vector<bool> seen(31, false);
+    for (unsigned p : pos) {
+        ASSERT_LT(p, 31u);
+        EXPECT_FALSE(seen[p]) << "duplicate position " << p;
+        seen[p] = true;
+    }
+    EXPECT_EQ(pos.size(), 31u);
+}
+
+} // anonymous namespace
+} // namespace gfp

@@ -71,13 +71,13 @@ TEST_P(SyndromeKernelTest, BothCoresMatchReference)
     Machine base(syndromeAsmBaseline(c.field, c.n, c.two_t),
                  CoreKind::kBaseline);
     base.writeBytes("rxdata", toBytes(c.rx));
-    CycleStats bs = base.runToHalt();
+    CycleStats bs = base.runOk();
     EXPECT_EQ(base.readBytes("synd", c.two_t), toBytes(c.synd));
 
     Machine gf(syndromeAsmGfcore(c.field, c.n, c.two_t),
                CoreKind::kGfProcessor);
     gf.writeBytes("rxdata", toBytes(c.rx));
-    CycleStats gs = gf.runToHalt();
+    CycleStats gs = gf.runOk();
     EXPECT_EQ(gf.readBytes("synd", c.two_t), toBytes(c.synd));
 
     // The SIMD version must win by a sizable factor.
@@ -105,7 +105,7 @@ TEST(SyndromeKernel, ZeroSyndromesForCleanCodeword)
 
     Machine gf(syndromeAsmGfcore(f, 255, 16), CoreKind::kGfProcessor);
     gf.writeBytes("rxdata", toBytes(cw));
-    gf.runToHalt();
+    gf.runOk();
     EXPECT_EQ(gf.readBytes("synd", 16), std::vector<uint8_t>(16, 0));
 }
 
@@ -132,7 +132,7 @@ TEST_P(BmaKernelTest, BothCoresMatchReference)
         Machine mach(src, gf_core ? CoreKind::kGfProcessor
                                   : CoreKind::kBaseline);
         mach.writeBytes("synd", toBytes(c.synd));
-        mach.runToHalt();
+        mach.runOk();
         EXPECT_EQ(mach.readBytes("lambda", 12), expect_lambda)
             << "gf_core=" << gf_core;
         EXPECT_EQ(mach.readWord("llen"),
@@ -156,11 +156,11 @@ TEST(BmaKernel, GfCoreIsFaster)
     DecodeCase c(8, 8, 8, 99);
     Machine base(bmaAsmBaseline(c.field, 16), CoreKind::kBaseline);
     base.writeBytes("synd", toBytes(c.synd));
-    CycleStats bs = base.runToHalt();
+    CycleStats bs = base.runOk();
 
     Machine gf(bmaAsmGfcore(c.field, 16), CoreKind::kGfProcessor);
     gf.writeBytes("synd", toBytes(c.synd));
-    CycleStats gs = gf.runToHalt();
+    CycleStats gs = gf.runOk();
 
     EXPECT_GT(bs.cycles, gs.cycles);
     // BMA is the least-speedup kernel (iterative, limited parallelism).
@@ -190,7 +190,7 @@ TEST_P(ChienKernelTest, BothCoresMatchReference)
         Machine mach(src, gf_core ? CoreKind::kGfProcessor
                                   : CoreKind::kBaseline);
         mach.writeBytes("lambda", lambda_bytes);
-        mach.runToHalt();
+        mach.runOk();
         ASSERT_EQ(mach.readWord("nloc"), c.locs.size())
             << "gf_core=" << gf_core;
         auto locs = mach.readBytes("locs", c.locs.size());
@@ -219,11 +219,11 @@ TEST(ChienKernel, GfCoreIsFaster)
 
     Machine base(chienAsmBaseline(c.field, c.n, 8), CoreKind::kBaseline);
     base.writeBytes("lambda", lambda_bytes);
-    CycleStats bs = base.runToHalt();
+    CycleStats bs = base.runOk();
 
     Machine gf(chienAsmGfcore(c.field, c.n, 8), CoreKind::kGfProcessor);
     gf.writeBytes("lambda", lambda_bytes);
-    CycleStats gs = gf.runToHalt();
+    CycleStats gs = gf.runOk();
 
     EXPECT_GT(bs.cycles, 3 * gs.cycles);
 }
@@ -258,7 +258,7 @@ TEST_P(ForneyKernelTest, BothCoresMatchReference)
         mach.writeBytes("lambda", lambda_bytes);
         mach.writeBytes("locs", locs_bytes);
         mach.writeWord("nloc", static_cast<uint32_t>(c.locs.size()));
-        mach.runToHalt();
+        mach.runOk();
         auto vals = mach.readBytes("evals", c.evals.size());
         for (size_t i = 0; i < c.evals.size(); ++i)
             EXPECT_EQ(vals[i], c.evals[i])
@@ -297,7 +297,7 @@ TEST(ForneyKernel, SpeedupIsLarge)
         mach.writeBytes("lambda", lambda_bytes);
         mach.writeBytes("locs", locs_bytes);
         mach.writeWord("nloc", static_cast<uint32_t>(c.locs.size()));
-        cycles[gf_core] = mach.runToHalt().cycles;
+        cycles[gf_core] = mach.runOk().cycles;
     }
     EXPECT_GT(cycles[0], 3 * cycles[1]);
 }
@@ -314,18 +314,18 @@ TEST(DecoderPipeline, KernelsComposeToFullDecode)
     Machine synd_m(syndromeAsmGfcore(c.field, 255, 16),
                    CoreKind::kGfProcessor);
     synd_m.writeBytes("rxdata", toBytes(c.rx));
-    synd_m.runToHalt();
+    synd_m.runOk();
     auto synd_out = synd_m.readBytes("synd", 16);
 
     Machine bma_m(bmaAsmGfcore(c.field, 16), CoreKind::kGfProcessor);
     bma_m.writeBytes("synd", synd_out);
-    bma_m.runToHalt();
+    bma_m.runOk();
     auto lambda_out = bma_m.readBytes("lambda", 12);
 
     Machine chien_m(chienAsmGfcore(c.field, 255, 8),
                     CoreKind::kGfProcessor);
     chien_m.writeBytes("lambda", lambda_out);
-    chien_m.runToHalt();
+    chien_m.runOk();
     uint32_t nloc = chien_m.readWord("nloc");
     ASSERT_EQ(nloc, 6u);
     auto locs_out = chien_m.readBytes("locs", 12);
@@ -335,7 +335,7 @@ TEST(DecoderPipeline, KernelsComposeToFullDecode)
     forney_m.writeBytes("lambda", lambda_out);
     forney_m.writeBytes("locs", locs_out);
     forney_m.writeWord("nloc", nloc);
-    forney_m.runToHalt();
+    forney_m.runOk();
     auto evals_out = forney_m.readBytes("evals", nloc);
 
     auto fixed = c.rx;
@@ -363,18 +363,18 @@ TEST(DecoderPipeline, BchKernelsComposeToFullDecode)
 
     Machine synd_m(syndromeAsmGfcore(f, 31, 10), CoreKind::kGfProcessor);
     synd_m.writeBytes("rxdata", rx);
-    synd_m.runToHalt();
+    synd_m.runOk();
     auto synd_out = synd_m.readBytes("synd", 10);
 
     Machine bma_m(bmaAsmGfcore(f, 10), CoreKind::kGfProcessor);
     bma_m.writeBytes("synd", synd_out);
-    bma_m.runToHalt();
+    bma_m.runOk();
     auto lambda_out = bma_m.readBytes("lambda", 12);
     EXPECT_EQ(bma_m.readWord("llen"), 5u);
 
     Machine chien_m(chienAsmGfcore(f, 31, 5), CoreKind::kGfProcessor);
     chien_m.writeBytes("lambda", lambda_out);
-    chien_m.runToHalt();
+    chien_m.runOk();
     uint32_t nloc = chien_m.readWord("nloc");
     ASSERT_EQ(nloc, 5u);
     auto locs_out = chien_m.readBytes("locs", nloc);
@@ -405,7 +405,7 @@ TEST(DecoderPipeline, CycleCountsAreDeterministic)
     for (int run = 0; run < 2; ++run) {
         Machine m(syndromeAsmGfcore(f, 255, 16), CoreKind::kGfProcessor);
         m.writeBytes("rxdata", rxb);
-        cycles[run] = m.runToHalt().cycles;
+        cycles[run] = m.runOk().cycles;
         synd[run] = m.readBytes("synd", 16);
     }
     EXPECT_EQ(cycles[0], cycles[1]);

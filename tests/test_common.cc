@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bitops.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/strutil.h"
 
@@ -126,6 +127,53 @@ TEST(Strutil, HexRoundTrip)
     std::vector<uint8_t> v{0xde, 0xad, 0x00, 0x3f};
     EXPECT_EQ(toHex(v), "dead003f");
     EXPECT_EQ(fromHex("dead003f"), v);
+}
+
+TEST(Strutil, FromHexRejectsOddLength)
+{
+    ScopedFatalThrow guard;
+    EXPECT_THROW(fromHex("abc"), FatalError);
+}
+
+TEST(Strutil, FromHexRejectsBadDigit)
+{
+    ScopedFatalThrow guard;
+    try {
+        fromHex("zz");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("hex"), std::string::npos);
+    }
+}
+
+TEST(Logging, FatalHandlerInterceptsAndRestores)
+{
+    // A custom handler sees the message before the default abort path;
+    // restoring the previous handler reinstalls normal behavior.
+    std::string seen;
+    FatalHandler prev = setFatalHandler(
+        [&](const char *, int, const std::string &msg) {
+            seen = msg;
+            throw FatalError(msg);
+        });
+    EXPECT_THROW(fromHex("q"), FatalError);
+    EXPECT_NE(seen.find("length"), std::string::npos);
+    setFatalHandler(std::move(prev));
+}
+
+TEST(Logging, MessageSinkCapturesWarnings)
+{
+    std::vector<std::string> lines;
+    MessageSink prev = setMessageSink(
+        [&](const char *level, const std::string &msg) {
+            lines.push_back(std::string(level) + ": " + msg);
+        });
+    GFP_WARN("captured %d", 7);
+    GFP_INFORM("also captured");
+    setMessageSink(std::move(prev));
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].rfind("warn: captured 7", 0), 0u);
+    EXPECT_EQ(lines[1], "info: also captured");
 }
 
 TEST(Rng, Deterministic)

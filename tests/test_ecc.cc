@@ -190,11 +190,26 @@ TEST(Ecdh, SharedSecretsAgree)
         auto bob = ecdh.generate(2002);
         EXPECT_TRUE(c.isOnCurve(alice.public_point));
         EXPECT_TRUE(c.isOnCurve(bob.public_point));
-        Gf2x s1 = ecdh.sharedSecret(alice.private_scalar, bob.public_point);
-        Gf2x s2 = ecdh.sharedSecret(bob.private_scalar, alice.public_point);
-        EXPECT_EQ(s1, s2) << name;
-        EXPECT_FALSE(s1.isZero());
+        auto s1 = ecdh.sharedSecret(alice.private_scalar, bob.public_point);
+        auto s2 = ecdh.sharedSecret(bob.private_scalar, alice.public_point);
+        ASSERT_TRUE(s1.has_value()) << name;
+        ASSERT_TRUE(s2.has_value()) << name;
+        EXPECT_EQ(*s1, *s2) << name;
+        EXPECT_FALSE(s1->isZero());
     }
+}
+
+TEST(Ecdh, InfinityPublicPointIsRejectedNotFatal)
+{
+    // A peer supplying the point at infinity (or any input whose
+    // scalar multiple lands there) is bad *input*, not host misuse:
+    // the exchange must fail gracefully.
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    Ecdh ecdh(c);
+    auto alice = ecdh.generate(1001);
+    auto s = ecdh.sharedSecret(alice.private_scalar,
+                               EcPoint::infinityPoint());
+    EXPECT_FALSE(s.has_value());
 }
 
 TEST(Ecdh, DifferentSeedsDifferentKeys)

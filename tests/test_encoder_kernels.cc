@@ -53,7 +53,7 @@ TEST_P(RsEncoderKernel, MatchesReferenceEncoder)
         }
         Machine mach(src, kind);
         mach.writeBytes("infodata", info_bytes);
-        mach.runToHalt();
+        mach.runOk();
         EXPECT_EQ(mach.readBytes("cwdata", code.n()), expect_bytes)
             << "variant=" << variant;
     }
@@ -79,11 +79,11 @@ TEST(RsEncoderKernel, GfCoreIsFaster)
 
     Machine base(rsEncodeAsmBaseline(f, 8), CoreKind::kBaseline);
     base.writeBytes("infodata", info);
-    uint64_t bc = base.runToHalt().cycles;
+    uint64_t bc = base.runOk().cycles;
 
     Machine gf(rsEncodeAsmGfcore(f, 8), CoreKind::kGfProcessor);
     gf.writeBytes("infodata", info);
-    uint64_t gc = gf.runToHalt().cycles;
+    uint64_t gc = gf.runOk().cycles;
 
     EXPECT_GT(bc, 5 * gc);
 }
@@ -97,7 +97,7 @@ TEST(RsEncoderKernel, EncodedWordHasZeroSyndromes)
     for (auto &b : info)
         b = rng.nextByte();
     m.writeBytes("infodata", info);
-    m.runToHalt();
+    m.runOk();
     auto cw = m.readBytes("cwdata", 255);
     std::vector<GFElem> symbols(cw.begin(), cw.end());
     for (GFElem s : syndromes(f, symbols, 16))
@@ -125,7 +125,7 @@ TEST_P(LaneAblation, CorrectAtEveryWidth)
               CoreKind::kGfProcessor);
     m.writeBytes("rxdata",
                  std::vector<uint8_t>(rx.begin(), rx.end()));
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.readBytes("synd", 16),
               std::vector<uint8_t>(expect.begin(), expect.end()));
 }
@@ -146,7 +146,7 @@ TEST(LaneAblation, ThroughputScalesWithWidth)
         Machine m(syndromeAsmGfcoreLanes(f, 255, 16, widths[i]),
                   CoreKind::kGfProcessor);
         m.writeBytes("rxdata", rx);
-        cycles[i] = m.runToHalt().cycles;
+        cycles[i] = m.runOk().cycles;
     }
     // Close to linear scaling up to the 4-way width.
     EXPECT_GT(cycles[0], 18 * 255 / 10 * 4); // sanity floor

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * SEU fault-injection campaign: the robustness contract under test is
+ * that *no guest program and no injected fault may abort the host*.
+ * Every campaign must end in exactly one of two structured outcomes —
+ * a clean halt or a Trap — and seeded campaigns must replay
+ * bit-for-bit.  The soak below runs well over a thousand campaigns
+ * across all three injection targets (data memory, register file,
+ * GFAU configuration register) plus resilient-decoder recovery runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coding/channel.h"
+#include "coding/decoder_kernels.h"
+#include "coding/resilient_decoder.h"
+#include "gf/field.h"
+#include "isa/assembler.h"
+#include "kernels/coding_kernels.h"
+#include "sim/fault_injector.h"
+#include "sim/machine.h"
+
+namespace gfp {
+namespace {
+
+// A small RS(15, 9, t=3) screen keeps each campaign cheap enough to
+// run thousands of them.
+constexpr unsigned kM = 4;
+constexpr unsigned kT = 3;
+constexpr unsigned kN = 15;
+constexpr unsigned kTwoT = 2 * kT;
+
+const GFField &
+testField()
+{
+    static GFField field(kM);
+    return field;
+}
+
+/** Syndrome kernel assembled once; Machines are built from copies. */
+const Program &
+screenProgram()
+{
+    static Program prog =
+        Assembler::assemble(syndromeAsmGfcore(testField(), kN, kTwoT));
+    return prog;
+}
+
+/** Cycle count of one fault-free screen pass (the campaign horizon). */
+uint64_t
+goldenCycles()
+{
+    static uint64_t cycles = [] {
+        Machine m(screenProgram(), CoreKind::kGfProcessor);
+        m.writeBytes("rxdata", std::vector<uint8_t>(kN, 0));
+        return m.runOk().cycles;
+    }();
+    return cycles;
+}
+
+// ------------------------- injector mechanics -------------------------
+
+TEST(FaultInjector, RandomCampaignIsDeterministic)
+{
+    std::vector<FaultTarget> all = {FaultTarget::kDataMemory,
+                                    FaultTarget::kRegisterFile,
+                                    FaultTarget::kConfigReg};
+    auto a = FaultInjector::randomCampaign(99, 16, 1000, 4096, all);
+    auto b = FaultInjector::randomCampaign(99, 16, 1000, 4096, all);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].target, b[i].target);
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_EQ(a[i].bit, b[i].bit);
+    }
+    auto c = FaultInjector::randomCampaign(100, 16, 1000, 4096, all);
+    bool identical = true;
+    for (size_t i = 0; i < c.size(); ++i)
+        identical &= c[i].cycle == a[i].cycle && c[i].index == a[i].index;
+    EXPECT_FALSE(identical);
+}
+
+TEST(FaultInjector, StatsCountEveryDeliveredFlip)
+{
+    Machine m(R"(
+        movi r1, #100
+    loop:
+        subi r1, r1, #1
+        cmpi r1, #0
+        bne  loop
+        halt
+    )", CoreKind::kGfProcessor);
+    FaultInjector inj;
+    // Register flips on an otherwise-unused register, plus one memory
+    // flip in high memory: the loop still halts.
+    inj.setSchedule({{10, FaultTarget::kRegisterFile, 7, 0},
+                     {20, FaultTarget::kRegisterFile, 7, 1},
+                     {30, FaultTarget::kDataMemory, 0x30000, 3}});
+    inj.attach(m.core());
+    RunResult r = m.runToHalt();
+    ASSERT_TRUE(r.ok()) << r.trap.describe();
+    EXPECT_EQ(inj.firedCount(), 3u);
+    EXPECT_EQ(inj.pendingCount(), 0u);
+    EXPECT_EQ(r.stats.faults_reg, 2u);
+    EXPECT_EQ(r.stats.faults_mem, 1u);
+    EXPECT_EQ(r.stats.faultsInjected(), 3u);
+    EXPECT_EQ(m.core().reg(7), 3u); // bits 0 and 1 flipped in r7
+    EXPECT_NE(r.stats.summary().find("SEU"), std::string::npos);
+}
+
+TEST(FaultInjector, TrapOnInjectRaisesInjectedFault)
+{
+    Machine m(R"(
+        movi r1, #100
+    loop:
+        subi r1, r1, #1
+        cmpi r1, #0
+        bne  loop
+        halt
+    )", CoreKind::kGfProcessor);
+    FaultInjector inj;
+    inj.setSchedule({{5, FaultTarget::kRegisterFile, 6, 2}});
+    inj.setTrapOnInject(true);
+    inj.attach(m.core());
+    RunResult r = m.runToHalt();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::kInjectedFault);
+}
+
+TEST(FaultInjector, ConfigMFieldUpsetTrapsAtNextGfOp)
+{
+    // Flipping bit 58 of the config register turns m=4 into m=0 — an
+    // invalid field that must trap at the next GF op, not abort.
+    Machine m(screenProgram(), CoreKind::kGfProcessor);
+    m.writeBytes("rxdata", std::vector<uint8_t>(kN, 1));
+    FaultInjector inj;
+    inj.setSchedule({{goldenCycles() / 2, FaultTarget::kConfigReg, 0, 58}});
+    inj.attach(m.core());
+    RunResult r = m.runToHalt();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::kGfConfigCorrupt);
+    EXPECT_EQ(r.stats.faults_cfg, 1u);
+}
+
+// ----------------------------- the soak -------------------------------
+
+struct CampaignOutcome
+{
+    bool halted = false;
+    TrapKind trap = TrapKind::kNone;
+    uint64_t instrs = 0;
+    std::vector<uint8_t> synd;
+
+    bool operator==(const CampaignOutcome &o) const
+    {
+        return halted == o.halted && trap == o.trap &&
+               instrs == o.instrs && synd == o.synd;
+    }
+};
+
+CampaignOutcome
+runCampaign(uint64_t seed, const std::vector<FaultTarget> &targets,
+            unsigned n_events)
+{
+    Machine mach(screenProgram(), CoreKind::kGfProcessor);
+    std::vector<uint8_t> rx(kN);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    for (auto &b : rx)
+        b = static_cast<uint8_t>(rng.below(16));
+    mach.writeBytes("rxdata", rx);
+
+    FaultInjector inj;
+    inj.setSchedule(FaultInjector::randomCampaign(
+        seed, n_events, goldenCycles(), mach.memory().size(), targets));
+    inj.attach(mach.core());
+
+    // Watchdog well above the fault-free instruction count: a fault
+    // that corrupts the loop counter becomes a Watchdog trap.
+    RunResult r = mach.runToHalt(goldenCycles() * 4 + 10'000);
+
+    CampaignOutcome out;
+    out.halted = r.halted;
+    out.trap = r.trap.kind;
+    out.instrs = r.instrs;
+    if (r.ok())
+        out.synd = mach.readBytes("synd", kTwoT);
+    return out;
+}
+
+TEST(FaultSoak, NoCampaignAbortsTheHost)
+{
+    // 400 seeds x 3 target classes = 1200 campaigns.  Reaching the end
+    // of this loop *is* the assertion that no guest or fault aborted
+    // the host; per-campaign we assert the outcome is structured.
+    const std::vector<std::vector<FaultTarget>> classes = {
+        {FaultTarget::kDataMemory},
+        {FaultTarget::kRegisterFile},
+        {FaultTarget::kConfigReg},
+    };
+    std::map<TrapKind, unsigned> trap_tally;
+    unsigned halted = 0, campaigns = 0;
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+        for (const auto &targets : classes) {
+            CampaignOutcome out = runCampaign(seed, targets, 3);
+            ++campaigns;
+            // Exactly one structured outcome: halt or trap.
+            ASSERT_TRUE(out.halted || out.trap != TrapKind::kNone)
+                << "seed " << seed;
+            if (out.halted)
+                ++halted;
+            else
+                ++trap_tally[out.trap];
+        }
+    }
+    EXPECT_EQ(campaigns, 1200u);
+    // Both outcome classes must actually occur, else the soak proves
+    // nothing.
+    EXPECT_GT(halted, 0u);
+    unsigned trapped = campaigns - halted;
+    EXPECT_GT(trapped, 0u);
+    // Memory flips can corrupt code anywhere, so at least the
+    // config-corrupt class must appear (m-field upsets).
+    EXPECT_GT(trap_tally[TrapKind::kGfConfigCorrupt], 0u);
+}
+
+TEST(FaultSoak, CampaignsReplayBitForBit)
+{
+    const std::vector<FaultTarget> all = {FaultTarget::kDataMemory,
+                                          FaultTarget::kRegisterFile,
+                                          FaultTarget::kConfigReg};
+    for (uint64_t seed = 1000; seed < 1040; ++seed) {
+        CampaignOutcome a = runCampaign(seed, all, 4);
+        CampaignOutcome b = runCampaign(seed, all, 4);
+        EXPECT_TRUE(a == b) << "seed " << seed << " diverged";
+    }
+}
+
+// ----------------------- resilient decoder runs -----------------------
+
+ScreenProgram
+screenSpec()
+{
+    return ScreenProgram{syndromeAsmGfcore(testField(), kN, kTwoT)};
+}
+
+TEST(ResilientDecoder, FaultFreeDecodeIsCorrected)
+{
+    ResilientRsDecoder dec(kM, kT, screenSpec());
+    std::vector<GFElem> info(dec.code().k(), 0x5);
+    auto cw = dec.code().encode(info);
+
+    ExactErrorInjector chan(7);
+    auto rx = chan.corruptSymbols(cw, 2, kM);
+
+    auto res = dec.decode(rx);
+    EXPECT_EQ(res.report.outcome, ResilientOutcome::kCorrected);
+    EXPECT_EQ(res.report.errors, 2u);
+    EXPECT_EQ(res.report.scrubs, 0u);
+    EXPECT_TRUE(res.report.screen_agreed);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+TEST(ResilientDecoder, BeyondCapacityIsDetectedNotSilent)
+{
+    ResilientRsDecoder dec(kM, kT, screenSpec());
+    std::vector<GFElem> info(dec.code().k(), 0x9);
+    auto cw = dec.code().encode(info);
+
+    ExactErrorInjector chan(11);
+    auto rx = chan.corruptSymbols(cw, kT + 2, kM); // 5 > t = 3
+
+    auto res = dec.decode(rx);
+    // Either flagged uncorrectable, or "corrected" onto some codeword
+    // != cw (decoding beyond capacity can alias) — but if it claims
+    // success it must at least return a valid codeword.
+    if (res.report.outcome == ResilientOutcome::kDetectedUncorrectable) {
+        SUCCEED();
+    } else {
+        auto check = syndromes(dec.code().field(), res.codeword, kTwoT);
+        for (GFElem s : check)
+            EXPECT_EQ(s, 0u);
+    }
+}
+
+TEST(ResilientDecoder, ErasureHintsRescueBeyondHalfDistance)
+{
+    ResilientRsDecoder dec(kM, kT, screenSpec());
+    std::vector<GFElem> info(dec.code().k(), 0x3);
+    auto cw = dec.code().encode(info);
+
+    // Corrupt 2t - 1 = 5 known positions with a pattern that defeats
+    // plain decoding (beyond-capacity words can also alias onto a
+    // wrong codeword, so search the seeded patterns for one the plain
+    // decoder rejects): errors-and-erasures with all positions hinted
+    // then succeeds.
+    std::vector<GFElem> rx;
+    std::vector<unsigned> pos;
+    for (uint64_t seed = 13; seed < 64; ++seed) {
+        ExactErrorInjector chan(seed);
+        pos = chan.pickPositions(kN, kTwoT - 1);
+        rx = cw;
+        for (unsigned p : pos)
+            rx[p] ^= 0x1;
+        if (!dec.code().decode(rx).ok)
+            break;
+        rx.clear();
+    }
+    ASSERT_FALSE(rx.empty()) << "no pattern defeated plain decoding";
+
+    auto res = dec.decode(rx, pos);
+    ASSERT_EQ(res.report.outcome, ResilientOutcome::kCorrected);
+    EXPECT_TRUE(res.report.escalated_to_erasures);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+TEST(ResilientDecoder, ScrubRecoversFromConfigUpsets)
+{
+    // Inject config-register upsets into every screen attempt of the
+    // first decode; the scrub loop must still converge because each
+    // retry reloads the known-good config and the schedule eventually
+    // drains.
+    unsigned recovered = 0, corrected = 0, detected = 0;
+    for (uint64_t seed = 0; seed < 120; ++seed) {
+        ResilientRsDecoder dec(kM, kT, screenSpec());
+        std::vector<GFElem> info(dec.code().k(),
+                                 static_cast<GFElem>(seed % 16));
+        auto cw = dec.code().encode(info);
+        ExactErrorInjector chan(seed);
+        auto rx = chan.corruptSymbols(cw, seed % (kT + 1), kM);
+
+        FaultInjector inj;
+        inj.setSchedule(FaultInjector::randomCampaign(
+            seed, 2, goldenCycles(),
+            256 * 1024, {FaultTarget::kConfigReg}));
+        inj.attach(dec.core());
+
+        auto res = dec.decode(rx);
+        switch (res.report.outcome) {
+          case ResilientOutcome::kCorrected:
+            ++corrected;
+            EXPECT_EQ(res.codeword, cw) << "seed " << seed;
+            break;
+          case ResilientOutcome::kRecoveredAfterScrub:
+            ++recovered;
+            EXPECT_EQ(res.codeword, cw) << "seed " << seed;
+            EXPECT_GT(res.report.scrubs, 0u);
+            break;
+          case ResilientOutcome::kDetectedUncorrectable:
+            ++detected;
+            break;
+        }
+    }
+    // The campaign must exercise the scrub path, and nothing may be
+    // silently wrong: every success above was checked against cw.
+    EXPECT_GT(recovered, 0u);
+    EXPECT_GT(corrected + recovered, 60u)
+        << "corrected=" << corrected << " recovered=" << recovered
+        << " detected=" << detected;
+}
+
+TEST(ResilientDecoder, ReportSummaryRenders)
+{
+    ResilientRsDecoder dec(kM, kT, screenSpec());
+    std::vector<GFElem> info(dec.code().k(), 0x1);
+    auto cw = dec.code().encode(info);
+    auto res = dec.decode(cw);
+    EXPECT_NE(res.report.summary().find("corrected"), std::string::npos);
+    EXPECT_EQ(res.report.outcome, ResilientOutcome::kCorrected);
+    EXPECT_EQ(res.report.errors, 0u);
+}
+
+TEST(ResilientDecoder, BchPathAlsoRecovers)
+{
+    // BCH(15, t=2) over the same field exercises the binary decoder
+    // wrapper end to end.
+    ResilientBchDecoder dec(kM, 2, screenSpec());
+    std::vector<uint8_t> info(dec.code().k(), 1);
+    auto cw = dec.code().encode(info);
+    ExactErrorInjector chan(21);
+    auto rx = chan.flipBits(cw, 2);
+
+    auto res = dec.decode(rx);
+    ASSERT_EQ(res.report.outcome, ResilientOutcome::kCorrected);
+    EXPECT_EQ(res.report.errors, 2u);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+} // anonymous namespace
+} // namespace gfp

@@ -167,7 +167,7 @@ TEST(Fuzz, AluDifferentialAgainstHostModel)
         }
         src << "halt\n";
         Machine m(src.str(), CoreKind::kBaseline);
-        m.runToHalt();
+        m.runOk();
         for (unsigned r = 0; r < 8; ++r)
             ASSERT_EQ(m.core().reg(r), regs[r])
                 << "trial " << trial << " r" << r;
@@ -211,7 +211,7 @@ TEST_P(AesWideKeys, FipsVectorsOnBothCores)
                             : CoreKind::kBaseline);
         enc.writeBytes("rkeys", rk);
         enc.writeBytes("state", pt);
-        enc.runToHalt();
+        enc.runOk();
         EXPECT_EQ(toHex(enc.readBytes("state", 16)), expect)
             << "enc gf=" << gf_core;
 
@@ -222,7 +222,7 @@ TEST_P(AesWideKeys, FipsVectorsOnBothCores)
         dec.writeBytes("rkeys", rk);
         dec.writeBytes("state",
                        std::vector<uint8_t>(ctb.begin(), ctb.end()));
-        dec.runToHalt();
+        dec.runOk();
         EXPECT_EQ(dec.readBytes("state", 16), pt)
             << "dec gf=" << gf_core;
     }
@@ -291,7 +291,7 @@ TEST(Fuzz, RandomRsDecodePipelinesOnGfCore)
         synd_m.reset();
         synd_m.writeBytes("rxdata",
                           std::vector<uint8_t>(rx.begin(), rx.end()));
-        synd_m.runToHalt();
+        synd_m.runOk();
         auto synd_out = synd_m.readBytes("synd", 16);
 
         bool clean = true;
@@ -304,12 +304,12 @@ TEST(Fuzz, RandomRsDecodePipelinesOnGfCore)
 
         bma_m.reset();
         bma_m.writeBytes("synd", synd_out);
-        bma_m.runToHalt();
+        bma_m.runOk();
         auto lambda_out = bma_m.readBytes("lambda", 12);
 
         chien_m.reset();
         chien_m.writeBytes("lambda", lambda_out);
-        chien_m.runToHalt();
+        chien_m.runOk();
         uint32_t nloc = chien_m.readWord("nloc");
         ASSERT_EQ(nloc, errors) << "trial " << trial;
         auto locs_out = chien_m.readBytes("locs", 12);
@@ -319,7 +319,7 @@ TEST(Fuzz, RandomRsDecodePipelinesOnGfCore)
         forney_m.writeBytes("lambda", lambda_out);
         forney_m.writeBytes("locs", locs_out);
         forney_m.writeWord("nloc", nloc);
-        forney_m.runToHalt();
+        forney_m.runOk();
         auto evals_out = forney_m.readBytes("evals", nloc);
 
         auto fixed = rx;

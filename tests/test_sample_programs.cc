@@ -34,7 +34,7 @@ readProgram(const std::string &name)
 TEST(SamplePrograms, DotProduct)
 {
     Machine m(readProgram("dot_product.s"), CoreKind::kGfProcessor);
-    m.runToHalt();
+    m.runOk();
     // Independently verified GF(2^8)/0x11d dot product of the two
     // vectors baked into the program.
     EXPECT_EQ(m.core().reg(0), 0xe2u);
@@ -43,7 +43,7 @@ TEST(SamplePrograms, DotProduct)
 TEST(SamplePrograms, FieldSwitch)
 {
     Machine m(readProgram("field_switch.s"), CoreKind::kGfProcessor);
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.core().reg(2), 0x01u); // 0x13 and 0x1d are inverses
     EXPECT_EQ(m.core().reg(4), 0xc1u); // FIPS-197: {57} x {83}
 }

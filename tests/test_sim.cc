@@ -21,7 +21,7 @@ Machine
 runGf(const std::string &src)
 {
     Machine m(src, CoreKind::kGfProcessor);
-    m.runToHalt();
+    m.runOk();
     return m;
 }
 
@@ -149,7 +149,7 @@ TEST_P(BranchTest, ConditionSemantics)
         halt
     )", c.a, c.b, c.cond);
     Machine m(src, CoreKind::kGfProcessor);
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.core().reg(0), c.taken ? 1u : 0u)
         << c.cond << " " << c.a << "," << c.b;
 }
@@ -234,7 +234,7 @@ TEST(Sim, CycleModel)
     skip:
         halt
     )", CoreKind::kGfProcessor);
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     // movi 1, ldr 2, str 2, add 1, cmpi 1, beq taken 2, halt 1 = 10
     EXPECT_EQ(s.cycles, 10u);
     EXPECT_EQ(s.instrs, 7u);
@@ -256,7 +256,7 @@ TEST(Sim, UntakenBranchIsOneCycle)
     nope:
         halt
     )", CoreKind::kGfProcessor);
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     EXPECT_EQ(s.branch_cycles, 1u);
 }
 
@@ -302,7 +302,7 @@ TEST(Sim, GfOpsAreSingleCycle)
         gf32mul r4, r5, r1, r1
         halt
     )", CoreKind::kGfProcessor);
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     EXPECT_EQ(s.gf_simd_ops, 2u);
     EXPECT_EQ(s.gf_simd_cycles, 2u);
     EXPECT_EQ(s.gf32_ops, 1u);
@@ -312,20 +312,31 @@ TEST(Sim, GfOpsAreSingleCycle)
 TEST(Sim, BaselineCoreRejectsGfOps)
 {
     Machine m("gfmuls r1, r2, r3\nhalt", CoreKind::kBaseline);
-    EXPECT_DEATH(m.runToHalt(), "baseline core");
+    RunResult r = m.runToHalt();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::kGfOnBaseline);
+    EXPECT_EQ(r.trap.pc, 0u);
+    EXPECT_TRUE(m.core().trapped());
 }
 
 TEST(Sim, BaselineRunsPlainCode)
 {
     Machine m("li r1, #21\nadd r1, r1, r1\nhalt", CoreKind::kBaseline);
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.core().reg(1), 42u);
 }
 
-TEST(Sim, RunawayGuardDies)
+TEST(Sim, RunawayGuardTraps)
 {
     Machine m("loop: b loop", CoreKind::kBaseline);
-    EXPECT_DEATH(m.runToHalt(1000), "did not halt");
+    RunResult r = m.runToHalt(1000);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.trap.kind, TrapKind::kWatchdog);
+    EXPECT_EQ(r.instrs, 1000u);
+    // The watchdog is host policy, not core state: the core is still
+    // runnable and the host may grant it more instructions.
+    EXPECT_FALSE(m.core().trapped());
+    EXPECT_FALSE(m.core().stopped());
 }
 
 TEST(Sim, MachineHelpers)
@@ -341,12 +352,12 @@ TEST(Sim, MachineHelpers)
     out: .word 0
     )", CoreKind::kGfProcessor);
     m.writeWord("in", 0xcafef00d);
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.readWord("out"), 0xcafef00du);
 
     m.reset();
     m.writeWord("in", 0x12345678);
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.readWord("out"), 0x12345678u);
 }
 
@@ -354,24 +365,87 @@ TEST(Sim, ArgsInRegisters)
 {
     Machine m("add r0, r0, r1\nhalt", CoreKind::kGfProcessor);
     m.setArgs({40, 2});
-    m.runToHalt();
+    m.runOk();
     EXPECT_EQ(m.core().reg(0), 42u);
 }
 
-TEST(Sim, MemoryBoundsFatal)
+TEST(Sim, MemoryBoundsTrap)
 {
     Machine m(R"(
         li  r1, #0x7fffffff
         ldr r2, [r1]
         halt
     )", CoreKind::kGfProcessor);
-    EXPECT_DEATH(m.runToHalt(), "out of range");
+    RunResult r = m.runToHalt();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::kOutOfRangeAccess);
+    EXPECT_EQ(r.trap.addr, 0x7fffffffu);
+    EXPECT_NE(r.trap.describe().find("OutOfRangeAccess"),
+              std::string::npos);
+}
+
+TEST(Sim, IllegalInstructionTraps)
+{
+    // Jump into a data word: 0xffffffff decodes to no known opcode.
+    Machine m(R"(
+        la r1, bad
+        jr r1
+    .data
+    .align 4
+    bad: .word 0xffffffff
+    )", CoreKind::kBaseline);
+    RunResult r = m.runToHalt();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::kIllegalInstruction);
+    EXPECT_EQ(r.trap.pc, m.addr("bad"));
+    EXPECT_EQ(r.trap.addr, 0xffffffffu); // the undecodable word
+}
+
+TEST(Sim, PcFallsOffMemoryTraps)
+{
+    // No halt: execution runs off the end of the loaded image, through
+    // zero-filled memory (opcode 0 = add), until the fetch itself goes
+    // out of range — contained as a trap, never a host abort.
+    Machine m("movi r1, #7", CoreKind::kBaseline, 1024);
+    RunResult r = m.runToHalt();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::kOutOfRangeAccess);
+    EXPECT_EQ(r.trap.addr, 1024u); // first fetch past the end
+}
+
+TEST(Sim, TrappedCoreRefusesFurtherSteps)
+{
+    Machine m("gfmuls r1, r2, r3\nhalt", CoreKind::kBaseline);
+    ASSERT_FALSE(m.runToHalt().ok());
+    // Repeated runs on a trapped core return the same trap instead of
+    // re-executing.
+    RunResult again = m.runToHalt();
+    EXPECT_EQ(again.trap.kind, TrapKind::kGfOnBaseline);
+    // reset() clears the trap and makes the core runnable again.
+    m.reset();
+    EXPECT_FALSE(m.core().trapped());
+}
+
+TEST(Sim, TrapDoesNotCommitSideEffects)
+{
+    // The faulting store must not advance pc or alter the target
+    // register before the trap is taken.
+    Machine m(R"(
+        li  r1, #0x7fffffff
+        li  r2, #0xdeadbeef
+        str r2, [r1]
+        halt
+    )", CoreKind::kGfProcessor);
+    RunResult r = m.runToHalt();
+    ASSERT_EQ(r.trap.kind, TrapKind::kOutOfRangeAccess);
+    EXPECT_EQ(m.core().pc(), r.trap.pc);
+    EXPECT_EQ(m.core().reg(2), 0xdeadbeefu);
 }
 
 TEST(Sim, StatsSummaryRenders)
 {
     Machine m("movi r1, #1\nhalt", CoreKind::kGfProcessor);
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     EXPECT_NE(s.summary().find("instrs=2"), std::string::npos);
 }
 

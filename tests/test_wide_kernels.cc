@@ -54,7 +54,7 @@ TEST(WideKernels, Mult233DirectMatchesReference)
         m.reset();
         m.writeBytes("opa", elemBytes(a));
         m.writeBytes("opb", elemBytes(b));
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(readElem(m, "result"), k233().mul(a, b))
             << "seed=" << seed;
     }
@@ -67,7 +67,7 @@ TEST(WideKernels, Mult233DirectOperationBudget)
     Machine m(mult233DirectAsm(), CoreKind::kGfProcessor);
     m.writeBytes("opa", elemBytes(k233().randomElement(3)));
     m.writeBytes("opb", elemBytes(k233().randomElement(4)));
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     EXPECT_EQ(s.gf32_ops, 64u);
     EXPECT_GT(s.cycles, 450u);
     EXPECT_LT(s.cycles, 800u);
@@ -83,8 +83,8 @@ TEST(WideKernels, Mult233KaratsubaMatchesAndSaves)
         m->writeBytes("opa", elemBytes(a));
         m->writeBytes("opb", elemBytes(b));
     }
-    CycleStats sd = direct.runToHalt();
-    CycleStats sk = kara.runToHalt();
+    CycleStats sd = direct.runOk();
+    CycleStats sk = kara.runOk();
     EXPECT_EQ(readElem(direct, "result"), k233().mul(a, b));
     EXPECT_EQ(readElem(kara, "result"), k233().mul(a, b));
     // One flat Karatsuba level: 3 * 16 = 48 partial products vs 64.
@@ -104,7 +104,7 @@ TEST(WideKernels, Square233MatchesReference)
         Gf2x a = k233().randomElement(seed * 11);
         m.reset();
         m.writeBytes("opa", elemBytes(a));
-        CycleStats s = m.runToHalt();
+        CycleStats s = m.runOk();
         EXPECT_EQ(readElem(m, "result"), k233().sqr(a));
         EXPECT_EQ(s.gf32_ops, 8u); // Table 7: 8 partial products
     }
@@ -115,11 +115,11 @@ TEST(WideKernels, SquareIsMuchCheaperThanMultiply)
     Machine mul(mult233DirectAsm(), CoreKind::kGfProcessor);
     mul.writeBytes("opa", elemBytes(k233().randomElement(1)));
     mul.writeBytes("opb", elemBytes(k233().randomElement(2)));
-    uint64_t mul_cycles = mul.runToHalt().cycles;
+    uint64_t mul_cycles = mul.runOk().cycles;
 
     Machine sq(square233Asm(), CoreKind::kGfProcessor);
     sq.writeBytes("opa", elemBytes(k233().randomElement(1)));
-    uint64_t sq_cycles = sq.runToHalt().cycles;
+    uint64_t sq_cycles = sq.runOk().cycles;
 
     // Paper: 599 vs 136 — about 4.4x; the interleaved square kernel
     // gets close to that ratio.
@@ -132,7 +132,7 @@ TEST(WideKernels, Inverse233MatchesReference)
         Machine m(inverse233Asm(kara), CoreKind::kGfProcessor);
         Gf2x a = k233().randomElement(kara ? 21 : 20);
         m.writeBytes("opa", elemBytes(a));
-        CycleStats s = m.runToHalt();
+        CycleStats s = m.runOk();
         EXPECT_EQ(readElem(m, "result"), k233().inv(a))
             << "karatsuba=" << kara;
         // 10 multiplies + 232 squarings; direct: 10*64 + 232*8 = 2496.
@@ -154,7 +154,7 @@ TEST(WideKernels, PointDoubleMatchesReference)
         m.writeBytes("px", elemBytes(p0.x));
         m.writeBytes("py", elemBytes(p0.y));
         m.writeBytes("pz", elemBytes(p0.z));
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(readElem(m, "px"), expect.x) << "kara=" << kara;
         EXPECT_EQ(readElem(m, "py"), expect.y) << "kara=" << kara;
         EXPECT_EQ(readElem(m, "pz"), expect.z) << "kara=" << kara;
@@ -175,7 +175,7 @@ TEST(WideKernels, PointAddMatchesReference)
         m.writeBytes("pz", elemBytes(p0.z));
         m.writeBytes("qx", elemBytes(g.x));
         m.writeBytes("qy", elemBytes(g.y));
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(readElem(m, "px"), expect.x) << "kara=" << kara;
         EXPECT_EQ(readElem(m, "py"), expect.y) << "kara=" << kara;
         EXPECT_EQ(readElem(m, "pz"), expect.z) << "kara=" << kara;
@@ -195,7 +195,7 @@ TEST(WideKernels, PointOpCycleShape)
         m.writeBytes("pz", elemBytes(p0.z));
         m.writeBytes("qx", elemBytes(curve.basePoint().x));
         m.writeBytes("qy", elemBytes(curve.basePoint().y));
-        return m.runToHalt().cycles;
+        return m.runOk().cycles;
     };
     uint64_t pd = run(pointDoubleAsm(false));
     uint64_t pa = run(pointAddAsm(false));
@@ -221,7 +221,7 @@ TEST(WideKernels, ScalarMultSmallKnownAnswer)
         kb.resize(16);
         m.writeBytes("kwords", kb);
         m.writeWord("kbits", kv.bitLength());
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(readElem(m, "resx"), expect.x) << "k=" << k;
         EXPECT_EQ(readElem(m, "resy"), expect.y) << "k=" << k;
     }
@@ -244,7 +244,7 @@ TEST(WideKernels, ScalarMultEvaluationWorkload)
     kb.resize(16);
     m.writeBytes("kwords", kb);
     m.writeWord("kbits", k.bitLength());
-    CycleStats s = m.runToHalt();
+    CycleStats s = m.runOk();
     EXPECT_EQ(readElem(m, "resx"), expect.x);
     EXPECT_EQ(readElem(m, "resy"), expect.y);
     // Within 2x of the paper's 617,120 + inversion overhead.
@@ -264,7 +264,7 @@ TEST(WideKernels, Mult233SoftwareBaselineMatches)
         m.reset();
         m.writeBytes("opa", elemBytes(a));
         m.writeBytes("opb", elemBytes(b));
-        m.runToHalt();
+        m.runOk();
         EXPECT_EQ(readElem(m, "result"), k233().mul(a, b))
             << "seed=" << seed;
     }
@@ -276,12 +276,12 @@ TEST(WideKernels, Mult233BaselineVsGfCoreSpeedup)
     Machine base(mult233BaselineAsm(), CoreKind::kBaseline);
     base.writeBytes("opa", elemBytes(a));
     base.writeBytes("opb", elemBytes(b));
-    uint64_t bc = base.runToHalt().cycles;
+    uint64_t bc = base.runOk().cycles;
 
     Machine gf(mult233DirectAsm(), CoreKind::kGfProcessor);
     gf.writeBytes("opa", elemBytes(a));
     gf.writeBytes("opb", elemBytes(b));
-    uint64_t gc = gf.runToHalt().cycles;
+    uint64_t gc = gf.runOk().cycles;
 
     // Clercq's optimized M0+ code took 3672 cycles (paper: 6.1x); our
     // generic comb should land in the same few-thousand-cycle regime
