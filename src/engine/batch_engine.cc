@@ -1,0 +1,165 @@
+#include "engine/batch_engine.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "isa/assembler.h"
+
+namespace gfp {
+
+const std::vector<uint8_t> &
+JobResult::bytes(const std::string &label) const
+{
+    auto it = outputs.find(label);
+    if (it == outputs.end())
+        GFP_FATAL("job result has no byte output '%s'", label.c_str());
+    return it->second;
+}
+
+uint32_t
+JobResult::word(const std::string &label) const
+{
+    auto it = words.find(label);
+    if (it == words.end())
+        GFP_FATAL("job result has no word output '%s'", label.c_str());
+    return it->second;
+}
+
+namespace {
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // anonymous namespace
+
+BatchEngine::BatchEngine(BatchProgram bp, Options opts)
+    : program_(std::move(bp.program)), kind_(bp.kind), opts_(opts),
+      threads_(resolveThreads(opts.threads))
+{
+}
+
+BatchEngine::BatchEngine(Program program, CoreKind kind, Options opts)
+    : BatchEngine(BatchProgram{std::move(program), kind}, opts)
+{
+}
+
+BatchEngine::BatchEngine(const std::string &asm_source, CoreKind kind,
+                         Options opts)
+    : BatchEngine(BatchProgram{Assembler::assemble(asm_source), kind}, opts)
+{
+}
+
+BatchEngine::BatchEngine(BatchProgram bp)
+    : BatchEngine(std::move(bp), Options())
+{
+}
+
+BatchEngine::BatchEngine(Program program, CoreKind kind)
+    : BatchEngine(BatchProgram{std::move(program), kind}, Options())
+{
+}
+
+BatchEngine::BatchEngine(const std::string &asm_source, CoreKind kind)
+    : BatchEngine(BatchProgram{Assembler::assemble(asm_source), kind},
+                  Options())
+{
+}
+
+JobResult
+BatchEngine::runOne(Machine &machine, const Job &job) const
+{
+    machine.fullReset();
+    for (const auto &[label, bytes] : job.inputs)
+        machine.writeBytes(label, bytes);
+    for (const auto &[label, value] : job.word_inputs)
+        machine.writeWord(label, value);
+    GFP_ASSERT(job.args.size() <= 4, "at most 4 register arguments");
+    for (size_t i = 0; i < job.args.size(); ++i)
+        machine.core().setReg(static_cast<unsigned>(i), job.args[i]);
+
+    FaultInjector injector;
+    if (!job.faults.empty()) {
+        injector.setSchedule(job.faults);
+        injector.attach(machine.core());
+    }
+    RunResult run = machine.runToHalt(job.max_instrs ? job.max_instrs
+                                                     : opts_.max_instrs);
+    if (!job.faults.empty())
+        machine.core().setFaultHook(nullptr); // injector dies with scope
+
+    JobResult res;
+    res.trap = run.trap;
+    res.stats = run.stats;
+    if (run.ok()) {
+        for (const auto &[label, len] : job.outputs)
+            res.outputs.emplace(label, machine.readBytes(label, len));
+        for (const auto &label : job.word_outputs)
+            res.words.emplace(label, machine.readWord(label));
+    }
+    return res;
+}
+
+std::vector<JobResult>
+BatchEngine::run(const std::vector<Job> &jobs)
+{
+    const unsigned n_workers =
+        static_cast<unsigned>(std::min<size_t>(threads_, jobs.size()));
+    std::vector<JobResult> results(jobs.size());
+    worker_stats_.assign(std::max(n_workers, 1u), CycleStats());
+    if (jobs.empty())
+        return results;
+
+    // Self-scheduling work queue: workers pull the next unclaimed job
+    // index, so a slow job (or a long watchdog) never stalls the rest
+    // of the batch behind a static partition.
+    std::atomic<size_t> next{0};
+    auto worker = [&](unsigned worker_idx) {
+        Machine machine(program_, kind_, opts_.mem_bytes);
+        CycleStats aggregate;
+        while (true) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                break;
+            results[i] = runOne(machine, jobs[i]);
+            results[i].worker = worker_idx;
+            aggregate += results[i].stats;
+        }
+        worker_stats_[worker_idx] = aggregate;
+    };
+
+    if (n_workers <= 1) {
+        worker(0);
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w)
+        pool.emplace_back(worker, w);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<JobResult>
+BatchEngine::runSerial(const std::vector<Job> &jobs)
+{
+    std::vector<JobResult> results;
+    results.reserve(jobs.size());
+    Machine machine(program_, kind_, opts_.mem_bytes);
+    CycleStats aggregate;
+    for (const Job &job : jobs) {
+        results.push_back(runOne(machine, job));
+        aggregate += results.back().stats;
+    }
+    worker_stats_.assign(1, aggregate);
+    return results;
+}
+
+} // namespace gfp

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Multi-threaded batch execution engine.
+ *
+ * The ROADMAP's production target is serving decode/crypto traffic at
+ * scale, but a single Machine interprets one guest program at a time on
+ * one thread.  A BatchEngine runs many *independent* jobs — RS/BCH
+ * codeword decodes, AES blocks, ECDH exchanges — over a pool of worker
+ * threads.  Each worker owns one reusable Machine built from the shared
+ * Program and recycles it with Machine::fullReset() between jobs
+ * (reset-and-rerun; the program is assembled exactly once per engine,
+ * predecoded once per worker).
+ *
+ * Isolation guarantees:
+ *  - jobs are data-driven (label-addressed input/output byte blocks),
+ *    so nothing host-side is shared between workers during a run;
+ *  - a faulting job (trap, watchdog, injected SEU) yields a JobResult
+ *    carrying the Trap and no outputs — it never aborts the host, and
+ *    fullReset() guarantees the *next* job on that worker starts from a
+ *    pristine machine, so one bad job cannot poison the batch;
+ *  - results are returned in job order regardless of which worker ran
+ *    a job, and are bit-for-bit identical to serial execution.
+ *
+ * Typical use:
+ *
+ *     BatchEngine eng(syndromeBatchProgram(field, n, 2 * t));
+ *     std::vector<Job> jobs;
+ *     for (const auto &rx : received_words)
+ *         jobs.push_back(syndromeJob(rx, 2 * t));
+ *     for (const JobResult &r : eng.run(jobs))
+ *         if (r.ok()) use(r.bytes("synd"));
+ */
+
+#ifndef GFP_ENGINE_BATCH_ENGINE_H
+#define GFP_ENGINE_BATCH_ENGINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/cpu.h"
+#include "sim/fault_injector.h"
+#include "sim/machine.h"
+
+namespace gfp {
+
+/**
+ * One independent guest job: inputs to write before the run, outputs to
+ * read back after a clean halt.  All labels resolve through the shared
+ * program's symbol table; an unknown label is host misuse and fatal.
+ */
+struct Job
+{
+    /** r0..r3 call arguments (at most 4). */
+    std::vector<uint32_t> args;
+
+    /** Byte blocks written to labeled buffers before the run. */
+    std::vector<std::pair<std::string, std::vector<uint8_t>>> inputs;
+
+    /** Single words written to labeled buffers before the run. */
+    std::vector<std::pair<std::string, uint32_t>> word_inputs;
+
+    /** Labeled byte blocks to read back: (label, length). */
+    std::vector<std::pair<std::string, size_t>> outputs;
+
+    /** Labeled single words to read back. */
+    std::vector<std::string> word_outputs;
+
+    /** Optional SEU schedule delivered during this job only (see
+     *  sim/fault_injector.h); the injected flips are confined to this
+     *  job's machine state and wiped by the inter-job fullReset(). */
+    std::vector<FaultEvent> faults;
+
+    /** Per-job watchdog override; 0 uses the engine default. */
+    uint64_t max_instrs = 0;
+};
+
+/** Outcome of one job.  Trap-isolating: a faulted job reports its Trap
+ *  and carries no outputs, and neighboring jobs are unaffected. */
+struct JobResult
+{
+    Trap trap;           ///< kind == kNone when the job halted cleanly
+    CycleStats stats;    ///< guest cycle statistics of this job's run
+    unsigned worker = 0; ///< index of the worker that ran the job
+
+    /** Outputs read back after a clean halt (empty if trapped). */
+    std::map<std::string, std::vector<uint8_t>> outputs;
+    std::map<std::string, uint32_t> words;
+
+    bool ok() const { return !trap; }
+
+    /** Convenience accessors; fatal if the label was not requested. */
+    const std::vector<uint8_t> &bytes(const std::string &label) const;
+    uint32_t word(const std::string &label) const;
+};
+
+/** A program plus the core variant it targets — what an engine runs. */
+struct BatchProgram
+{
+    Program program;
+    CoreKind kind = CoreKind::kGfProcessor;
+};
+
+class BatchEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 picks std::thread::hardware_concurrency().
+         */
+        unsigned threads = 0;
+
+        /** Default per-job instruction watchdog. */
+        uint64_t max_instrs = 500'000'000;
+
+        /** Memory size of each worker's machine. */
+        size_t mem_bytes = 256 * 1024;
+    };
+
+    BatchEngine(BatchProgram bp, Options opts);
+    BatchEngine(Program program, CoreKind kind, Options opts);
+    BatchEngine(const std::string &asm_source, CoreKind kind,
+                Options opts);
+    // Defaulted-Options overloads (a `= {}` default argument for a
+    // nested aggregate with member initializers trips GCC here).
+    explicit BatchEngine(BatchProgram bp);
+    BatchEngine(Program program, CoreKind kind);
+    BatchEngine(const std::string &asm_source, CoreKind kind);
+
+    /** Worker threads a run() will use. */
+    unsigned threads() const { return threads_; }
+
+    const Program &program() const { return program_; }
+    CoreKind kind() const { return kind_; }
+
+    /**
+     * Run all jobs across the worker pool.  Results are indexed like
+     * @p jobs.  Never throws on guest faults; a trapped job is reported
+     * in its JobResult.
+     */
+    std::vector<JobResult> run(const std::vector<Job> &jobs);
+
+    /**
+     * Run the same jobs in order on a single reusable machine — the
+     * differential reference for the parallel path (tests assert
+     * bit-for-bit parity between run() and runSerial()).
+     */
+    std::vector<JobResult> runSerial(const std::vector<Job> &jobs);
+
+    /** Per-worker aggregated guest cycle statistics of the last run()
+     *  (runSerial() fills a single slot). */
+    const std::vector<CycleStats> &workerStats() const
+    {
+        return worker_stats_;
+    }
+
+  private:
+    /** Recycle @p machine and run one job on it. */
+    JobResult runOne(Machine &machine, const Job &job) const;
+
+    Program program_;
+    CoreKind kind_;
+    Options opts_;
+    unsigned threads_;
+    std::vector<CycleStats> worker_stats_;
+};
+
+} // namespace gfp
+
+#endif // GFP_ENGINE_BATCH_ENGINE_H

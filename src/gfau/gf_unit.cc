@@ -14,6 +14,13 @@ GFArithmeticUnit::GFArithmeticUnit()
 }
 
 void
+GFArithmeticUnit::powerOnReset()
+{
+    cfg_ = GFConfig::derive(8, 0x11d);
+    resetStats();
+}
+
+void
 GFArithmeticUnit::loadConfig(const GFConfig &cfg)
 {
     cfg_ = cfg;

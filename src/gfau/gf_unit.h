@@ -62,6 +62,11 @@ class GFArithmeticUnit
     /** Install a new field configuration (the gfConfig instruction). */
     void loadConfig(const GFConfig &cfg);
 
+    /** Restore the power-on state: default configuration, all counters
+     *  cleared.  Used between batch jobs so no residue — least of all a
+     *  fault-corrupted configuration register — leaks across jobs. */
+    void powerOnReset();
+
     /** Convenience: derive-and-load for (m, poly). */
     void configureField(unsigned m, uint32_t poly);
 

@@ -607,4 +607,22 @@ Assembler::assemble(const std::string &source)
     return ctx.run();
 }
 
+bool
+Assembler::tryAssemble(const std::string &source, Program &out,
+                       std::string &error)
+{
+    // Every assembly diagnostic (err() in the context, plus encode()'s
+    // field-range checks) funnels through GFP_FATAL, so a scoped
+    // throwing handler turns them all into a reported error.
+    ScopedFatalThrow guard;
+    try {
+        AsmContext ctx(source);
+        out = ctx.run();
+        return true;
+    } catch (const FatalError &e) {
+        error = e.what();
+        return false;
+    }
+}
+
 } // namespace gfp

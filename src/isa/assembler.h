@@ -43,6 +43,15 @@ class Assembler
   public:
     /** Assemble @p source; fatal (with line numbers) on any error. */
     static Program assemble(const std::string &source);
+
+    /**
+     * Assemble @p source, reporting errors instead of exiting: returns
+     * true and fills @p out on success, or returns false and fills
+     * @p error with the diagnostic (including the line number) for
+     * malformed source.  The fuzzers drive this entry point.
+     */
+    static bool tryAssemble(const std::string &source, Program &out,
+                            std::string &error);
 };
 
 } // namespace gfp

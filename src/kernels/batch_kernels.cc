@@ -1,0 +1,136 @@
+#include "kernels/batch_kernels.h"
+
+#include "common/logging.h"
+#include "isa/assembler.h"
+#include "kernels/aes_kernels.h"
+#include "kernels/coding_kernels.h"
+
+namespace gfp {
+
+BatchProgram
+syndromeBatchProgram(const GFField &field, unsigned n, unsigned two_t)
+{
+    return {Assembler::assemble(syndromeAsmGfcore(field, n, two_t)),
+            CoreKind::kGfProcessor};
+}
+
+Job
+syndromeJob(const std::vector<GFElem> &received, unsigned two_t)
+{
+    Job job;
+    job.inputs.emplace_back(
+        "rxdata", std::vector<uint8_t>(received.begin(), received.end()));
+    job.outputs.emplace_back("synd", two_t);
+    return job;
+}
+
+BatchProgram
+bmaBatchProgram(const GFField &field, unsigned two_t)
+{
+    return {Assembler::assemble(bmaAsmGfcore(field, two_t)),
+            CoreKind::kGfProcessor};
+}
+
+Job
+bmaJob(const std::vector<uint8_t> &synd)
+{
+    Job job;
+    job.inputs.emplace_back("synd", synd);
+    job.outputs.emplace_back("lambda", 12);
+    job.word_outputs.push_back("llen");
+    return job;
+}
+
+BatchProgram
+chienBatchProgram(const GFField &field, unsigned n, unsigned t)
+{
+    return {Assembler::assemble(chienAsmGfcore(field, n, t)),
+            CoreKind::kGfProcessor};
+}
+
+Job
+chienJob(const std::vector<uint8_t> &lambda)
+{
+    Job job;
+    job.inputs.emplace_back("lambda", lambda);
+    job.outputs.emplace_back("locs", 12);
+    job.word_outputs.push_back("nloc");
+    return job;
+}
+
+BatchProgram
+forneyBatchProgram(const GFField &field, unsigned two_t)
+{
+    return {Assembler::assemble(forneyAsmGfcore(field, two_t)),
+            CoreKind::kGfProcessor};
+}
+
+Job
+forneyJob(const std::vector<uint8_t> &synd,
+          const std::vector<uint8_t> &lambda,
+          const std::vector<uint8_t> &locs, uint32_t nloc)
+{
+    Job job;
+    job.inputs.emplace_back("synd", synd);
+    job.inputs.emplace_back("lambda", lambda);
+    job.inputs.emplace_back("locs", locs);
+    job.word_inputs.emplace_back("nloc", nloc);
+    job.outputs.emplace_back("evals", 12);
+    return job;
+}
+
+BatchProgram
+aesBlockBatchProgram(unsigned rounds)
+{
+    return {Assembler::assemble(aesBlockAsmGfcore(false, rounds)),
+            CoreKind::kGfProcessor};
+}
+
+std::vector<Job>
+aesCtrJobs(const Aes &aes, const AesBlock &iv, size_t data_len)
+{
+    std::vector<uint8_t> rkeys;
+    rkeys.reserve(4 * aes.roundKeys().size());
+    for (uint32_t word : aes.roundKeys())
+        for (int b = 3; b >= 0; --b)
+            rkeys.push_back(static_cast<uint8_t>(word >> (8 * b)));
+
+    std::vector<Job> jobs;
+    AesBlock counter = iv;
+    for (size_t off = 0; off < data_len; off += 16) {
+        Job job;
+        job.inputs.emplace_back("rkeys", rkeys);
+        job.inputs.emplace_back(
+            "state", std::vector<uint8_t>(counter.begin(), counter.end()));
+        job.outputs.emplace_back("state", 16);
+        jobs.push_back(std::move(job));
+        // Big-endian increment, matching Aes::applyCtr.
+        for (int i = 15; i >= 0; --i)
+            if (++counter[i] != 0)
+                break;
+    }
+    return jobs;
+}
+
+std::vector<uint8_t>
+aesCtrApply(const std::vector<JobResult> &results,
+            const std::vector<uint8_t> &data)
+{
+    if (16 * results.size() < data.size())
+        GFP_FATAL("CTR batch of %zu blocks cannot cover %zu bytes",
+                  results.size(), data.size());
+    std::vector<uint8_t> out(data.size());
+    for (size_t off = 0; off < data.size(); off += 16) {
+        const JobResult &r = results[off / 16];
+        if (!r.ok())
+            GFP_FATAL("CTR block %zu trapped: %s", off / 16,
+                      r.trap.describe().c_str());
+        const std::vector<uint8_t> &keystream = r.bytes("state");
+        size_t chunk = std::min<size_t>(16, data.size() - off);
+        for (size_t i = 0; i < chunk; ++i)
+            out[off + i] = data[off + i] ^ keystream[i];
+    }
+    return out;
+}
+
+} // namespace gfp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Batch entry points: package the decoder and AES assembly kernels as
+ * (shared program, per-item Job) pairs for the batch execution engine
+ * (engine/batch_engine.h).
+ *
+ * Each *BatchProgram() assembles the kernel once; the matching *Job()
+ * helpers build the data-driven jobs — one per codeword / syndrome
+ * vector / locator / counter block — with the kernel's label
+ * conventions (see kernels/coding_kernels.h) filled in, so callers
+ * never repeat buffer names or lengths.
+ *
+ * The AES helpers implement CTR-style multi-block encryption: every
+ * counter block is an independent job (CTR has no inter-block
+ * dependency, which is exactly why it batches), and aesCtrApply() XORs
+ * the resulting keystream onto a buffer of any length, matching
+ * Aes::applyCtr bit for bit.
+ */
+
+#ifndef GFP_KERNELS_BATCH_KERNELS_H
+#define GFP_KERNELS_BATCH_KERNELS_H
+
+#include <vector>
+
+#include "crypto/aes.h"
+#include "engine/batch_engine.h"
+#include "gf/field.h"
+
+namespace gfp {
+
+// ------------------------- decoder kernels ---------------------------
+
+/** Syndrome kernel (GF core): job input "rxdata", output "synd". */
+BatchProgram syndromeBatchProgram(const GFField &field, unsigned n,
+                                  unsigned two_t);
+Job syndromeJob(const std::vector<GFElem> &received, unsigned two_t);
+
+/** Berlekamp-Massey kernel: input "synd", outputs "lambda" + "llen". */
+BatchProgram bmaBatchProgram(const GFField &field, unsigned two_t);
+Job bmaJob(const std::vector<uint8_t> &synd);
+
+/** Chien-search kernel: input "lambda", outputs "locs" + "nloc". */
+BatchProgram chienBatchProgram(const GFField &field, unsigned n,
+                               unsigned t);
+Job chienJob(const std::vector<uint8_t> &lambda);
+
+/** Forney kernel: inputs "synd"/"lambda"/"locs"/"nloc", output
+ *  "evals". */
+BatchProgram forneyBatchProgram(const GFField &field, unsigned two_t);
+Job forneyJob(const std::vector<uint8_t> &synd,
+              const std::vector<uint8_t> &lambda,
+              const std::vector<uint8_t> &locs, uint32_t nloc);
+
+// ------------------------ AES-CTR multi-block ------------------------
+
+/** Full-block AES encrypt kernel (GF core), shared by all CTR jobs. */
+BatchProgram aesBlockBatchProgram(unsigned rounds = 10);
+
+/**
+ * One job per counter block: block i encrypts iv + i (big-endian
+ * increment, the Aes::applyCtr convention).  Covers
+ * ceil(data_len / 16) blocks.
+ */
+std::vector<Job> aesCtrJobs(const Aes &aes, const AesBlock &iv,
+                            size_t data_len);
+
+/**
+ * XOR the keystream produced by a batch of aesCtrJobs() results onto
+ * @p data (encrypt == decrypt).  Fatal if any job trapped or the
+ * result count does not cover @p data.
+ */
+std::vector<uint8_t> aesCtrApply(const std::vector<JobResult> &results,
+                                 const std::vector<uint8_t> &data);
+
+} // namespace gfp
+
+#endif // GFP_KERNELS_BATCH_KERNELS_H

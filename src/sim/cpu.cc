@@ -278,6 +278,39 @@ Core::takeTrap(TrapKind kind, uint32_t addr)
     return out;
 }
 
+void
+Core::enablePredecode(uint32_t code_bytes)
+{
+    predecode_enabled_ = true;
+    if (code_bytes > mem_.size())
+        code_bytes = static_cast<uint32_t>(mem_.size());
+    predecode_limit_ = code_bytes & ~3u;
+    mem_.watchCode(predecode_limit_);
+    rebuildPredecode();
+}
+
+void
+Core::disablePredecode()
+{
+    predecode_enabled_ = false;
+    predecode_limit_ = 0;
+    mem_.watchCode(0);
+    icache_.clear();
+}
+
+void
+Core::rebuildPredecode()
+{
+    icache_.assign(predecode_limit_ / 4, PredecodedWord());
+    for (uint32_t i = 0; i < predecode_limit_ / 4; ++i) {
+        PredecodedWord &p = icache_[i];
+        p.valid = tryDecode(mem_.read32(4 * i), p.in);
+        if (p.valid)
+            p.cls = classOf(p.in.op);
+    }
+    predecode_epoch_ = mem_.codeEpoch();
+}
+
 Core::StepResult
 Core::step()
 {
@@ -291,16 +324,37 @@ Core::step()
         return takeTrap(kind, 0);
     }
 
-    uint32_t word;
-    try {
-        word = mem_.read32(pc_);
-    } catch (const MemoryFault &f) {
-        return takeTrap(TrapKind::kOutOfRangeAccess, f.addr());
+    // Fast fetch through the predecoded-instruction cache; anything it
+    // cannot serve (stale cache, pc outside or unaligned with the code
+    // region, undecodable word) diverts to the memory fetch below.
+    const Instr *fetched = nullptr;
+    InstrClass cls = InstrClass::kAlu;
+    if (predecode_enabled_) {
+        if (predecode_epoch_ != mem_.codeEpoch())
+            rebuildPredecode();
+        if (pc_ < predecode_limit_ && (pc_ & 3u) == 0) {
+            const PredecodedWord &p = icache_[pc_ >> 2];
+            if (p.valid) {
+                fetched = &p.in;
+                cls = p.cls;
+            }
+        }
     }
 
-    Instr in;
-    if (!tryDecode(word, in))
-        return takeTrap(TrapKind::kIllegalInstruction, word);
+    Instr slow;
+    if (!fetched) {
+        uint32_t word;
+        try {
+            word = mem_.read32(pc_);
+        } catch (const MemoryFault &f) {
+            return takeTrap(TrapKind::kOutOfRangeAccess, f.addr());
+        }
+        if (!tryDecode(word, slow))
+            return takeTrap(TrapKind::kIllegalInstruction, word);
+        fetched = &slow;
+        cls = classOf(slow.op);
+    }
+    const Instr &in = *fetched;
     if (trace_)
         trace_(pc_, in);
 
@@ -316,7 +370,7 @@ Core::step()
         return takeTrap(kind, pending_addr_);
     }
 
-    stats_.record(classOf(in.op), out.cycles);
+    stats_.record(cls, out.cycles);
     if (fault_hook_)
         fault_hook_(*this, stats_.cycles);
     return out;

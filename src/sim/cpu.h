@@ -30,6 +30,7 @@
 
 #include <array>
 #include <functional>
+#include <vector>
 
 #include "gfau/gf_unit.h"
 #include "isa/isa.h"
@@ -83,6 +84,19 @@ class Core
     StepResult step();
 
     /**
+     * Predecode the code region [0, code_bytes): each instruction word
+     * is decoded once into a dense cache instead of being re-decoded on
+     * every fetch.  Purely a host-side interpreter optimization — the
+     * architectural behavior is unchanged: stores or SEU bit flips into
+     * the code region invalidate the cache (via the memory's code-watch
+     * epoch), undecodable words and fetches outside the region fall
+     * back to the fetch-from-memory path and trap exactly as before.
+     */
+    void enablePredecode(uint32_t code_bytes);
+    void disablePredecode();
+    bool predecodeEnabled() const { return predecode_enabled_; }
+
+    /**
      * Run until HALT, a trap, or until @p max_instrs instructions
      * retire (which yields a Watchdog trap in the result — the core
      * itself stays runnable, the guard is host policy).  The result
@@ -133,6 +147,18 @@ class Core
     bool condition(Op op) const;
     unsigned execute(const Instr &in);
     StepResult takeTrap(TrapKind kind, uint32_t addr);
+    void rebuildPredecode();
+
+    /** One predecoded code word; undecodable words stay invalid and
+     *  divert to the slow fetch path for the architectural trap.  The
+     *  statistics class rides along so the retire path skips a second
+     *  opcode switch. */
+    struct PredecodedWord
+    {
+        Instr in;
+        InstrClass cls = InstrClass::kAlu;
+        bool valid = false;
+    };
 
     Memory &mem_;
     CoreKind kind_;
@@ -148,6 +174,11 @@ class Core
     CycleStats stats_;
     TraceHook trace_;
     FaultHook fault_hook_;
+
+    bool predecode_enabled_ = false;
+    uint32_t predecode_limit_ = 0;        // byte limit of the code region
+    uint64_t predecode_epoch_ = 0;        // memory code epoch at build
+    std::vector<PredecodedWord> icache_;  // one entry per code word
 };
 
 } // namespace gfp

@@ -20,6 +20,7 @@ Machine::Machine(Program program, CoreKind kind, size_t mem_bytes)
     }
     loadProgram();
     core_ = std::make_unique<Core>(mem_, kind);
+    core_->enablePredecode(static_cast<uint32_t>(4 * program_.code.size()));
 }
 
 void
@@ -42,6 +43,17 @@ Machine::setArgs(std::initializer_list<uint32_t> args)
 void
 Machine::reset()
 {
+    core_->reset();
+    core_->resetStats();
+}
+
+void
+Machine::fullReset()
+{
+    mem_.fill(0);
+    loadProgram();
+    if (core_->kind() == CoreKind::kGfProcessor)
+        core_->gfau().powerOnReset();
     core_->reset();
     core_->resetStats();
 }

@@ -57,6 +57,16 @@ class Machine
     void reset();
 
     /**
+     * Restore the machine to its just-constructed state: memory zeroed
+     * and the program image reloaded, core and GFAU back at power-on,
+     * statistics cleared.  This is the rerun contract the batch engine
+     * relies on — after fullReset() no trace of the previous job
+     * remains, whether it halted cleanly, trapped, scribbled over its
+     * own code, or took SEUs in the GFAU configuration register.
+     */
+    void fullReset();
+
+    /**
      * Run to HALT, a trap, or the @p max_instrs watchdog.  Returns a
      * RunResult carrying the stop reason and the cycle statistics of
      * this run; never aborts the host on a guest fault.

@@ -59,6 +59,7 @@ Memory::write8(uint32_t addr, uint8_t value)
 {
     check(addr, 1);
     bytes_[addr] = value;
+    touch(addr);
 }
 
 void
@@ -67,6 +68,7 @@ Memory::write16(uint32_t addr, uint16_t value)
     check(addr, 2);
     bytes_[addr] = static_cast<uint8_t>(value);
     bytes_[addr + 1] = static_cast<uint8_t>(value >> 8);
+    touch(addr);
 }
 
 void
@@ -75,6 +77,7 @@ Memory::write32(uint32_t addr, uint32_t value)
     check(addr, 4);
     for (unsigned i = 0; i < 4; ++i)
         bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    touch(addr);
 }
 
 void
@@ -89,6 +92,7 @@ Memory::flipBit(uint32_t addr, unsigned bit)
 {
     check(addr, 1);
     bytes_[addr] ^= static_cast<uint8_t>(1u << (bit % 8));
+    touch(addr);
 }
 
 void
@@ -96,6 +100,7 @@ Memory::writeBlock(uint32_t addr, const std::vector<uint8_t> &data)
 {
     check(addr, static_cast<unsigned>(data.size()));
     std::copy(data.begin(), data.end(), bytes_.begin() + addr);
+    touch(addr);
 }
 
 std::vector<uint8_t>

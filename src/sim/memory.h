@@ -39,6 +39,16 @@ class Memory
 
     size_t size() const { return bytes_.size(); }
 
+    /**
+     * Watch [0, limit) for modification — the code region, so the
+     * core's predecoded-instruction cache can be invalidated on
+     * self-modifying stores or SEU bit flips without re-checking
+     * instruction memory every fetch.  Any write or flipBit below
+     * @p limit bumps codeEpoch().
+     */
+    void watchCode(uint32_t limit) { watch_limit_ = limit; }
+    uint64_t codeEpoch() const { return code_epoch_; }
+
     uint8_t read8(uint32_t addr) const;
     uint16_t read16(uint32_t addr) const;
     uint32_t read32(uint32_t addr) const;
@@ -58,12 +68,27 @@ class Memory
     /** Bulk copy out of memory (result buffers). */
     std::vector<uint8_t> readBlock(uint32_t addr, size_t len) const;
 
-    void fill(uint8_t value) { std::fill(bytes_.begin(), bytes_.end(), value); }
+    void
+    fill(uint8_t value)
+    {
+        std::fill(bytes_.begin(), bytes_.end(), value);
+        touch(0);
+    }
 
   private:
     void check(uint32_t addr, unsigned bytes) const;
 
+    /** Record a modification starting at @p addr for code watching. */
+    void
+    touch(uint32_t addr)
+    {
+        if (addr < watch_limit_)
+            ++code_epoch_;
+    }
+
     std::vector<uint8_t> bytes_;
+    uint32_t watch_limit_ = 0;
+    uint64_t code_epoch_ = 0;
 };
 
 } // namespace gfp

@@ -62,6 +62,31 @@ struct CycleStats
         }
     }
 
+    CycleStats &
+    operator+=(const CycleStats &o)
+    {
+        instrs += o.instrs;
+        cycles += o.cycles;
+        load_ops += o.load_ops;
+        load_cycles += o.load_cycles;
+        store_ops += o.store_ops;
+        store_cycles += o.store_cycles;
+        alu_ops += o.alu_ops;
+        alu_cycles += o.alu_cycles;
+        branch_ops += o.branch_ops;
+        branch_cycles += o.branch_cycles;
+        gf_simd_ops += o.gf_simd_ops;
+        gf_simd_cycles += o.gf_simd_cycles;
+        gf32_ops += o.gf32_ops;
+        gf32_cycles += o.gf32_cycles;
+        gfcfg_ops += o.gfcfg_ops;
+        gfcfg_cycles += o.gfcfg_cycles;
+        faults_mem += o.faults_mem;
+        faults_reg += o.faults_reg;
+        faults_cfg += o.faults_cfg;
+        return *this;
+    }
+
     CycleStats
     operator-(const CycleStats &o) const
     {

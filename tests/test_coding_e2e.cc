@@ -1,0 +1,362 @@
+/**
+ * @file
+ * End-to-end randomized coding tests: RS(255,239,8) and BCH(31,11,5)
+ * decode sweeps at 0..t injected errors plus beyond-capacity inputs,
+ * driven through BOTH execution paths —
+ *
+ *  - the per-stage kernel path (one Machine per decoder kernel, the
+ *    reference plumbing of tests/test_coding_kernels.cc), and
+ *  - the batch execution engine (engine/batch_engine.h), each stage a
+ *    batch over all trial words,
+ *
+ * asserting the two paths agree bit for bit with each other and with
+ * the host reference codec.  Beyond-capacity words must come back
+ * detected-uncorrectable: a decoder that silently mis-corrects is a
+ * worse failure mode than one that reports defeat.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coding/bch.h"
+#include "coding/channel.h"
+#include "coding/decoder_kernels.h"
+#include "coding/rs.h"
+#include "common/random.h"
+#include "engine/batch_engine.h"
+#include "kernels/batch_kernels.h"
+#include "kernels/coding_kernels.h"
+#include "sim/machine.h"
+
+namespace gfp {
+namespace {
+
+bool
+allZero(const std::vector<uint8_t> &v)
+{
+    for (uint8_t b : v)
+        if (b)
+            return false;
+    return true;
+}
+
+/** Outcome of one decode attempt through the simulated kernels. */
+struct KernelDecode
+{
+    bool ok = false;                ///< corrected to a verified codeword
+    std::vector<uint8_t> codeword;  ///< the corrected word when ok
+};
+
+/**
+ * Full RS decode through the four-kernel chain on @p machines
+ * (synd, bma, chien, forney), with the standard verdict logic:
+ * correctable iff the Chien root count matches the BMA degree and the
+ * corrected word has all-zero syndromes.
+ */
+KernelDecode
+rsKernelDecode(const GFField &f, unsigned t, Machine &synd_m,
+               Machine &bma_m, Machine &chien_m, Machine &forney_m,
+               const std::vector<uint8_t> &rx)
+{
+    KernelDecode out;
+    synd_m.reset();
+    synd_m.writeBytes("rxdata", rx);
+    synd_m.runOk();
+    auto synd = synd_m.readBytes("synd", 2 * t);
+    if (allZero(synd)) {
+        out.ok = true;
+        out.codeword = rx;
+        return out;
+    }
+
+    bma_m.reset();
+    bma_m.writeBytes("synd", synd);
+    bma_m.runOk();
+    auto lambda = bma_m.readBytes("lambda", 12);
+    uint32_t llen = bma_m.readWord("llen");
+
+    chien_m.reset();
+    chien_m.writeBytes("lambda", lambda);
+    chien_m.runOk();
+    uint32_t nloc = chien_m.readWord("nloc");
+    auto locs = chien_m.readBytes("locs", 12);
+    if (nloc != llen || llen > t)
+        return out; // detected uncorrectable
+
+    forney_m.reset();
+    forney_m.writeBytes("synd", synd);
+    forney_m.writeBytes("lambda", lambda);
+    forney_m.writeBytes("locs", locs);
+    forney_m.writeWord("nloc", nloc);
+    forney_m.runOk();
+    auto evals = forney_m.readBytes("evals", nloc);
+
+    auto fixed = rx;
+    for (uint32_t i = 0; i < nloc; ++i)
+        fixed[locs[i]] ^= evals[i];
+    std::vector<GFElem> fixed_sym(fixed.begin(), fixed.end());
+    auto check = syndromes(f, fixed_sym, 2 * t);
+    if (!std::all_of(check.begin(), check.end(),
+                     [](GFElem s) { return s == 0; }))
+        return out; // correction did not land on a codeword
+    out.ok = true;
+    out.codeword = fixed;
+    return out;
+}
+
+TEST(CodingE2E, RsSweepKernelPathVsReference)
+{
+    GFField f(8);
+    RSCode code(8, 8); // RS(255,239), t = 8
+    const unsigned t = code.t();
+    Rng rng(20260806);
+
+    Machine synd_m(syndromeAsmGfcore(f, code.n(), 2 * t),
+                   CoreKind::kGfProcessor);
+    Machine bma_m(bmaAsmGfcore(f, 2 * t), CoreKind::kGfProcessor);
+    Machine chien_m(chienAsmGfcore(f, code.n(), t),
+                    CoreKind::kGfProcessor);
+    Machine forney_m(forneyAsmGfcore(f, 2 * t), CoreKind::kGfProcessor);
+
+    // 0..t errors decode to the transmitted word; t+2 and t+4 errors
+    // must be *detected* as uncorrectable, never silently mis-corrected.
+    for (unsigned errors : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u, 12u}) {
+        std::vector<GFElem> info(code.k());
+        for (auto &s : info)
+            s = rng.nextByte();
+        auto cw = code.encode(info);
+        ExactErrorInjector inj(9000 + errors);
+        auto rx_sym = inj.corruptSymbols(cw, errors, 8);
+        std::vector<uint8_t> rx(rx_sym.begin(), rx_sym.end());
+
+        auto kernel = rsKernelDecode(f, t, synd_m, bma_m, chien_m,
+                                     forney_m, rx);
+        auto ref = code.decode(rx_sym);
+        ASSERT_EQ(kernel.ok, ref.ok) << "errors=" << errors;
+        if (errors <= t) {
+            ASSERT_TRUE(kernel.ok) << "errors=" << errors;
+            EXPECT_EQ(std::vector<GFElem>(kernel.codeword.begin(),
+                                          kernel.codeword.end()),
+                      cw)
+                << "errors=" << errors;
+        } else {
+            EXPECT_FALSE(kernel.ok)
+                << "silent miscorrection at errors=" << errors;
+        }
+    }
+}
+
+TEST(CodingE2E, RsSweepBatchEngineMatchesKernelPath)
+{
+    GFField f(8);
+    RSCode code(8, 8);
+    const unsigned t = code.t();
+    Rng rng(20260806); // same stream as the kernel-path sweep
+
+    // The same trial words as above, now decoded stage-by-stage as
+    // engine batches; every intermediate and the final verdict must be
+    // bit-for-bit what the per-Machine chain produced.
+    std::vector<std::vector<uint8_t>> words;
+    std::vector<unsigned> weights{0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12};
+    std::vector<Job> synd_jobs;
+    for (unsigned errors : weights) {
+        std::vector<GFElem> info(code.k());
+        for (auto &s : info)
+            s = rng.nextByte();
+        ExactErrorInjector inj(9000 + errors);
+        auto rx = inj.corruptSymbols(code.encode(info), errors, 8);
+        words.emplace_back(rx.begin(), rx.end());
+        synd_jobs.push_back(syndromeJob(rx, 2 * t));
+    }
+
+    BatchEngine synd_eng(syndromeBatchProgram(f, code.n(), 2 * t));
+    BatchEngine bma_eng(bmaBatchProgram(f, 2 * t));
+    BatchEngine chien_eng(chienBatchProgram(f, code.n(), t));
+    BatchEngine forney_eng(forneyBatchProgram(f, 2 * t));
+
+    auto synd_res = synd_eng.run(synd_jobs);
+
+    // Stage batches only carry words that still need the stage.
+    std::vector<size_t> live;
+    std::vector<Job> bma_jobs;
+    for (size_t i = 0; i < words.size(); ++i) {
+        ASSERT_TRUE(synd_res[i].ok());
+        if (!allZero(synd_res[i].bytes("synd"))) {
+            live.push_back(i);
+            bma_jobs.push_back(bmaJob(synd_res[i].bytes("synd")));
+        }
+    }
+    auto bma_res = bma_eng.run(bma_jobs);
+
+    std::vector<Job> chien_jobs;
+    for (size_t j = 0; j < live.size(); ++j) {
+        ASSERT_TRUE(bma_res[j].ok());
+        chien_jobs.push_back(chienJob(bma_res[j].bytes("lambda")));
+    }
+    auto chien_res = chien_eng.run(chien_jobs);
+
+    std::vector<size_t> correctable;
+    std::vector<Job> forney_jobs;
+    for (size_t j = 0; j < live.size(); ++j) {
+        ASSERT_TRUE(chien_res[j].ok());
+        uint32_t llen = bma_res[j].word("llen");
+        uint32_t nloc = chien_res[j].word("nloc");
+        if (nloc == llen && llen <= t) {
+            correctable.push_back(j);
+            forney_jobs.push_back(forneyJob(synd_res[live[j]].bytes("synd"),
+                                            bma_res[j].bytes("lambda"),
+                                            chien_res[j].bytes("locs"),
+                                            nloc));
+        }
+    }
+    auto forney_res = forney_eng.run(forney_jobs);
+
+    // Reassemble verdicts and compare against the per-Machine chain.
+    Machine synd_m(syndromeAsmGfcore(f, code.n(), 2 * t),
+                   CoreKind::kGfProcessor);
+    Machine bma_m(bmaAsmGfcore(f, 2 * t), CoreKind::kGfProcessor);
+    Machine chien_m(chienAsmGfcore(f, code.n(), t),
+                    CoreKind::kGfProcessor);
+    Machine forney_m(forneyAsmGfcore(f, 2 * t), CoreKind::kGfProcessor);
+
+    for (size_t i = 0; i < words.size(); ++i) {
+        auto kernel = rsKernelDecode(f, t, synd_m, bma_m, chien_m,
+                                     forney_m, words[i]);
+
+        // Engine-path verdict for word i.
+        bool eng_ok = false;
+        std::vector<uint8_t> eng_cw;
+        auto it = std::find(live.begin(), live.end(), i);
+        if (it == live.end()) {
+            eng_ok = true; // all-zero syndromes
+            eng_cw = words[i];
+        } else {
+            size_t j = static_cast<size_t>(it - live.begin());
+            auto cit = std::find(correctable.begin(), correctable.end(), j);
+            if (cit != correctable.end()) {
+                size_t fj = static_cast<size_t>(cit - correctable.begin());
+                ASSERT_TRUE(forney_res[fj].ok());
+                uint32_t nloc = chien_res[j].word("nloc");
+                const auto &locs = chien_res[j].bytes("locs");
+                const auto &evals = forney_res[fj].bytes("evals");
+                eng_cw = words[i];
+                for (uint32_t k = 0; k < nloc; ++k)
+                    eng_cw[locs[k]] ^= evals[k];
+                std::vector<GFElem> sym(eng_cw.begin(), eng_cw.end());
+                auto s2 = syndromes(f, sym, 2 * t);
+                eng_ok = std::all_of(s2.begin(), s2.end(),
+                                     [](GFElem s) { return s == 0; });
+                if (!eng_ok)
+                    eng_cw.clear();
+            }
+        }
+        ASSERT_EQ(eng_ok, kernel.ok) << "word " << i;
+        EXPECT_EQ(eng_cw, kernel.codeword) << "word " << i;
+    }
+}
+
+TEST(CodingE2E, BchSweepKernelPathVsReference)
+{
+    // BCH(31,11,5) on GF(2^5): syndrome + BMA + Chien, then bit flips.
+    GFField f(5);
+    BCHCode code(5, 5);
+    const unsigned t = code.t();
+    Rng rng(31115);
+
+    Machine synd_m(syndromeAsmGfcore(f, code.n(), 2 * t),
+                   CoreKind::kGfProcessor);
+    Machine bma_m(bmaAsmGfcore(f, 2 * t), CoreKind::kGfProcessor);
+    Machine chien_m(chienAsmGfcore(f, code.n(), t),
+                    CoreKind::kGfProcessor);
+
+    for (unsigned errors : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 9u}) {
+        std::vector<uint8_t> info(code.k());
+        for (auto &b : info)
+            b = static_cast<uint8_t>(rng.below(2));
+        auto cw = code.encode(info);
+        ExactErrorInjector inj(500 + errors);
+        auto rx = inj.flipBits(cw, errors);
+
+        // Kernel-path decode.
+        bool kernel_ok = false;
+        std::vector<uint8_t> kernel_cw;
+        synd_m.reset();
+        synd_m.writeBytes("rxdata", rx);
+        synd_m.runOk();
+        auto synd = synd_m.readBytes("synd", 2 * t);
+        if (allZero(synd)) {
+            kernel_ok = true;
+            kernel_cw = rx;
+        } else {
+            bma_m.reset();
+            bma_m.writeBytes("synd", synd);
+            bma_m.runOk();
+            uint32_t llen = bma_m.readWord("llen");
+            chien_m.reset();
+            chien_m.writeBytes("lambda", bma_m.readBytes("lambda", 12));
+            chien_m.runOk();
+            uint32_t nloc = chien_m.readWord("nloc");
+            auto locs = chien_m.readBytes("locs", 12);
+            if (nloc == llen && llen <= t) {
+                auto fixed = rx;
+                for (uint32_t i = 0; i < nloc; ++i)
+                    fixed[locs[i]] ^= 1;
+                if (code.isCodeword(fixed)) {
+                    kernel_ok = true;
+                    kernel_cw = fixed;
+                }
+            }
+        }
+
+        auto ref = code.decode(rx);
+        ASSERT_EQ(kernel_ok, ref.ok) << "errors=" << errors;
+        if (errors <= t) {
+            ASSERT_TRUE(kernel_ok) << "errors=" << errors;
+            EXPECT_EQ(kernel_cw, cw) << "errors=" << errors;
+        } else {
+            EXPECT_FALSE(kernel_ok)
+                << "silent miscorrection at errors=" << errors;
+        }
+    }
+}
+
+TEST(CodingE2E, BchBatchEngineParityWithSerial)
+{
+    // The BCH syndrome stage as one engine batch across a spread of
+    // error weights: run() and runSerial() must agree bit for bit, and
+    // both must agree with the reference syndromes.
+    GFField f(5);
+    BCHCode code(5, 5);
+    Rng rng(777);
+
+    std::vector<Job> jobs;
+    std::vector<std::vector<uint8_t>> words;
+    for (unsigned trial = 0; trial < 24; ++trial) {
+        std::vector<uint8_t> info(code.k());
+        for (auto &b : info)
+            b = static_cast<uint8_t>(rng.below(2));
+        ExactErrorInjector inj(trial);
+        auto rx = inj.flipBits(code.encode(info), trial % 8);
+        words.push_back(rx);
+        jobs.push_back(syndromeJob(
+            std::vector<GFElem>(rx.begin(), rx.end()), 2 * code.t()));
+    }
+
+    BatchEngine eng(syndromeBatchProgram(f, code.n(), 2 * code.t()));
+    auto par = eng.run(jobs);
+    auto ser = eng.runSerial(jobs);
+    ASSERT_EQ(par.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(par[i].ok()) << i;
+        EXPECT_EQ(par[i].outputs, ser[i].outputs) << i;
+        std::vector<GFElem> sym(words[i].begin(), words[i].end());
+        auto ref = syndromes(f, sym, 2 * code.t());
+        EXPECT_EQ(par[i].bytes("synd"),
+                  std::vector<uint8_t>(ref.begin(), ref.end()))
+            << i;
+    }
+}
+
+} // namespace
+} // namespace gfp
