@@ -8,6 +8,8 @@
  *   ./build/examples/gfp_asm prog.s          # run a program
  *   ./build/examples/gfp_asm -t prog.s       # ... with a trace
  *   ./build/examples/gfp_asm -b prog.s       # ... on the baseline core
+ *   ./build/examples/gfp_asm --lint prog.s   # static-analyze first;
+ *                                            # refuse to run on errors
  *
  * On halt, prints the register file and cycle statistics.  Programs use
  * the syntax documented in src/isa/assembler.h; the full GF instruction
@@ -20,6 +22,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/lint.h"
+#include "isa/assembler.h"
 #include "isa/disasm.h"
 #include "sim/machine.h"
 
@@ -53,12 +57,15 @@ main(int argc, char **argv)
 {
     bool trace = false;
     bool baseline = false;
+    bool lint = false;
     const char *path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (!strcmp(argv[i], "-t"))
             trace = true;
         else if (!strcmp(argv[i], "-b"))
             baseline = true;
+        else if (!strcmp(argv[i], "--lint"))
+            lint = true;
         else
             path = argv[i];
     }
@@ -76,6 +83,26 @@ main(int argc, char **argv)
     } else {
         source = kDemo;
         std::printf("(no input file: running the built-in demo)\n");
+    }
+
+    if (lint) {
+        Program prog;
+        AsmDiagnostic diag;
+        if (!Assembler::tryAssemble(source, prog, diag)) {
+            std::fprintf(stderr, "%s: %s\n", path ? path : "<demo>",
+                         diag.render().c_str());
+            return 2;
+        }
+        LintReport report = lintProgram(prog);
+        for (const Finding &f : report.findings)
+            std::fprintf(stderr, "%s\n", f.describe().c_str());
+        if (report.hasErrors()) {
+            std::fprintf(stderr, "lint: %s — not running\n",
+                         report.summary().c_str());
+            return 3;
+        }
+        if (!report.clean())
+            std::fprintf(stderr, "lint: %s\n", report.summary().c_str());
     }
 
     Machine machine(source, baseline ? CoreKind::kBaseline

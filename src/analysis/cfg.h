@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Control-flow graph over an assembled GFP Program, the substrate for
+ * the guest-program static analyzer (analysis/lint.h).
+ *
+ * The graph is built at instruction granularity — GFP programs are
+ * small (kernels are a few hundred words), so one node per code word is
+ * simpler and loses nothing.  Structure captured:
+ *
+ *  - decode of every code word (undecodable words become invalid nodes
+ *    with no successors — exactly the words the core would trap on);
+ *  - direct edges: fall-through, conditional/unconditional PC-relative
+ *    branch targets;
+ *  - calls: `bl` sites and their targets form a call graph; for
+ *    intraprocedural walks a call is summarized as an edge to its
+ *    return site, taken only if the callee can actually return
+ *    (mayReturn fixpoint below);
+ *  - returns: `ret` and `jr lr` end a function;
+ *  - indirect jumps: `jr rX` is over-approximated as "may go to any
+ *    labeled instruction" — the only addresses a well-formed program
+ *    can name are its labels;
+ *  - interprocedural reachability from the entry point at pc 0.
+ *
+ * Everything here is derived purely from the Program bytes + symbol
+ * table; the simulator is never consulted.
+ */
+
+#ifndef GFP_ANALYSIS_CFG_H
+#define GFP_ANALYSIS_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace gfp {
+
+/** Registers read by @p in, as a bit mask (bit i = register i). */
+uint16_t regUses(const Instr &in);
+
+/** Registers written by @p in, as a bit mask. */
+uint16_t regDefs(const Instr &in);
+
+/** True for the GF ops whose result depends on the reduction matrix
+ *  (gfmuls/gfinvs/gfsqs/gfpows).  gfadds is a pure XOR and gf32mul
+ *  data-gates the reduction stage, so neither needs a configuration. */
+bool usesReductionMatrix(Op op);
+
+/** One code word of the program under analysis. */
+struct CfgNode
+{
+    Instr in;                  ///< decoded instruction (when valid)
+    bool valid = false;        ///< word decodes to an instruction
+    bool leader = false;       ///< starts a basic block
+    bool falls_through = false; ///< execution can continue at idx + 1
+    bool has_target = false;   ///< direct branch/call target below
+    uint32_t target = 0;       ///< word index of the branch/call target
+    bool target_in_code = true; ///< target lands inside the code section
+    bool is_call = false;      ///< bl
+    bool is_return = false;    ///< ret, or jr lr
+    bool is_indirect = false;  ///< jr rX with rX != lr
+    bool is_halt = false;
+
+    uint32_t pc() const { return pc_; }
+    uint32_t pc_ = 0;
+};
+
+class ControlFlowGraph
+{
+  public:
+    /** Build the CFG for @p prog.  Never fails: undecodable words and
+     *  out-of-range targets are recorded, not rejected. */
+    explicit ControlFlowGraph(const Program &prog);
+
+    const Program &program() const { return *prog_; }
+    size_t size() const { return nodes_.size(); }
+    const CfgNode &node(uint32_t idx) const { return nodes_[idx]; }
+    const std::vector<CfgNode> &nodes() const { return nodes_; }
+
+    /** Word indices of every labeled instruction (indirect-jump
+     *  over-approximation set). */
+    const std::vector<uint32_t> &labeledNodes() const { return labeled_; }
+
+    /** Word indices of every `bl` instruction. */
+    const std::vector<uint32_t> &callSites() const { return call_sites_; }
+
+    /** Word indices of every distinct `bl` target (function entries). */
+    const std::vector<uint32_t> &functionEntries() const { return entries_; }
+
+    /**
+     * Intraprocedural successors of node @p idx: fall-through and
+     * branch-target edges; a call contributes its return site when the
+     * callee mayReturn(); returns and halts have none; an indirect jump
+     * contributes every labeled node.  Invalid nodes have none.
+     */
+    std::vector<uint32_t> intraSucc(uint32_t idx) const;
+
+    /** True if the function entered at @p entry can reach a ret/jr-lr.
+     *  Queries on non-entry nodes return the value for the walk started
+     *  there, which is what a fall-into-function analysis wants. */
+    bool mayReturn(uint32_t entry) const;
+
+    /** Nodes of the function entered at @p entry: reachable from it via
+     *  intraprocedural edges (calls summarized, returns terminal). */
+    std::vector<uint32_t> functionNodes(uint32_t entry) const;
+
+    /** Interprocedural reachability from pc 0: calls enter the callee,
+     *  returns resume at every return site of the callee's callers. */
+    const std::vector<bool> &reachable() const { return reachable_; }
+
+    /**
+     * Strongly connected components of the *intraprocedural* edge
+     * relation, restricted to reachable nodes.  Each inner vector is
+     * one SCC; only SCCs that contain a cycle (more than one node, or a
+     * self-loop) are returned.
+     */
+    std::vector<std::vector<uint32_t>> cyclicSccs() const;
+
+    /** Human-readable location of node @p idx: nearest preceding label
+     *  plus offset, e.g. "loop+0x8", or the raw pc. */
+    std::string describeNode(uint32_t idx) const;
+
+  private:
+    void decodeAll();
+    void markStructure();
+    void computeMayReturn();
+    void computeReachable();
+
+    const Program *prog_;
+    std::vector<CfgNode> nodes_;
+    std::vector<uint32_t> labeled_;
+    std::vector<uint32_t> call_sites_;
+    std::vector<uint32_t> entries_;
+    std::vector<bool> may_return_;  ///< per node: a walk from here rets
+    std::vector<bool> reachable_;
+};
+
+} // namespace gfp
+
+#endif // GFP_ANALYSIS_CFG_H

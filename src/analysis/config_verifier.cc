@@ -1,0 +1,236 @@
+#include "analysis/config_verifier.h"
+
+#include <cstdio>
+
+#include "gf/polys.h"
+#include "gfau/units.h"
+
+namespace gfp {
+
+uint32_t
+polyModReduce(uint32_t e_power, unsigned m, uint32_t poly)
+{
+    // Long division of x^e_power by r(x): repeatedly cancel the top
+    // term with x^(deg-m) * r(x) until the degree drops below m.
+    if (e_power < 64 && m > 0) {
+        uint64_t v = 1ull << e_power;
+        uint64_t r = poly;
+        for (int bit = 63; bit >= static_cast<int>(m); --bit)
+            if (v & (1ull << bit))
+                v ^= r << (bit - m);
+        return static_cast<uint32_t>(v);
+    }
+    return 0;
+}
+
+std::string
+MatrixProof::describe() const
+{
+    char buf[160];
+    if (ok) {
+        std::snprintf(buf, sizeof(buf),
+                      "m=%u poly=0x%x: reduction matrix proven correct", m,
+                      poly);
+    } else {
+        std::snprintf(buf, sizeof(buf), "m=%u poly=0x%x: FAIL (%s)", m, poly,
+                      detail.c_str());
+    }
+    return buf;
+}
+
+namespace {
+
+/// Column i of the hardware's linear reduction map for width cfg.m:
+/// identity for the low m bits, P column j for product bit m+j.
+uint32_t
+hardwareColumn(const GFConfig &cfg, unsigned i)
+{
+    if (i < cfg.m)
+        return 1u << i;
+    return cfg.p_cols[i - cfg.m];
+}
+
+/// The matrix-model reduction: apply the hardware columns to every set
+/// bit of a full product.  Used as the linear abstraction the
+/// structural ReductionStage is checked against.
+uint32_t
+matrixReduce(const GFConfig &cfg, uint32_t full_product)
+{
+    uint32_t out = 0;
+    for (unsigned i = 0; i < 2 * cfg.m - 1; ++i)
+        if (full_product & (1u << i))
+            out ^= hardwareColumn(cfg, i);
+    return out;
+}
+
+MatrixProof
+fail(const GFConfig &cfg, uint32_t poly, std::string detail)
+{
+    MatrixProof p;
+    p.ok = false;
+    p.m = cfg.m;
+    p.poly = poly;
+    p.detail = std::move(detail);
+    return p;
+}
+
+std::string
+columnMismatch(const char *what, unsigned bit, uint32_t got, uint32_t want)
+{
+    char buf[120];
+    std::snprintf(buf, sizeof(buf),
+                  "%s for product bit %u is 0x%02x, expected x^%u mod r = "
+                  "0x%02x",
+                  what, bit, got, bit, want);
+    return buf;
+}
+
+} // namespace
+
+MatrixProof
+verifyReductionMatrix(const GFConfig &cfg, uint32_t poly)
+{
+    MatrixProof proof;
+    proof.m = cfg.m;
+    proof.poly = poly;
+
+    if (!cfg.valid())
+        return fail(cfg, poly, "field width outside 2..8");
+    unsigned deg = 31;
+    while (deg > 0 && !(poly & (1u << deg)))
+        --deg;
+    if (deg != cfg.m)
+        return fail(cfg, poly, "polynomial degree does not match width m");
+
+    // Both maps are GF(2)-linear in the (2m-1)-bit product, so equality
+    // on the 2m-1 basis vectors proves equality on all 2^(2m-1) inputs.
+    for (unsigned i = 0; i < 2 * cfg.m - 1; ++i) {
+        uint32_t hw = hardwareColumn(cfg, i);
+        uint32_t golden = polyModReduce(i, cfg.m, poly);
+        if (hw != golden)
+            return fail(cfg, poly,
+                        columnMismatch("hardware column", i, hw, golden));
+    }
+    return proof;
+}
+
+MatrixProof
+verifyReductionStage(const GFConfig &cfg, uint32_t poly, bool exhaustive)
+{
+    MatrixProof proof;
+    proof.m = cfg.m;
+    proof.poly = poly;
+
+    if (!cfg.valid())
+        return fail(cfg, poly, "field width outside 2..8");
+
+    const unsigned bits = 2 * cfg.m - 1;
+
+    // (1) Basis: the implementation agrees with the golden reduction on
+    //     every single-bit product.
+    for (unsigned i = 0; i < bits; ++i) {
+        uint32_t got = ReductionStage::reduce(
+            static_cast<uint16_t>(1u << i), cfg);
+        uint32_t want = polyModReduce(i, cfg.m, poly);
+        if (got != want)
+            return fail(cfg, poly,
+                        columnMismatch("ReductionStage basis output", i, got,
+                                       want));
+    }
+
+    // (2) Linearity witness: on every two-bit superposition the
+    //     implementation equals the XOR of its basis responses.  Basis
+    //     agreement + linearity is what licenses extrapolating the
+    //     basis proof to all products.
+    for (unsigned i = 0; i < bits; ++i) {
+        for (unsigned j = i + 1; j < bits; ++j) {
+            uint16_t v = static_cast<uint16_t>((1u << i) | (1u << j));
+            uint32_t got = ReductionStage::reduce(v, cfg);
+            uint32_t want = matrixReduce(cfg, v);
+            if (got != want) {
+                char buf[120];
+                std::snprintf(buf, sizeof(buf),
+                              "reduction of bits {%u,%u} is 0x%02x, not the "
+                              "XOR of its basis responses 0x%02x — stage is "
+                              "not linear",
+                              i, j, got, want);
+                return fail(cfg, poly, buf);
+            }
+        }
+    }
+
+    if (exhaustive) {
+        // (3) Belt and braces: sweep every (2m-1)-bit product.
+        for (uint32_t v = 0; v < (1u << bits); ++v) {
+            uint32_t got = ReductionStage::reduce(static_cast<uint16_t>(v),
+                                                  cfg);
+            uint32_t want = matrixReduce(cfg, v);
+            if (got != want) {
+                char buf[96];
+                std::snprintf(buf, sizeof(buf),
+                              "exhaustive sweep: reduce(0x%04x) = 0x%02x, "
+                              "matrix model says 0x%02x",
+                              v, got, want);
+                return fail(cfg, poly, buf);
+            }
+        }
+    }
+    return proof;
+}
+
+VerifySummary
+verifyAllFields(bool exhaustive)
+{
+    VerifySummary summary;
+    for (unsigned m = 2; m <= 8; ++m) {
+        for (uint32_t poly : irreduciblePolys(m)) {
+            GFConfig cfg = GFConfig::derive(m, poly);
+            MatrixProof alg = verifyReductionMatrix(cfg, poly);
+            if (!alg.ok)
+                summary.failures.push_back(alg);
+            MatrixProof impl = verifyReductionStage(cfg, poly, exhaustive);
+            if (!impl.ok)
+                summary.failures.push_back(impl);
+            ++summary.fields_checked;
+        }
+    }
+    return summary;
+}
+
+ConfigClassification
+classifyConfig(const GFConfig &cfg)
+{
+    ConfigClassification result;
+    result.m = cfg.m;
+    if (!cfg.valid()) {
+        result.cls = ConfigClass::kInvalid;
+        return result;
+    }
+
+    // A width-m config only ever routes P columns 0..m-2; compare those.
+    for (uint32_t poly : irreduciblePolys(cfg.m)) {
+        bool match = true;
+        for (unsigned j = 0; j + 1 < cfg.m && match; ++j)
+            match = cfg.p_cols[j] == (polyModReduce(cfg.m + j, cfg.m, poly) &
+                                      0xff);
+        if (match) {
+            result.cls = ConfigClass::kField;
+            result.poly = poly;
+            return result;
+        }
+    }
+
+    // Circulant ring mod x^m + 1: bit m+j wraps to bit j.
+    bool circulant = true;
+    for (unsigned j = 0; j + 1 < cfg.m && circulant; ++j)
+        circulant = cfg.p_cols[j] == (1u << j);
+    if (circulant) {
+        result.cls = ConfigClass::kCirculant;
+        return result;
+    }
+
+    result.cls = ConfigClass::kUnknown;
+    return result;
+}
+
+} // namespace gfp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Algebraic verifier for GFAU reduction-matrix configurations
+ * ("gfp-lint" pass 2).
+ *
+ * The hardware reduction stage (gfau/units.h, paper Fig. 5) maps a
+ * (2m-1)-bit carry-less full product v to an m-bit element by a GF(2)
+ * linear map: the low m bits pass through, and full-product bit m+j
+ * adds P column j.  Correct field arithmetic requires that map to equal
+ * reduction modulo the irreducible polynomial r(x), which is *also*
+ * GF(2)-linear in v.  Two linear maps over GF(2)^(2m-1) are equal iff
+ * they agree on the 2m-1 basis vectors — so a symbolic proof over all
+ * 2^(2m-1) products collapses to comparing 2m-1 columns:
+ *
+ *     hardware column i   =  e_i            (i < m)
+ *     hardware column m+j =  P[j]           (j < m-1)
+ *     golden  column i    =  x^i mod r(x)
+ *
+ * The golden columns are computed here by direct polynomial division,
+ * independent of both the simulator and GFConfig::derive (the code
+ * under test).  A second, structural check drives the actual
+ * ReductionStage::reduce bit-twiddling on the basis and on all pairwise
+ * superpositions, proving the *implementation* realizes its linear
+ * abstraction; an optional exhaustive mode sweeps every product.
+ *
+ * classifyConfig() is the linter's entry point: given a config register
+ * image decoded from a guest's gfcfg blob, decide whether its P matrix
+ * is a correct field reduction (and for which polynomial), the legal
+ * circulant x^m+1 ring configuration the AES kernels use, or neither.
+ */
+
+#ifndef GFP_ANALYSIS_CONFIG_VERIFIER_H
+#define GFP_ANALYSIS_CONFIG_VERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gfau/config_reg.h"
+
+namespace gfp {
+
+/** x^e mod r(x) for a degree-m polynomial r, by direct long division.
+ *  This is the verifier's own golden reduction — deliberately not
+ *  GFField::reduce or GFConfig::derive. */
+uint32_t polyModReduce(uint32_t e_power, unsigned m, uint32_t poly);
+
+/** Outcome of one matrix proof. */
+struct MatrixProof
+{
+    bool ok = true;
+    unsigned m = 0;
+    uint32_t poly = 0;
+    std::string detail; ///< first mismatch, empty when ok
+
+    std::string describe() const;
+};
+
+/**
+ * Prove (or refute) that @p cfg's P matrix implements reduction modulo
+ * @p poly (degree @p cfg.m) for *all* (2m-1)-bit products, by the
+ * basis-column argument above.  Pure matrix comparison; the hardware
+ * model is not involved.
+ */
+MatrixProof verifyReductionMatrix(const GFConfig &cfg, uint32_t poly);
+
+/**
+ * Prove the structural ReductionStage implementation conforms to the
+ * linear map encoded by @p cfg and that that map reduces mod @p poly:
+ * basis vectors + all pairwise superpositions (linearity witness); with
+ * @p exhaustive, additionally sweep every (2m-1)-bit product.
+ */
+MatrixProof verifyReductionStage(const GFConfig &cfg, uint32_t poly,
+                                 bool exhaustive = false);
+
+/** Aggregate result of sweeping every supported field. */
+struct VerifySummary
+{
+    unsigned fields_checked = 0;
+    std::vector<MatrixProof> failures;
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Run both proofs for every irreducible polynomial of every supported
+ * degree (m = 2..8; 69 fields in total), deriving each configuration
+ * with GFConfig::derive — i.e. verify the software the guest-side
+ * config flow relies on, against this file's independent algebra.
+ */
+VerifySummary verifyAllFields(bool exhaustive = false);
+
+/** What a configuration register image actually computes. */
+enum class ConfigClass : uint8_t {
+    kInvalid,   ///< field width outside 2..8 (would trap GfConfigCorrupt)
+    kField,     ///< P == reduction matrix of an irreducible polynomial
+    kCirculant, ///< P == reduction mod x^m + 1 (legal ring config)
+    kUnknown,   ///< valid width but P matches no known reduction
+};
+
+struct ConfigClassification
+{
+    ConfigClass cls = ConfigClass::kUnknown;
+    unsigned m = 0;
+    uint32_t poly = 0; ///< the matching polynomial, for kField
+};
+
+/** Classify @p cfg by searching the irreducible catalog (gf/polys.h)
+ *  and the circulant pattern.  Unused high P columns are ignored, as
+ *  the mapping circuit never routes them for width m. */
+ConfigClassification classifyConfig(const GFConfig &cfg);
+
+} // namespace gfp
+
+#endif // GFP_ANALYSIS_CONFIG_VERIFIER_H

@@ -38,20 +38,40 @@
 
 namespace gfp {
 
+/**
+ * One structured assembly diagnostic.  Every error the assembler can
+ * produce — parse errors, layout errors, and the encoder's field-range
+ * checks — carries a 1-based source line and column, so editors and
+ * the gfp-lint driver can point at the offending token.
+ */
+struct AsmDiagnostic
+{
+    int line = 0;        ///< 1-based source line (0 = unknown)
+    int column = 0;      ///< 1-based column of the offending token
+    std::string message; ///< diagnostic text, no location prefix
+
+    /** "line L, col C: message" */
+    std::string render() const;
+};
+
 class Assembler
 {
   public:
-    /** Assemble @p source; fatal (with line numbers) on any error. */
+    /** Assemble @p source; fatal (with line/column info) on any error. */
     static Program assemble(const std::string &source);
 
     /**
      * Assemble @p source, reporting errors instead of exiting: returns
      * true and fills @p out on success, or returns false and fills
-     * @p error with the diagnostic (including the line number) for
-     * malformed source.  The fuzzers drive this entry point.
+     * @p error with the rendered diagnostic (including 1-based line and
+     * column) for malformed source.  The fuzzers drive this entry point.
      */
     static bool tryAssemble(const std::string &source, Program &out,
                             std::string &error);
+
+    /** Structured-diagnostic variant: fills @p diag on failure. */
+    static bool tryAssemble(const std::string &source, Program &out,
+                            AsmDiagnostic &diag);
 };
 
 } // namespace gfp

@@ -24,8 +24,26 @@ struct Program
     uint32_t data_base = 0;               ///< byte address of data[0]
     std::map<std::string, uint32_t> symbols; ///< label -> byte address
 
+    /**
+     * Debug info: 1-based source line of each code word (parallel to
+     * `code`).  Filled by the assembler; empty for programs built
+     * programmatically.  Static-analysis findings use it to point at
+     * the offending source line.
+     */
+    std::vector<int> line_of_word;
+
     /** Address of a label; fatal if undefined. */
     uint32_t symbol(const std::string &name) const;
+
+    /** Source line of code word @p word_idx, or 0 when unknown. */
+    int
+    lineOfWord(size_t word_idx) const
+    {
+        return word_idx < line_of_word.size() ? line_of_word[word_idx] : 0;
+    }
+
+    /** Reverse symbol lookup: a label at byte address @p addr, or "". */
+    std::string labelAt(uint32_t addr) const;
 
     /** Total footprint in bytes (code + data). */
     size_t footprint() const { return data_base + data.size(); }

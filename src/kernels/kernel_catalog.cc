@@ -1,0 +1,65 @@
+#include "kernels/kernel_catalog.h"
+
+#include "gf/field.h"
+#include "kernels/aes_kernels.h"
+#include "kernels/coding_kernels.h"
+#include "kernels/wide_kernels.h"
+
+namespace gfp {
+
+std::vector<KernelSource>
+kernelCatalog()
+{
+    // The paper's evaluation points: RS(255, 239) with t = 8 over
+    // GF(2^8)/0x11d, AES-128, and the B-233 binary-curve primitives.
+    const GFField f8(8);
+    const unsigned n = 255, t = 8, two_t = 2 * t;
+
+    std::vector<KernelSource> cat;
+    auto addk = [&](const char *name, std::string src) {
+        cat.push_back({name, std::move(src)});
+    };
+
+    addk("syndrome-gfcore", syndromeAsmGfcore(f8, n, two_t));
+    addk("syndrome-gfcore-lane1", syndromeAsmGfcoreLanes(f8, n, two_t, 1));
+    addk("syndrome-gfcore-lane2", syndromeAsmGfcoreLanes(f8, n, two_t, 2));
+    addk("syndrome-baseline", syndromeAsmBaseline(f8, n, two_t));
+    addk("bma-gfcore", bmaAsmGfcore(f8, two_t));
+    addk("bma-baseline", bmaAsmBaseline(f8, two_t));
+    addk("chien-gfcore", chienAsmGfcore(f8, n, t));
+    addk("chien-baseline", chienAsmBaseline(f8, n, t));
+    addk("forney-gfcore", forneyAsmGfcore(f8, two_t));
+    addk("forney-baseline", forneyAsmBaseline(f8, two_t));
+    addk("rs-encode-gfcore", rsEncodeAsmGfcore(f8, t));
+    addk("rs-encode-baseline", rsEncodeAsmBaseline(f8, t));
+
+    addk("aes-ark", aesArkAsm());
+    addk("aes-subbytes-gfcore", aesSubBytesAsmGfcore(false));
+    addk("aes-invsubbytes-gfcore", aesSubBytesAsmGfcore(true));
+    addk("aes-subbytes-baseline", aesSubBytesAsmBaseline(false));
+    addk("aes-shiftrows", aesShiftRowsAsm(false));
+    addk("aes-invshiftrows", aesShiftRowsAsm(true));
+    addk("aes-mixcol-gfcore", aesMixColAsmGfcore(false));
+    addk("aes-invmixcol-gfcore", aesMixColAsmGfcore(true));
+    addk("aes-mixcol-baseline", aesMixColAsmBaseline(false));
+    addk("aes-keyexpand-gfcore", aesKeyExpandAsmGfcore());
+    addk("aes-keyexpand-baseline", aesKeyExpandAsmBaseline());
+    addk("aes-block-gfcore", aesBlockAsmGfcore(false));
+    addk("aes-block-decrypt-gfcore", aesBlockAsmGfcore(true));
+    addk("aes-block-baseline", aesBlockAsmBaseline(false));
+
+    addk("mult233-direct", mult233DirectAsm());
+    addk("mult233-baseline", mult233BaselineAsm());
+    addk("mult233-karatsuba", mult233KaratsubaAsm());
+    addk("square233", square233Asm());
+    addk("inverse233", inverse233Asm(false));
+    addk("inverse233-karatsuba", inverse233Asm(true));
+    addk("point-double", pointDoubleAsm(false));
+    addk("point-add", pointAddAsm(false));
+    addk("scalar-mult", scalarMultAsm(false));
+    addk("scalar-mult-karatsuba", scalarMultAsm(true));
+
+    return cat;
+}
+
+} // namespace gfp

@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Guest-program static analyzer (analysis/lint.h): one positive
+ * fixture and one clean counterpart per lint rule, interprocedural
+ * dataflow behavior, lint-cleanliness of every shipped kernel and
+ * example program, and a mutation sweep showing corrupted known-good
+ * kernels are flagged by the analyzer (or trapped at runtime).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/cfg.h"
+#include "analysis/lint.h"
+#include "common/strutil.h"
+#include "gfau/config_reg.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+#include "kernels/kernel_catalog.h"
+#include "sim/machine.h"
+
+namespace gfp {
+namespace {
+
+LintReport
+lintSource(const std::string &src, const LintOptions &opts = {})
+{
+    return lintProgram(Assembler::assemble(src), opts);
+}
+
+const Finding *
+findRule(const LintReport &r, LintRule rule)
+{
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            return &f;
+    return nullptr;
+}
+
+std::string
+dumpReport(const LintReport &r)
+{
+    std::string out;
+    for (const Finding &f : r.findings)
+        out += f.describe() + "\n";
+    return out;
+}
+
+/// .data section carrying one packed gfConfig blob under label "cfg".
+std::string
+blobData(uint64_t blob)
+{
+    return strprintf(".data\n.align 8\ncfg:\n    .word 0x%08x, 0x%08x\n",
+                     static_cast<uint32_t>(blob),
+                     static_cast<uint32_t>(blob >> 32));
+}
+
+// ------------------------- per-rule fixtures -------------------------
+
+TEST(Lint, UndecodableWordFlagged)
+{
+    Program prog = Assembler::assemble("    movi r0, #1\n    halt\n");
+    EXPECT_TRUE(lintProgram(prog).clean());
+    prog.code[1] = 0xffffffffu;
+    Instr dummy;
+    ASSERT_FALSE(tryDecode(prog.code[1], dummy));
+    LintReport r = lintProgram(prog);
+    const Finding *f = findRule(r, LintRule::kUndecodable);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+    EXPECT_EQ(f->pc, 4u);
+}
+
+TEST(Lint, BadBranchTargetFlagged)
+{
+    Program prog = Assembler::assemble("    b next\nnext:\n    halt\n");
+    EXPECT_TRUE(lintProgram(prog).clean());
+    Instr b{Op::kB, 0, 0, 0, 0, 100}; // way past the end of code
+    prog.code[0] = encode(b);
+    LintReport r = lintProgram(prog);
+    const Finding *f = findRule(r, LintRule::kBadBranchTarget);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(Lint, FallOffEndFlagged)
+{
+    LintReport r = lintSource("    movi r0, #1\n");
+    const Finding *f = findRule(r, LintRule::kFallOffEnd);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+    EXPECT_EQ(f->line, 1);
+
+    EXPECT_TRUE(lintSource("    movi r0, #1\n    halt\n").clean());
+}
+
+TEST(Lint, UseBeforeDefFlagged)
+{
+    LintReport r = lintSource("    mov r1, r5\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kUseBeforeDef);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_NE(f->message.find("r5"), std::string::npos);
+    EXPECT_EQ(f->line, 1);
+
+    EXPECT_TRUE(
+        lintSource("    movi r5, #1\n    mov r1, r5\n    halt\n").clean());
+}
+
+TEST(Lint, EntryArgumentsAreDefined)
+{
+    // r0..r3 and sp are the Machine::setArgs / reset contract...
+    const std::string src =
+        "    mov r4, r0\n    mov r5, r3\n    ldr r6, [sp, #0]\n    halt\n";
+    EXPECT_TRUE(lintSource(src).clean());
+
+    // ...unless the caller says the program takes no arguments.
+    LintOptions no_args;
+    no_args.entry_args_defined = false;
+    LintReport r = lintSource(src, no_args);
+    EXPECT_NE(findRule(r, LintRule::kUseBeforeDef), nullptr);
+}
+
+TEST(Lint, CalleeMustDefsFlowBackToCaller)
+{
+    // init defines r5 on every path, so the caller's read is fine; r6
+    // is never written anywhere, so that read is flagged.
+    const std::string good = "    bl init\n"
+                             "    mov r1, r5\n"
+                             "    halt\n"
+                             "init:\n"
+                             "    movi r5, #7\n"
+                             "    ret\n";
+    EXPECT_TRUE(lintSource(good).clean()) << dumpReport(lintSource(good));
+
+    const std::string bad = "    bl init\n"
+                            "    mov r1, r6\n"
+                            "    halt\n"
+                            "init:\n"
+                            "    movi r5, #7\n"
+                            "    ret\n";
+    LintReport r = lintSource(bad);
+    const Finding *f = findRule(r, LintRule::kUseBeforeDef);
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->message.find("r6"), std::string::npos);
+}
+
+TEST(Lint, GfBeforeConfigFlagged)
+{
+    LintReport r = lintSource(
+        "    movi r1, #3\n    gfmuls r2, r1, r1\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kGfBeforeConfig);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+    EXPECT_EQ(f->line, 2);
+
+    // gfadds is a pure XOR — no configuration needed.
+    EXPECT_TRUE(
+        lintSource("    movi r1, #3\n    gfadds r2, r1, r1\n    halt\n")
+            .clean());
+
+    // With a valid gfcfg first, the same program is clean.
+    std::string good = "    gfcfg cfg\n"
+                       "    movi r1, #3\n"
+                       "    gfmuls r2, r1, r1\n"
+                       "    halt\n" +
+                       blobData(GFConfig::derive(8, 0x11d).pack());
+    EXPECT_TRUE(lintSource(good).clean()) << dumpReport(lintSource(good));
+}
+
+TEST(Lint, UnreachableCodeFlagged)
+{
+    LintReport r =
+        lintSource("    b skip\n    movi r0, #1\nskip:\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kUnreachable);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+    EXPECT_EQ(f->line, 2);
+
+    // Labeled (addressable) code is library convention, not dead code.
+    EXPECT_TRUE(
+        lintSource("    halt\nhelper:\n    movi r0, #1\n    ret\n")
+            .clean());
+}
+
+TEST(Lint, OobAddressFlagged)
+{
+    LintReport r = lintSource(
+        "    li r1, #0x40000\n    ldr r2, [r1, #0]\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kOobAddress);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+
+    // Same shape, in-range (and inside the image): clean.
+    EXPECT_TRUE(lintSource("    movi r1, #0\n    ldr r2, [r1, #0]\n"
+                           "    halt\n")
+                    .clean());
+}
+
+TEST(Lint, RegisterOffsetOobFlagged)
+{
+    LintReport r = lintSource("    li r1, #0x3fffd\n    movi r2, #0\n"
+                              "    ldr r3, [r1, r2]\n    halt\n");
+    EXPECT_NE(findRule(r, LintRule::kOobAddress), nullptr)
+        << dumpReport(r);
+}
+
+TEST(Lint, AddrBeyondImageFlagged)
+{
+    LintReport r = lintSource(
+        "    li r1, #0x10000\n    ldr r2, [r1, #0]\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kAddrBeyondImage);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+}
+
+TEST(Lint, StoreToCodeFlagged)
+{
+    LintReport r = lintSource("    movi r1, #0\n    movi r2, #5\n"
+                              "    str r2, [r1, #0]\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kStoreToCode);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+
+    // A store into the data section is ordinary.
+    EXPECT_TRUE(lintSource("    la r1, buf\n    movi r2, #5\n"
+                           "    str r2, [r1, #0]\n    halt\n"
+                           ".data\nbuf:\n    .space 8\n")
+                    .clean());
+}
+
+TEST(Lint, InfiniteLoopFlagged)
+{
+    LintReport r = lintSource("spin:\n    b spin\n");
+    const Finding *f = findRule(r, LintRule::kInfiniteLoop);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+    EXPECT_NE(f->message.find("spin"), std::string::npos);
+}
+
+TEST(Lint, ConditionalSelfLoopFlagged)
+{
+    // The branch never updates the flags it tests: once entered with Z
+    // set, it spins forever.
+    LintReport r = lintSource(
+        "    movi r0, #0\nspin:\n    beq spin\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kInfiniteLoop);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(Lint, FlagFreeLoopBodyFlagged)
+{
+    LintReport r = lintSource("    movi r0, #0\n"
+                              "    cmpi r0, #5\n"
+                              "loop:\n"
+                              "    addi r0, r0, #1\n"
+                              "    bne loop\n"
+                              "    halt\n");
+    const Finding *f = findRule(r, LintRule::kMaybeInfiniteLoop);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+
+    // The canonical counted loop (cmp inside) is clean.
+    EXPECT_TRUE(lintSource("    movi r0, #0\n"
+                           "loop:\n"
+                           "    addi r0, r0, #1\n"
+                           "    cmpi r0, #5\n"
+                           "    bne loop\n"
+                           "    halt\n")
+                    .clean());
+}
+
+TEST(Lint, CallNoReturnFlagged)
+{
+    LintReport r = lintSource("    bl f\n    halt\nf:\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kCallNoReturn);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+}
+
+TEST(Lint, LrClobberedFlagged)
+{
+    // f calls g without saving lr: its ret goes back into f, not to
+    // f's caller.
+    LintReport r = lintSource("    bl f\n    halt\n"
+                              "f:\n    bl g\n    ret\n"
+                              "g:\n    ret\n");
+    const Finding *f = findRule(r, LintRule::kLrClobbered);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+
+    // The save/restore idiom is clean.
+    const std::string good = "    bl f\n    halt\n"
+                             "f:\n"
+                             "    subi sp, sp, #4\n"
+                             "    str lr, [sp, #0]\n"
+                             "    bl g\n"
+                             "    ldr lr, [sp, #0]\n"
+                             "    addi sp, sp, #4\n"
+                             "    ret\n"
+                             "g:\n    ret\n";
+    EXPECT_TRUE(lintSource(good).clean()) << dumpReport(lintSource(good));
+}
+
+TEST(Lint, ConfigBlobOobFlagged)
+{
+    LintReport r = lintSource("    gfcfg #0x3fffc\n    halt\n");
+    const Finding *f = findRule(r, LintRule::kConfigBlobOob);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(Lint, BadConfigBlobFlagged)
+{
+    // Field width 12 is unrepresentable: the gfcfg would trap.
+    uint64_t blob = GFConfig::derive(8, 0x11d).pack();
+    blob = (blob & ~(0xfull << 56)) | (12ull << 56);
+    LintReport r =
+        lintSource("    gfcfg cfg\n    halt\n" + blobData(blob));
+    const Finding *f = findRule(r, LintRule::kBadConfigBlob);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(Lint, SuspectConfigBlobFlagged)
+{
+    // Valid width, but a P matrix that is neither a field reduction
+    // nor the circulant ring.
+    GFConfig cfg = GFConfig::derive(8, 0x11d);
+    cfg.p_cols.fill(0x55);
+    LintReport r =
+        lintSource("    gfcfg cfg\n    halt\n" + blobData(cfg.pack()));
+    const Finding *f = findRule(r, LintRule::kSuspectConfigBlob);
+    ASSERT_NE(f, nullptr) << dumpReport(r);
+    EXPECT_EQ(f->severity, Severity::kWarning);
+
+    // All-zero blob: the host-patches-it-later pattern, warned.
+    LintReport rz = lintSource(
+        "    gfcfg cfg\n    halt\n.data\n.align 8\ncfg:\n    .space 8\n");
+    EXPECT_NE(findRule(rz, LintRule::kSuspectConfigBlob), nullptr)
+        << dumpReport(rz);
+
+    // The circulant ring configuration (AES kernels) is legal.
+    EXPECT_TRUE(
+        lintSource("    gfcfg cfg\n    halt\n" +
+                   blobData(GFConfig::circulant(8).pack()))
+            .clean());
+}
+
+// --------------------- dataflow / CFG behavior -----------------------
+
+TEST(Cfg, CallGraphBasics)
+{
+    Program prog = Assembler::assemble("    bl f\n    halt\n"
+                                       "f:\n    movi r5, #1\n    ret\n");
+    ControlFlowGraph cfg(prog);
+    ASSERT_EQ(cfg.functionEntries().size(), 1u);
+    uint32_t f = cfg.functionEntries()[0];
+    EXPECT_EQ(f, prog.symbol("f") / 4);
+    EXPECT_TRUE(cfg.mayReturn(f));
+    for (uint32_t i = 0; i < cfg.size(); ++i)
+        EXPECT_TRUE(cfg.reachable()[i]) << "word " << i;
+    EXPECT_EQ(cfg.describeNode(f), "f");
+}
+
+TEST(Lint, FindingsCarrySourceLines)
+{
+    // Lines: 1 movi, 2 gfmuls, 3 missing halt.
+    LintReport r =
+        lintSource("    movi r1, #3\n    gfmuls r2, r1, r1\n");
+    const Finding *gf = findRule(r, LintRule::kGfBeforeConfig);
+    const Finding *off = findRule(r, LintRule::kFallOffEnd);
+    ASSERT_NE(gf, nullptr);
+    ASSERT_NE(off, nullptr);
+    EXPECT_EQ(gf->line, 2);
+    EXPECT_EQ(off->line, 2);
+    EXPECT_NE(gf->describe().find("line 2"), std::string::npos);
+}
+
+// ----------------- shipped programs must lint clean ------------------
+
+TEST(LintClean, AllBuiltinKernels)
+{
+    for (const KernelSource &k : kernelCatalog()) {
+        LintReport r = lintProgram(Assembler::assemble(k.source));
+        EXPECT_TRUE(r.clean())
+            << "kernel " << k.name << ":\n" << dumpReport(r);
+    }
+}
+
+TEST(LintClean, ExamplePrograms)
+{
+    for (const char *name : {"dot_product.s", "field_switch.s"}) {
+        std::ifstream in(std::string(GFP_SOURCE_DIR) +
+                         "/examples/progs/" + name);
+        ASSERT_TRUE(in.good()) << name;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        LintReport r = lintProgram(Assembler::assemble(ss.str()));
+        EXPECT_TRUE(r.clean()) << name << ":\n" << dumpReport(r);
+    }
+}
+
+// --------------------------- mutation sweep --------------------------
+
+/// Known-good kernels, deliberately corrupted: every mutant must be
+/// flagged by the analyzer or trap at runtime — the differential
+/// argument that the linter models the machine's failure modes.
+
+std::vector<std::string>
+mutationTargets()
+{
+    return {"syndrome-gfcore", "chien-gfcore", "aes-block-gfcore",
+            "rs-encode-gfcore"};
+}
+
+Program
+catalogProgram(const std::string &name)
+{
+    for (const KernelSource &k : kernelCatalog())
+        if (k.name == name)
+            return Assembler::assemble(k.source);
+    ADD_FAILURE() << "no kernel named " << name;
+    return {};
+}
+
+TEST(Mutation, GarbledHaltIsFlagged)
+{
+    for (const std::string &name : mutationTargets()) {
+        Program prog = catalogProgram(name);
+        ASSERT_TRUE(lintProgram(prog).clean());
+        bool mutated = false;
+        for (uint32_t &word : prog.code) {
+            Instr in;
+            if (tryDecode(word, in) && in.op == Op::kHalt) {
+                word = 0xffffffffu;
+                mutated = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(mutated) << name;
+        LintReport r = lintProgram(prog);
+        EXPECT_TRUE(r.hasErrors()) << name << ":\n" << dumpReport(r);
+        EXPECT_NE(findRule(r, LintRule::kUndecodable), nullptr) << name;
+    }
+}
+
+TEST(Mutation, BranchRetargetedToSelfIsFlagged)
+{
+    for (const std::string &name : mutationTargets()) {
+        Program prog = catalogProgram(name);
+        bool mutated = false;
+        for (uint32_t &word : prog.code) {
+            Instr in;
+            if (tryDecode(word, in) && isPcRelBranch(in.op) &&
+                in.op != Op::kBl && in.op != Op::kB) {
+                in.imm = -1; // target = itself
+                word = encode(in);
+                mutated = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(mutated) << name;
+        LintReport r = lintProgram(prog);
+        EXPECT_NE(findRule(r, LintRule::kInfiniteLoop), nullptr)
+            << name << ":\n" << dumpReport(r);
+    }
+}
+
+TEST(Mutation, ZeroedConfigBlobIsFlaggedAndTraps)
+{
+    Program prog = catalogProgram("syndrome-gfcore");
+    bool mutated = false;
+    for (uint32_t word : prog.code) {
+        Instr in;
+        if (tryDecode(word, in) && in.op == Op::kGfCfg) {
+            uint32_t off = static_cast<uint32_t>(in.imm) - prog.data_base;
+            ASSERT_LE(off + 8, prog.data.size());
+            for (unsigned b = 0; b < 8; ++b)
+                prog.data[off + b] = 0;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+
+    LintReport r = lintProgram(prog);
+    EXPECT_NE(findRule(r, LintRule::kSuspectConfigBlob), nullptr)
+        << dumpReport(r);
+
+    // ...and the machine agrees: the gfcfg traps GfConfigCorrupt.
+    Machine machine(prog, CoreKind::kGfProcessor);
+    RunResult result = machine.runToHalt();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.trap.kind, TrapKind::kGfConfigCorrupt);
+}
+
+TEST(Mutation, CorruptedPMatrixIsFlagged)
+{
+    // The acceptance scenario end to end: flip one bit of the packed
+    // P matrix inside the guest's data image; the blob still parses
+    // (valid m), but the classifier refuses to bless the matrix.
+    Program prog = catalogProgram("syndrome-gfcore");
+    bool mutated = false;
+    for (uint32_t word : prog.code) {
+        Instr in;
+        if (tryDecode(word, in) && in.op == Op::kGfCfg) {
+            uint32_t off = static_cast<uint32_t>(in.imm) - prog.data_base;
+            prog.data[off + 2] ^= 0x04; // one bit of P column 2
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    LintReport r = lintProgram(prog);
+    EXPECT_NE(findRule(r, LintRule::kSuspectConfigBlob), nullptr)
+        << dumpReport(r);
+}
+
+} // namespace
+} // namespace gfp

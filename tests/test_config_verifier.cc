@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Algebraic GFAU configuration verifier (analysis/config_verifier.h):
+ * the basis-column proof over every supported field, independence of
+ * the golden reduction, corruption detection, and blob classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/config_verifier.h"
+#include "gf/field.h"
+#include "gf/polys.h"
+#include "gfau/config_reg.h"
+
+namespace gfp {
+namespace {
+
+TEST(ConfigVerifier, CatalogHasSixtyNineFields)
+{
+    // 1 + 2 + 3 + 6 + 9 + 18 + 30 irreducible polynomials, degrees 2..8.
+    const unsigned expected[] = {0, 0, 1, 2, 3, 6, 9, 18, 30};
+    unsigned total = 0;
+    for (unsigned m = 2; m <= 8; ++m) {
+        EXPECT_EQ(irreduciblePolys(m).size(), expected[m]) << "m=" << m;
+        total += expected[m];
+    }
+    EXPECT_EQ(total, 69u);
+}
+
+TEST(ConfigVerifier, GoldenReductionMatchesFieldModel)
+{
+    // The verifier's private long-division reduction must agree with
+    // the GFField golden model on every basis power of every field —
+    // two independent implementations of the same algebra.
+    for (unsigned m = 2; m <= 8; ++m) {
+        for (uint32_t poly : irreduciblePolys(m)) {
+            GFField field(m, poly);
+            for (unsigned i = 0; i < 2 * m - 1; ++i) {
+                EXPECT_EQ(polyModReduce(i, m, poly),
+                          field.reduce(1u << i))
+                    << "m=" << m << " poly=0x" << std::hex << poly
+                    << " power=" << std::dec << i;
+            }
+        }
+    }
+}
+
+TEST(ConfigVerifier, AllSixtyNineFieldsProve)
+{
+    VerifySummary s = verifyAllFields(false);
+    EXPECT_EQ(s.fields_checked, 69u);
+    for (const MatrixProof &p : s.failures)
+        ADD_FAILURE() << p.describe();
+    EXPECT_TRUE(s.ok());
+}
+
+TEST(ConfigVerifier, ExhaustiveSweepAgrees)
+{
+    // The linearity argument says the basis proof extends to all
+    // 2^(2m-1) products; spot-prove that claim by brute force.
+    VerifySummary s = verifyAllFields(true);
+    EXPECT_EQ(s.fields_checked, 69u);
+    EXPECT_TRUE(s.ok());
+}
+
+TEST(ConfigVerifier, EveryCorruptedColumnBitIsDetected)
+{
+    // Flip each bit of each used P column of each derived config: the
+    // matrix proof and the structural proof must both refute it.
+    for (unsigned m = 2; m <= 8; ++m) {
+        for (uint32_t poly : irreduciblePolys(m)) {
+            const GFConfig good = GFConfig::derive(m, poly);
+            ASSERT_TRUE(verifyReductionMatrix(good, poly).ok);
+            for (unsigned j = 0; j + 1 < m; ++j) {
+                for (unsigned bit = 0; bit < m; ++bit) {
+                    GFConfig bad = good;
+                    bad.p_cols[j] ^= static_cast<uint8_t>(1u << bit);
+                    MatrixProof alg = verifyReductionMatrix(bad, poly);
+                    EXPECT_FALSE(alg.ok)
+                        << "m=" << m << " poly=0x" << std::hex << poly;
+                    EXPECT_FALSE(alg.detail.empty());
+                    EXPECT_FALSE(verifyReductionStage(bad, poly).ok);
+                }
+            }
+        }
+    }
+}
+
+TEST(ConfigVerifier, WrongPolynomialRefuted)
+{
+    // A matrix derived for the RS polynomial is not a reduction mod the
+    // AES polynomial, and vice versa.
+    GFConfig rs = GFConfig::derive(8, 0x11d);
+    GFConfig aes = GFConfig::derive(8, 0x11b);
+    EXPECT_TRUE(verifyReductionMatrix(rs, 0x11d).ok);
+    EXPECT_TRUE(verifyReductionMatrix(aes, 0x11b).ok);
+    EXPECT_FALSE(verifyReductionMatrix(rs, 0x11b).ok);
+    EXPECT_FALSE(verifyReductionMatrix(aes, 0x11d).ok);
+}
+
+TEST(ConfigVerifier, DegreeMismatchRefuted)
+{
+    GFConfig cfg = GFConfig::derive(8, 0x11d);
+    MatrixProof p = verifyReductionMatrix(cfg, 0x43); // degree 6
+    EXPECT_FALSE(p.ok);
+}
+
+TEST(ConfigVerifier, InvalidWidthRefuted)
+{
+    GFConfig cfg = GFConfig::derive(8, 0x11d);
+    cfg.m = 12;
+    EXPECT_FALSE(verifyReductionMatrix(cfg, 0x11d).ok);
+    EXPECT_FALSE(verifyReductionStage(cfg, 0x11d).ok);
+}
+
+TEST(ConfigVerifier, ClassifyRecoversEveryDerivedField)
+{
+    // Distinct polynomials give distinct column-0 patterns (x^m mod r
+    // is r's low bits), so classification is exact, not just "a field".
+    for (unsigned m = 2; m <= 8; ++m) {
+        for (uint32_t poly : irreduciblePolys(m)) {
+            ConfigClassification c =
+                classifyConfig(GFConfig::derive(m, poly));
+            EXPECT_EQ(c.cls, ConfigClass::kField);
+            EXPECT_EQ(c.m, m);
+            EXPECT_EQ(c.poly, poly);
+        }
+    }
+}
+
+TEST(ConfigVerifier, ClassifyCirculantRing)
+{
+    for (unsigned m = 2; m <= 8; ++m) {
+        ConfigClassification c = classifyConfig(GFConfig::circulant(m));
+        EXPECT_EQ(c.cls, ConfigClass::kCirculant) << "m=" << m;
+    }
+}
+
+TEST(ConfigVerifier, ClassifyInvalidAndUnknown)
+{
+    GFConfig cfg = GFConfig::derive(8, 0x11d);
+    cfg.m = 0;
+    EXPECT_EQ(classifyConfig(cfg).cls, ConfigClass::kInvalid);
+    cfg.m = 9;
+    EXPECT_EQ(classifyConfig(cfg).cls, ConfigClass::kInvalid);
+
+    cfg.m = 8;
+    cfg.p_cols.fill(0xff);
+    EXPECT_EQ(classifyConfig(cfg).cls, ConfigClass::kUnknown);
+}
+
+TEST(ConfigVerifier, ClassifiedCorruptionOfKnownMatrix)
+{
+    // The acceptance scenario: a single flipped bit in a known-good
+    // P matrix must stop classifying as that field.
+    GFConfig cfg = GFConfig::derive(8, 0x11d);
+    cfg.p_cols[3] ^= 0x10;
+    ConfigClassification c = classifyConfig(cfg);
+    EXPECT_FALSE(c.cls == ConfigClass::kField && c.poly == 0x11d);
+}
+
+} // namespace
+} // namespace gfp

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * gfp-lint — static analyzer and GFAU configuration verifier for GFP
+ * guest programs.
+ *
+ * Usage:
+ *   gfp-lint [options] [file.s ...]
+ *
+ *   file.s ...          assemble and lint each source file
+ *   --kernels           lint every built-in kernel program
+ *   --verify-gfau       algebraically verify the reduction matrix of
+ *                       every irreducible polynomial, degrees 2..8
+ *   --exhaustive        with --verify-gfau, additionally sweep every
+ *                       (2m-1)-bit product per field
+ *   --werror            exit nonzero on warnings too
+ *   --mem-bytes N       memory size for address-range lints
+ *   --max-findings N    cap findings per program
+ *   -q, --quiet         only print findings and the final verdict
+ *
+ * Exit status: 0 clean, 1 findings at error severity (or any finding
+ * with --werror) or a failed GFAU proof, 2 usage / file / assembly
+ * errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/config_verifier.h"
+#include "analysis/lint.h"
+#include "isa/assembler.h"
+#include "kernels/kernel_catalog.h"
+
+using namespace gfp;
+
+namespace {
+
+struct Cli
+{
+    std::vector<std::string> files;
+    bool kernels = false;
+    bool verify_gfau = false;
+    bool exhaustive = false;
+    bool werror = false;
+    bool quiet = false;
+    LintOptions lint;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--kernels] [--verify-gfau [--exhaustive]] "
+                 "[--werror] [--mem-bytes N] [--max-findings N] [-q] "
+                 "[file.s ...]\n",
+                 argv0);
+    return 2;
+}
+
+/// Lint one named program; returns false when the report (under the
+/// CLI's severity policy) should fail the run.
+bool
+lintOne(const Cli &cli, const std::string &name, const Program &prog,
+        unsigned &errors, unsigned &warnings)
+{
+    LintReport report = lintProgram(prog, cli.lint);
+    for (const Finding &f : report.findings)
+        std::printf("%s: %s\n", name.c_str(), f.describe().c_str());
+    errors += report.errorCount();
+    warnings += report.warningCount();
+    if (!cli.quiet) {
+        std::printf("%s: %s\n", name.c_str(),
+                    report.clean() ? "clean" : report.summary().c_str());
+    }
+    return !(report.hasErrors() || (cli.werror && !report.clean()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto num = [&](size_t &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 0));
+            return true;
+        };
+        size_t v = 0;
+        if (!std::strcmp(a, "--kernels")) {
+            cli.kernels = true;
+        } else if (!std::strcmp(a, "--verify-gfau")) {
+            cli.verify_gfau = true;
+        } else if (!std::strcmp(a, "--exhaustive")) {
+            cli.exhaustive = true;
+        } else if (!std::strcmp(a, "--werror")) {
+            cli.werror = true;
+        } else if (!std::strcmp(a, "-q") || !std::strcmp(a, "--quiet")) {
+            cli.quiet = true;
+        } else if (!std::strcmp(a, "--mem-bytes")) {
+            if (!num(v))
+                return usage(argv[0]);
+            cli.lint.mem_bytes = v;
+        } else if (!std::strcmp(a, "--max-findings")) {
+            if (!num(v))
+                return usage(argv[0]);
+            cli.lint.max_findings = v;
+        } else if (a[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            cli.files.push_back(a);
+        }
+    }
+    if (cli.files.empty() && !cli.kernels && !cli.verify_gfau)
+        return usage(argv[0]);
+
+    bool ok = true;
+    unsigned errors = 0, warnings = 0, programs = 0;
+
+    for (const std::string &path : cli.files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+
+        Program prog;
+        AsmDiagnostic diag;
+        if (!Assembler::tryAssemble(ss.str(), prog, diag)) {
+            std::fprintf(stderr, "%s:%d:%d: error: %s\n", path.c_str(),
+                         diag.line, diag.column, diag.message.c_str());
+            return 2;
+        }
+        ++programs;
+        ok = lintOne(cli, path, prog, errors, warnings) && ok;
+    }
+
+    if (cli.kernels) {
+        for (const KernelSource &k : kernelCatalog()) {
+            Program prog;
+            AsmDiagnostic diag;
+            if (!Assembler::tryAssemble(k.source, prog, diag)) {
+                std::fprintf(stderr,
+                             "kernel %s: internal assembly error: %s\n",
+                             k.name.c_str(), diag.render().c_str());
+                return 2;
+            }
+            ++programs;
+            ok = lintOne(cli, "kernel:" + k.name, prog, errors, warnings) &&
+                 ok;
+        }
+    }
+
+    if (cli.verify_gfau) {
+        VerifySummary vs = verifyAllFields(cli.exhaustive);
+        for (const MatrixProof &p : vs.failures)
+            std::printf("gfau: %s\n", p.describe().c_str());
+        if (!cli.quiet || !vs.ok()) {
+            std::printf("gfau: %u field configuration%s verified%s, "
+                        "%zu failure%s\n",
+                        vs.fields_checked, vs.fields_checked == 1 ? "" : "s",
+                        cli.exhaustive ? " (exhaustive)" : "",
+                        vs.failures.size(),
+                        vs.failures.size() == 1 ? "" : "s");
+        }
+        ok = ok && vs.ok();
+    }
+
+    if (!cli.quiet) {
+        std::printf("gfp-lint: %u program%s, %u error%s, %u warning%s\n",
+                    programs, programs == 1 ? "" : "s", errors,
+                    errors == 1 ? "" : "s", warnings,
+                    warnings == 1 ? "" : "s");
+    }
+    return ok ? 0 : 1;
+}
