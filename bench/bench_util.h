@@ -26,6 +26,77 @@
 namespace gfp {
 namespace bench {
 
+/**
+ * Collects named scalar results and writes them as one JSON document,
+ * so benchmark runs leave a machine-readable artifact (BENCH_*.json)
+ * next to the human-readable console tables — CI uploads these and the
+ * before/after numbers in docs/PERFORMANCE.md are regenerable from
+ * them.  The format is deliberately tiny and uniform across benches:
+ *
+ *   {"bench": "...", "metrics": [
+ *     {"name": "...", "value": 123.4, "unit": "jobs/sec"}, ...]}
+ */
+class BenchJsonReporter
+{
+  public:
+    explicit BenchJsonReporter(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {
+    }
+
+    void
+    add(const std::string &name, double value, const std::string &unit = "")
+    {
+        entries_.push_back({name, unit, value});
+    }
+
+    /** Write the document to @p path; returns false on I/O failure. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::fprintf(f, "{\"bench\": \"%s\",\n \"metrics\": [\n",
+                     escaped(bench_).c_str());
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            std::fprintf(
+                f, "  {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                escaped(e.name).c_str(), e.value, escaped(e.unit).c_str(),
+                i + 1 < entries_.size() ? "," : "");
+        }
+        std::fprintf(f, " ]}\n");
+        bool ok = std::fclose(f) == 0;
+        if (ok)
+            std::printf("  [wrote %s: %zu metrics]\n", path.c_str(),
+                        entries_.size());
+        return ok;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name, unit;
+        double value;
+    };
+
+    static std::string
+    escaped(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<Entry> entries_;
+};
+
 inline void
 header(const std::string &id, const std::string &title)
 {

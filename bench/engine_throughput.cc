@@ -1,12 +1,15 @@
 /**
  * @file
  * Batch execution engine throughput: jobs/sec for RS syndrome decode
- * jobs and AES-CTR blocks, serial vs. 1/2/4/8 worker threads, plus the
- * predecoded-instruction-cache ablation on a single thread.
+ * jobs and AES-CTR blocks, serial vs. 1/2/4/8 worker threads, plus two
+ * single-thread ablations: plain single-stepping dispatch vs. the fused
+ * threaded interpreter, and fetch+decode vs. the predecode cache.
  *
  * Unlike the table/figure benches (which report the paper's *guest*
  * cycle counts), this bench measures the *host* interpreter — how fast
- * this reproduction can serve simulated decode/crypto traffic.
+ * this reproduction can serve simulated decode/crypto traffic.  Every
+ * number also lands in BENCH_engine.json (path overridable via argv[1])
+ * so CI can archive the run.
  */
 
 #include <chrono>
@@ -51,26 +54,59 @@ syndromeJobs(unsigned n_jobs)
 }
 
 void
-runScaling(const char *name, BatchProgram bp, const std::vector<Job> &jobs)
+runScaling(const char *name, const char *tag, BatchProgram bp,
+           const std::vector<Job> &jobs, BenchJsonReporter &json)
 {
     std::printf("\n  %s: %zu jobs\n", name, jobs.size());
-    std::printf("  %-22s %12s %12s %10s\n", "configuration", "wall [ms]",
-                "jobs/sec", "speedup");
+    std::printf("  %-26s %11s %12s %9s %7s\n", "configuration",
+                "wall [ms]", "jobs/sec", "speedup", "eff");
+
+    // The before/after anchor: the same serial engine with macro-op
+    // fusion and threaded dispatch disabled — every instruction goes
+    // through the single-stepping interpreter, as before this
+    // optimization existed.
+    BatchEngine plain_eng(bp, {.threads = 1, .fast_dispatch = false});
+    auto t0 = Clock::now();
+    auto plain = plain_eng.runSerial(jobs);
+    auto t1 = Clock::now();
+    double plain_s = seconds(t0, t1);
+    std::printf("  %-26s %11.1f %12.0f %8.2fx %6s\n",
+                "serial, plain dispatch", 1e3 * plain_s,
+                jobs.size() / plain_s, 1.0, "-");
+    json.add(strprintf("%s.plain_dispatch_jobs_per_sec", tag),
+             jobs.size() / plain_s, "jobs/sec");
 
     BatchEngine serial_eng(bp, {.threads = 1});
-    auto t0 = Clock::now();
+    t0 = Clock::now();
     auto serial = serial_eng.runSerial(jobs);
-    auto t1 = Clock::now();
+    t1 = Clock::now();
     double serial_s = seconds(t0, t1);
-    std::printf("  %-22s %12.1f %12.0f %9.2fx\n", "serial (1 machine)",
-                1e3 * serial_s, jobs.size() / serial_s, 1.0);
+    std::printf("  %-26s %11.1f %12.0f %8.2fx %6s\n",
+                "serial, fused dispatch", 1e3 * serial_s,
+                jobs.size() / serial_s, plain_s / serial_s, "-");
+    json.add(strprintf("%s.serial_jobs_per_sec", tag),
+             jobs.size() / serial_s, "jobs/sec");
+    json.add(strprintf("%s.fused_dispatch_speedup", tag),
+             plain_s / serial_s, "x");
 
+    // Fusion must not change results: both serial runs bit-identical.
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (plain[i].outputs != serial[i].outputs ||
+            plain[i].words != serial[i].words) {
+            std::printf("  !! dispatch parity FAILED at job %zu\n", i);
+            return;
+        }
+    }
+
+    double engine_1t_s = 0;
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
         BatchEngine eng(bp, {.threads = threads});
         t0 = Clock::now();
         auto par = eng.run(jobs);
         t1 = Clock::now();
         double s = seconds(t0, t1);
+        if (threads == 1)
+            engine_1t_s = s;
         // Parity check while we are here: engine == serial, bit for bit.
         for (size_t i = 0; i < jobs.size(); ++i) {
             if (par[i].outputs != serial[i].outputs ||
@@ -79,16 +115,24 @@ runScaling(const char *name, BatchProgram bp, const std::vector<Job> &jobs)
                 return;
             }
         }
-        std::printf("  %-22s %12.1f %12.0f %9.2fx\n",
+        // Scaling efficiency: fraction of ideal linear speedup over the
+        // 1-thread engine run (so pool overhead shows at threads=1 as
+        // eff vs. the serial row, and contention shows beyond it).
+        double eff = engine_1t_s / (s * threads);
+        std::printf("  %-26s %11.1f %12.0f %8.2fx %5.0f%%\n",
                     strprintf("engine, %u thread%s", threads,
                               threads == 1 ? "" : "s")
                         .c_str(),
-                    1e3 * s, jobs.size() / s, serial_s / s);
+                    1e3 * s, jobs.size() / s, plain_s / s, 100.0 * eff);
+        json.add(strprintf("%s.engine_%ut_jobs_per_sec", tag, threads),
+                 jobs.size() / s, "jobs/sec");
+        json.add(strprintf("%s.engine_%ut_efficiency", tag, threads), eff,
+                 "fraction");
     }
 }
 
 void
-runPredecodeAblation()
+runPredecodeAblation(BenchJsonReporter &json)
 {
     // Single-thread guest execution with and without the predecoded
     // instruction cache: the same syndrome job re-run on one Machine.
@@ -114,34 +158,46 @@ runPredecodeAblation()
                     predecode ? "predecode cache" : "fetch+decode/step",
                     1e3 * secs[predecode], reps / secs[predecode],
                     instrs / secs[predecode] / 1e6);
+        json.add(predecode ? "predecode.cached_runs_per_sec"
+                           : "predecode.fetch_decode_runs_per_sec",
+                 reps / secs[predecode], "runs/sec");
     }
     std::printf("  predecode speedup: %.2fx\n", secs[0] / secs[1]);
+    json.add("predecode.speedup", secs[0] / secs[1], "x");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     header("engine_throughput",
            "batch engine jobs/sec and thread scaling (host-side measure)");
     note(strprintf("host reports %u hardware thread(s)",
                    std::thread::hardware_concurrency()));
+    note(strprintf("dispatch: %s", Core::dispatchKind()));
+
+    BenchJsonReporter json("engine_throughput");
+    json.add("host_threads", std::thread::hardware_concurrency(), "");
+    json.add(std::string("host.dispatch_") + Core::dispatchKind(), 1,
+             "flag");
 
     GFField f(8);
-    runScaling("RS(255,239) syndrome decode",
-               syndromeBatchProgram(f, 255, 16), syndromeJobs(512));
+    runScaling("RS(255,239) syndrome decode", "syndrome",
+               syndromeBatchProgram(f, 255, 16), syndromeJobs(512), json);
 
     Aes aes(std::vector<uint8_t>(16, 0x42));
     AesBlock iv{};
     iv[15] = 1;
-    runScaling("AES-128-CTR blocks", aesBlockBatchProgram(),
-               aesCtrJobs(aes, iv, 256 * 16));
+    runScaling("AES-128-CTR blocks", "aes_ctr", aesBlockBatchProgram(),
+               aesCtrJobs(aes, iv, 256 * 16), json);
 
     std::printf("\n  predecode ablation (single thread, syndrome "
                 "kernel, 400 reruns)\n");
     std::printf("  %-22s %12s %12s\n", "fetch path", "wall [ms]",
                 "runs/sec");
-    runPredecodeAblation();
+    runPredecodeAblation(json);
+
+    json.writeTo(argc > 1 ? argv[1] : "BENCH_engine.json");
     return 0;
 }

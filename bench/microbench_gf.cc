@@ -4,9 +4,18 @@
  * libraries: GF(2^m) arithmetic, wide-field operations, codec
  * throughput, AES, and simulator speed.  These characterize the
  * reproduction's own substrate (not the paper's silicon).
+ *
+ * On top of the usual console table, every result is mirrored into
+ * BENCH_gf.json (path overridable via GFP_BENCH_JSON) in the same
+ * uniform format the other benches use, so CI archives one artifact
+ * shape for everything.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench_util.h"
 
 #include "coding/bch.h"
 #include "coding/channel.h"
@@ -15,6 +24,7 @@
 #include "crypto/aes.h"
 #include "crypto/ecc.h"
 #include "gf/binary_field.h"
+#include "gf/clmul.h"
 #include "gf/field.h"
 #include "kernels/aes_kernels.h"
 #include "sim/machine.h"
@@ -55,6 +65,32 @@ BM_Gf233Mul(benchmark::State &state)
         benchmark::DoNotOptimize(a = f.mul(a, b));
 }
 BENCHMARK(BM_Gf233Mul);
+
+void
+BM_Gf233MulPortable(benchmark::State &state)
+{
+    // Same multiply with the hardware clmul instruction masked off —
+    // the accelerated-vs-portable ratio for this host.
+    BinaryField f = BinaryField::nist("233");
+    Gf2x a = f.randomElement(1), b = f.randomElement(2);
+    setClmulPortableOnly(true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a = f.mul(a, b));
+    setClmulPortableOnly(false);
+}
+BENCHMARK(BM_Gf233MulPortable);
+
+void
+BM_Gf233MulSchoolbook32(benchmark::State &state)
+{
+    // The 32-bit-limb schoolbook product that models the paper's
+    // gf32bMult datapath — the pre-clmul host baseline.
+    BinaryField f = BinaryField::nist("233");
+    Gf2x a = f.randomElement(1), b = f.randomElement(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a = f.reduce(a.mulSchoolbook(b)));
+}
+BENCHMARK(BM_Gf233MulSchoolbook32);
 
 void
 BM_Gf233InverseIta(benchmark::State &state)
@@ -121,6 +157,17 @@ BM_EccScalarMult(benchmark::State &state)
 BENCHMARK(BM_EccScalarMult);
 
 void
+BM_EccScalarMultWindow(benchmark::State &state)
+{
+    EllipticCurve curve = EllipticCurve::nist("K-233");
+    Gf2x k = EllipticCurve::evaluationScalar(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            curve.scalarMultWindow(k, curve.basePoint()));
+}
+BENCHMARK(BM_EccScalarMultWindow);
+
+void
 BM_SimulatorThroughput(benchmark::State &state)
 {
     // How fast the ISA simulator itself retires the GF-core AES block.
@@ -140,6 +187,52 @@ BM_SimulatorThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+/** Console output as usual, plus every per-iteration time mirrored
+ *  into the shared BenchJsonReporter format. */
+class JsonMirrorReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonMirrorReporter(bench::BenchJsonReporter &json)
+        : json_(json)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            json_.add(r.benchmark_name() + ".real_time",
+                      r.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(r.time_unit));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::BenchJsonReporter &json_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+using namespace gfp;
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bench::BenchJsonReporter json("microbench_gf");
+    json.add(std::string("host.clmul_") + clmulBackend().name,
+             clmulBackend().accelerated ? 1 : 0, "flag");
+    json.add(std::string("host.dispatch_") + Core::dispatchKind(), 1,
+             "flag");
+    JsonMirrorReporter reporter(json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const char *path = std::getenv("GFP_BENCH_JSON");
+    json.writeTo(path ? path : "BENCH_gf.json");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -301,6 +301,85 @@ EllipticCurve::scalarMultAffine(const Gf2x &k, const EcPoint &p) const
     return acc;
 }
 
+std::vector<EcPoint>
+EllipticCurve::batchToAffine(const std::vector<LdPoint> &pts) const
+{
+    std::vector<EcPoint> out(pts.size());
+    // Prefix products of the finite points' Z coordinates.
+    std::vector<size_t> finite;
+    std::vector<Gf2x> prefix;
+    Gf2x running(uint64_t{1});
+    for (size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].infinity || pts[i].z.isZero()) {
+            out[i] = EcPoint::infinityPoint();
+            continue;
+        }
+        running = fmul(running, pts[i].z);
+        finite.push_back(i);
+        prefix.push_back(running);
+    }
+    if (finite.empty())
+        return out;
+
+    // One inversion of the total product; the backward pass recovers
+    // each 1/Z_i as inv(Z_j..Z_n) * (Z_1..Z_{i-1}) and strips Z_i from
+    // the running suffix inverse.
+    Gf2x suffix_inv = finv(prefix.back());
+    for (size_t j = finite.size(); j-- > 0;) {
+        size_t i = finite[j];
+        Gf2x zinv = j == 0 ? suffix_inv : fmul(suffix_inv, prefix[j - 1]);
+        suffix_inv = fmul(suffix_inv, pts[i].z);
+        out[i] = EcPoint{fmul(pts[i].x, zinv),
+                         fmul(pts[i].y, fsqr(zinv)), false};
+    }
+    return out;
+}
+
+EcPoint
+EllipticCurve::scalarMultWindow(const Gf2x &k, const EcPoint &p,
+                                unsigned width) const
+{
+    GFP_ASSERT(width >= 1 && width <= 8, "window width %u out of range",
+               width);
+    if (k.isZero() || p.infinity)
+        return EcPoint::infinityPoint();
+    // Short scalars can't amortize the 2^width-entry table.
+    if (width == 1 || k.degree() < static_cast<int>(4 * width))
+        return scalarMult(k, p);
+
+    // Table of [1 .. 2^width - 1] * P: doublings for even multiples,
+    // one mixed addition for each odd one, then a single shared
+    // inversion to flatten everything to affine so the main loop can
+    // keep using the cheap mixed addition.
+    const size_t tsize = size_t{1} << width;
+    std::vector<LdPoint> table(tsize);
+    table[1] = toProjective(p);
+    for (size_t i = 2; i < tsize; ++i)
+        table[i] = (i & 1) ? addMixed(table[i - 1], p)
+                           : doubleLd(table[i / 2]);
+    std::vector<EcPoint> affine = batchToAffine(table);
+
+    // MSB-first fixed windows: width doublings, then add the digit's
+    // precomputed multiple.
+    const unsigned nbits = k.bitLength();
+    const unsigned ndigits = (nbits + width - 1) / width;
+    LdPoint acc{Gf2x(uint64_t{1}), Gf2x(), Gf2x(), true};
+    for (unsigned d = ndigits; d-- > 0;) {
+        if (!acc.infinity)
+            for (unsigned s = 0; s < width; ++s)
+                acc = doubleLd(acc);
+        uint32_t digit = 0;
+        for (unsigned s = 0; s < width; ++s) {
+            unsigned bit = d * width + s;
+            if (bit < nbits)
+                digit |= k.getBit(bit) << s;
+        }
+        if (digit)
+            acc = addMixed(acc, affine[digit]);
+    }
+    return toAffine(acc);
+}
+
 EcPoint
 EllipticCurve::scalarMultMontgomery(const Gf2x &k, const EcPoint &p) const
 {
@@ -393,13 +472,13 @@ Ecdh::generate(uint64_t seed) const
     Gf2x d = Gf2x::random(bits, seed);
     if (d.isZero())
         d = Gf2x(uint64_t{1});
-    return KeyPair{d, curve_->scalarMult(d, curve_->basePoint())};
+    return KeyPair{d, curve_->scalarMultWindow(d, curve_->basePoint())};
 }
 
 std::optional<Gf2x>
 Ecdh::sharedSecret(const Gf2x &my_private, const EcPoint &their_public) const
 {
-    EcPoint s = curve_->scalarMult(my_private, their_public);
+    EcPoint s = curve_->scalarMultWindow(my_private, their_public);
     if (s.infinity)
         return std::nullopt;
     return s.x;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "gf/binary_field.h"
 
@@ -91,6 +92,27 @@ class EllipticCurve
 
     /** k * P on affine coordinates only (golden reference). */
     EcPoint scalarMultAffine(const Gf2x &k, const EcPoint &p) const;
+
+    /**
+     * k * P by MSB-first fixed-window double-and-add (the host fast
+     * path).  Precomputes [1..2^width - 1] * P with projective mixed
+     * adds, flattens the table to affine with batchToAffine()'s single
+     * shared inversion, then processes the scalar width bits at a time:
+     * width doublings plus at most one mixed addition per window.
+     * Falls back to scalarMult() for scalars too short to amortize the
+     * table.  Identical results to scalarMult()/scalarMultAffine().
+     */
+    EcPoint scalarMultWindow(const Gf2x &k, const EcPoint &p,
+                             unsigned width = 4) const;
+
+    /**
+     * Convert many projective points to affine with ONE field inversion
+     * (Montgomery's simultaneous-inversion trick): prefix products of
+     * the Z coordinates, a single inverse of the total, then a back
+     * pass peels off each 1/Z_i.  Infinite / Z == 0 entries come back
+     * as the point at infinity.
+     */
+    std::vector<EcPoint> batchToAffine(const std::vector<LdPoint> &pts) const;
 
     /**
      * k * P by the López-Dahab Montgomery ladder (x-coordinate-only,

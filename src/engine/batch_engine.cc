@@ -122,6 +122,7 @@ BatchEngine::run(const std::vector<Job> &jobs)
     std::atomic<size_t> next{0};
     auto worker = [&](unsigned worker_idx) {
         Machine machine(program_, kind_, opts_.mem_bytes);
+        machine.core().setFastDispatch(opts_.fast_dispatch);
         CycleStats aggregate;
         while (true) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -153,6 +154,7 @@ BatchEngine::runSerial(const std::vector<Job> &jobs)
     std::vector<JobResult> results;
     results.reserve(jobs.size());
     Machine machine(program_, kind_, opts_.mem_bytes);
+    machine.core().setFastDispatch(opts_.fast_dispatch);
     CycleStats aggregate;
     for (const Job &job : jobs) {
         results.push_back(runOne(machine, job));

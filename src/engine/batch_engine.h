@@ -118,6 +118,11 @@ class BatchEngine
 
         /** Memory size of each worker's machine. */
         size_t mem_bytes = 256 * 1024;
+
+        /** Use the fused threaded-dispatch fast path on each worker's
+         *  core (bit-exact with single stepping; off is only useful for
+         *  differential testing and debugging). */
+        bool fast_dispatch = true;
     };
 
     BatchEngine(BatchProgram bp, Options opts);

@@ -21,6 +21,7 @@ BinaryField::BinaryField(unsigned m, std::vector<unsigned> exponents)
             GFP_FATAL("middle term exponent %u >= m", exponents_[i]);
     }
     modulus_ = Gf2x::fromExponents(exponents_);
+    tail_.assign(exponents_.begin() + 1, exponents_.end());
 }
 
 BinaryField
@@ -43,26 +44,70 @@ BinaryField::nist(const std::string &name)
     GFP_FATAL("unknown NIST binary field '%s'", name.c_str());
 }
 
+void
+BinaryField::reduceWordsInPlace(std::vector<uint64_t> &v) const
+{
+    // Sparse fold, word at a time: with p(x) = x^m + t(x), a high part
+    // H * x^(m+k) is congruent to H * x^k * t(x).  Each pass folds
+    // every whole word above the m boundary, then the partial word
+    // straddling it; a fold near the boundary can push bits back above
+    // m (middle exponents close to m), so iterate until clean — two
+    // passes for every NIST trinomial/pentanomial.
+    const size_t rwords = (m_ + 63) / 64; // words holding bits < m
+    const unsigned mb = m_ % 64;          // bits of word rwords-1 below m
+
+    auto xorShifted = [&v](uint64_t t, unsigned pos) {
+        size_t w = pos / 64;
+        unsigned s = pos % 64;
+        v[w] ^= t << s;
+        if (s && w + 1 < v.size())
+            v[w + 1] ^= t >> (64 - s);
+    };
+
+    for (;;) {
+        size_t n = v.size();
+        while (n > rwords && v[n - 1] == 0)
+            --n;
+        uint64_t straddle = mb ? (v[rwords - 1] >> mb) : 0;
+        if (n == rwords && straddle == 0)
+            break;
+        // Whole words entirely above the boundary, top down.
+        for (size_t i = n; i-- > rwords;) {
+            uint64_t t = v[i];
+            if (!t)
+                continue;
+            v[i] = 0;
+            unsigned base = static_cast<unsigned>(i * 64) - m_;
+            for (unsigned e : tail_)
+                xorShifted(t, base + e);
+        }
+        // The partial word straddling bit m.
+        if (mb) {
+            uint64_t t = v[rwords - 1] >> mb;
+            if (t) {
+                v[rwords - 1] &= (uint64_t{1} << mb) - 1;
+                for (unsigned e : tail_)
+                    xorShifted(t, e);
+            }
+        }
+    }
+    v.resize(rwords);
+}
+
 Gf2x
 BinaryField::reduce(const Gf2x &v) const
 {
-    // Sparse fold: with p(x) = x^m + t(x), any high part H * x^m is
-    // congruent to H * t(x).  For a trinomial/pentanomial the loop
-    // terminates after a couple of passes.
-    Gf2x r(v);
-    while (r.degree() >= static_cast<int>(m_)) {
-        Gf2x high = r.shiftRight(m_);
-        r = r.truncated(m_);
-        for (size_t i = 1; i < exponents_.size(); ++i)
-            r ^= high.shiftLeft(exponents_[i]);
-    }
-    return r;
+    if (v.degree() < static_cast<int>(m_))
+        return v;
+    std::vector<uint64_t> w = v.words();
+    reduceWordsInPlace(w);
+    return Gf2x(std::move(w));
 }
 
 Gf2x
 BinaryField::mul(const Gf2x &a, const Gf2x &b) const
 {
-    return reduce(a.mulSchoolbook(b));
+    return reduce(a.mulClmul(b));
 }
 
 Gf2x

@@ -41,7 +41,8 @@ class BinaryField
     /** True if @p v is a reduced field element (degree < m). */
     bool contains(const Gf2x &v) const { return v.degree() < int(m_); }
 
-    /** Reduce an up-to-(2m-1)-bit polynomial using the sparse fold. */
+    /** Reduce an arbitrary-degree polynomial using the sparse fold
+     *  (word-level, allocation-free for products of field elements). */
     Gf2x reduce(const Gf2x &v) const;
 
     Gf2x add(const Gf2x &a, const Gf2x &b) const { return a ^ b; }
@@ -80,8 +81,12 @@ class BinaryField
     Gf2x randomElement(uint64_t seed) const;
 
   private:
+    /** Fold all terms of degree >= m in place (sparse word-level). */
+    void reduceWordsInPlace(std::vector<uint64_t> &v) const;
+
     unsigned m_;
     std::vector<unsigned> exponents_; // descending, includes m and 0
+    std::vector<unsigned> tail_;      // exponents_ without the leading m
     Gf2x modulus_;
 };
 

@@ -17,6 +17,11 @@ GFField::GFField(unsigned m, uint32_t poly) : m_(m), poly_(poly)
                   poly_, m);
     primitive_ = isPrimitive(poly_, m);
     buildTables();
+    // The tables are built with the carry-less path; only once they are
+    // complete can arithmetic dispatch through them.  For the datapath
+    // sizes (m <= 8) the full log/exp tables fit in a few hundred bytes
+    // and a lookup beats the reduction loop by a wide margin.
+    table_dispatch_ = m_ <= 8;
 }
 
 GFElem
@@ -36,6 +41,14 @@ GFField::reduce(uint32_t full_product) const
 
 GFElem
 GFField::mul(GFElem a, GFElem b) const
+{
+    if (table_dispatch_)
+        return (a && b) ? exp_[log_[a] + log_[b]] : 0;
+    return mulCarryless(a, b);
+}
+
+GFElem
+GFField::mulCarryless(GFElem a, GFElem b) const
 {
     uint32_t full = clmul16(a, b);
     return reduce(full);
@@ -57,6 +70,8 @@ GFField::mulTable(GFElem a, GFElem b) const
 GFElem
 GFField::sqr(GFElem a) const
 {
+    if (table_dispatch_)
+        return a ? exp_[2u * log_[a]] : 0;
     // Squaring in GF(2^m) spreads the input bits into even positions
     // (the "thinned" product of Fig. 5(c)) and reduces.
     uint32_t spread = 0;
@@ -70,6 +85,8 @@ GFField::inv(GFElem a) const
 {
     if (a == 0)
         return 0;
+    if (table_dispatch_)
+        return exp_[groupOrder() - log_[a]];
     // a^-1 = a^(2^m - 2); computed Itoh-Tsujii style with squarings and
     // multiplies, the same dataflow the hardware inverse network uses.
     GFElem result = 1;
@@ -96,6 +113,10 @@ GFField::pow(GFElem a, uint32_t e) const
         return 1;
     if (a == 0)
         return 0;
+    if (table_dispatch_) {
+        uint64_t idx = uint64_t{log_[a]} * e % groupOrder();
+        return exp_[idx];
+    }
     GFElem result = 1;
     GFElem base = a;
     while (e) {

@@ -9,11 +9,17 @@
  * irreducible polynomial — the paper's headline flexibility claim.
  *
  * Two multiplication paths are provided:
- *  - mul():      carry-less product + polynomial reduction (the way the
- *                paper's hardware computes it), and
+ *  - mulCarryless(): carry-less product + polynomial reduction (the way
+ *                the paper's hardware computes it), and
  *  - mulTable(): log/antilog table lookup (the way the paper's *software
  *                baseline* computes it, Table 6 left column).
  * Both must agree; tests enforce it.
+ *
+ * mul()/sqr()/inv()/pow() are the *host hot path*: for the datapath
+ * sizes the paper's processor handles (m <= 8) they dispatch to the
+ * log/antilog tables built at construction — one or two lookups instead
+ * of a reduction loop — and fall back to the carry-less path for the
+ * larger code-construction fields.  Results are identical either way.
  */
 
 #ifndef GFP_GF_FIELD_H
@@ -53,8 +59,11 @@ class GFField
     /** Addition == subtraction == XOR in characteristic 2. */
     static GFElem add(GFElem a, GFElem b) { return a ^ b; }
 
-    /** Product via carry-less multiply + reduction (hardware path). */
+    /** Product (table-dispatched for m <= 8; see file comment). */
     GFElem mul(GFElem a, GFElem b) const;
+
+    /** Product via carry-less multiply + reduction (hardware path). */
+    GFElem mulCarryless(GFElem a, GFElem b) const;
 
     /** Product via log/antilog tables (software-baseline path). */
     GFElem mulTable(GFElem a, GFElem b) const;
@@ -103,6 +112,7 @@ class GFField
     unsigned m_;
     uint32_t poly_;
     bool primitive_;
+    bool table_dispatch_ = false; ///< m <= 8 and tables are built
     GFElem generator_;
     std::vector<GFElem> exp_;   // exp_[i] = g^i, length 2*(2^m - 1)
     std::vector<uint16_t> log_; // log_[v] = i with g^i == v; log_[0] = 0

@@ -5,6 +5,7 @@
 #include "common/bitops.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "gf/clmul.h"
 
 namespace gfp {
 
@@ -282,6 +283,25 @@ Gf2x::mulKaratsuba(const Gf2x &o, unsigned levels,
     Limbs r = limbMulKaratsuba(toLimbs(*this), toLimbs(o), levels,
                                partial_products);
     return fromWords32(r);
+}
+
+Gf2x
+Gf2x::mulClmul(const Gf2x &o) const
+{
+    if (isZero() || o.isZero())
+        return Gf2x();
+    const std::vector<uint64_t> &a = words_;
+    const std::vector<uint64_t> &b = o.words_;
+    std::vector<uint64_t> r(a.size() + b.size(), 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (size_t j = 0; j < b.size(); ++j) {
+            uint64_t hi, lo;
+            clmulWide(a[i], b[j], hi, lo);
+            r[i + j] ^= lo;
+            r[i + j + 1] ^= hi;
+        }
+    }
+    return Gf2x(std::move(r));
 }
 
 Gf2x

@@ -4,11 +4,15 @@
  *
  * This is the substrate for the paper's asymmetric-crypto path: very wide
  * field elements (e.g. 233 bits for the NIST K-233 curve) are GF(2)
- * polynomials.  The multiply mirrors the hardware strategy: the product
- * is assembled from 32-bit x 32-bit carry-less partial products — the
- * paper's single-cycle gf32bMult instruction — either schoolbook
- * ("direct product", Sec. 3.3.4) or with the Karatsuba recursion the
- * paper evaluates as a software optimization.
+ * polynomials.  Two families of multiply are provided:
+ *  - mulSchoolbook()/mulKaratsuba() mirror the hardware strategy — the
+ *    product is assembled from 32-bit x 32-bit carry-less partial
+ *    products (the paper's single-cycle gf32bMult instruction), either
+ *    schoolbook ("direct product", Sec. 3.3.4) or with the Karatsuba
+ *    recursion the paper evaluates — and count partial products;
+ *  - mulClmul() (the operator* default) is the host performance path:
+ *    64-bit limbs through the runtime-detected carry-less backend in
+ *    gf/clmul.h.  Bit-exact with the hardware-shaped paths.
  *
  * Bits are stored little-endian in 64-bit words: bit i of the polynomial
  * is bit (i % 64) of word (i / 64).
@@ -95,8 +99,17 @@ class Gf2x
     Gf2x mulKaratsuba(const Gf2x &o, unsigned levels = 2,
                       unsigned *partial_products = nullptr) const;
 
-    /** Full product (alias of mulSchoolbook). */
-    Gf2x operator*(const Gf2x &o) const { return mulSchoolbook(o); }
+    /**
+     * Full carry-less product over 64-bit limbs through the host clmul
+     * backend (gf/clmul.h): PCLMULQDQ / PMULL when the CPU has them, a
+     * branch-free software kernel otherwise.  Bit-exact with
+     * mulSchoolbook()/mulKaratsuba() — this is the *host performance*
+     * path, while those model the paper's 32-bit datapath.
+     */
+    Gf2x mulClmul(const Gf2x &o) const;
+
+    /** Full product (host fast path; identical to mulSchoolbook). */
+    Gf2x operator*(const Gf2x &o) const { return mulClmul(o); }
 
     /**
      * Square: spreads each bit i to position 2i (Fig. 5(c)'s "thinned"

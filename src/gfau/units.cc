@@ -1,65 +1,4 @@
+// The unit primitives are fully inline in units.h (they sit at the
+// bottom of the interpreter hot path); this translation unit only
+// anchors the header for build systems that list it.
 #include "gfau/units.h"
-
-#include "common/bitops.h"
-#include "common/logging.h"
-
-namespace gfp {
-
-uint8_t
-ReductionStage::reduce(uint16_t full_product, const GFConfig &cfg)
-{
-    const unsigned m = cfg.m;
-
-    // Mapping circuit: split the full product.
-    // remaining vector = bits [m-1 : 0]
-    // reduction vector = bits [2m-2 : m]  (m-1 bits)
-    uint8_t remaining = static_cast<uint8_t>(full_product & ((1u << m) - 1));
-    uint8_t out = remaining;
-
-    // P * reduction_vector over GF(2): column j is enabled by full
-    // product bit (m + j).
-    for (unsigned j = 0; j + 1 < m; ++j) {
-        if (bit(full_product, m + j))
-            out ^= cfg.p_cols[j];
-    }
-    return out;
-}
-
-uint16_t
-GFMultUnit::fullProduct(uint8_t a, uint8_t b)
-{
-    ++activations_;
-    // Structural AND/XOR array: c_{i+j} ^= a_i & b_j.  (This is the
-    // 2m^2 - m AND / 2m^2 - 3m + 1 XOR array costed in Table 2.)
-    uint16_t c = 0;
-    for (unsigned i = 0; i < 8; ++i) {
-        for (unsigned j = 0; j < 8; ++j) {
-            uint32_t pp = bit(a, i) & bit(b, j);
-            c ^= static_cast<uint16_t>(pp) << (i + j);
-        }
-    }
-    return c;
-}
-
-uint8_t
-GFMultUnit::multiply(uint8_t a, uint8_t b, const GFConfig &cfg)
-{
-    uint8_t mask = cfg.laneMask();
-    uint16_t full = fullProduct(a & mask, b & mask);
-    return ReductionStage::reduce(full, cfg);
-}
-
-uint8_t
-GFSquareUnit::square(uint8_t a, const GFConfig &cfg)
-{
-    ++activations_;
-    uint8_t mask = cfg.laneMask();
-    a &= mask;
-    // Thinned full product: bit i -> bit 2i, zeros interleaved.
-    uint16_t spread = 0;
-    for (unsigned i = 0; i < cfg.m; ++i)
-        spread |= static_cast<uint16_t>(bit(a, i)) << (2 * i);
-    return ReductionStage::reduce(spread, cfg);
-}
-
-} // namespace gfp

@@ -12,16 +12,37 @@
  * configuration register.  Each unit instance carries an activation
  * counter so the interconnect fabric's utilization (and the 16-mult /
  * 28-square sizing argument) can be measured.
+ *
+ * Everything here is defined inline: these primitives sit at the bottom
+ * of the interpreter's hot path (a single gfInvs retires 44 unit
+ * evaluations), so they must inline into the SIMD loops of
+ * GFArithmeticUnit rather than cost a cross-TU call each.
  */
 
 #ifndef GFP_GFAU_UNITS_H
 #define GFP_GFAU_UNITS_H
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 #include "gfau/config_reg.h"
 
 namespace gfp {
+
+/** Full-product bit i of a square lands on bit 2i (Fig. 5(c)); the
+ *  spread pattern depends only on the operand byte, so it is a table. */
+inline constexpr std::array<uint16_t, 256> kSquareSpread = [] {
+    std::array<uint16_t, 256> t{};
+    for (unsigned v = 0; v < 256; ++v) {
+        uint16_t s = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            if (v & (1u << i))
+                s |= static_cast<uint16_t>(1u << (2 * i));
+        t[v] = s;
+    }
+    return t;
+}();
 
 /**
  * The shared polynomial-reduction datapath (green/red dashed boxes of
@@ -39,7 +60,25 @@ class ReductionStage
      * column j; this is the paper's GF-size-dependent pattern that lets
      * 5/6/7-bit fields reuse the 8-bit reduction hardware (Fig. 5(b)).
      */
-    static uint8_t reduce(uint16_t full_product, const GFConfig &cfg);
+    static uint8_t
+    reduce(uint16_t full_product, const GFConfig &cfg)
+    {
+        const unsigned m = cfg.m;
+
+        // Mapping circuit: remaining vector = bits [m-1 : 0].
+        uint8_t out =
+            static_cast<uint8_t>(full_product & ((1u << m) - 1));
+
+        // P * reduction_vector over GF(2): column j is enabled by full
+        // product bit (m + j).  Walk set bits only — the reduction
+        // vector is sparse for typical operands.
+        unsigned red = full_product >> m;
+        while (red != 0) {
+            out ^= cfg.p_cols[std::countr_zero(red)];
+            red &= red - 1;
+        }
+        return out;
+    }
 };
 
 /** One of the 16 8-bit GF multiplication units. */
@@ -48,11 +87,34 @@ class GFMultUnit
   public:
     /** Full 15-bit carry-less product (the first stage of Fig. 5(a));
      *  this output feeds either the reduction stage or, in gf32bMult
-     *  mode, the partial-product XOR tree with reduction data-gated. */
-    uint16_t fullProduct(uint8_t a, uint8_t b);
+     *  mode, the partial-product XOR tree with reduction data-gated.
+     *  The hardware is an AND/XOR array computing c_{i+j} ^= a_i & b_j
+     *  (the 2m^2 - m AND / 2m^2 - 3m + 1 XOR array costed in Table 2);
+     *  the model computes the same carry-less product row-wise — one
+     *  XOR of a shifted multiplicand per set bit of a — which is
+     *  bit-identical. */
+    uint16_t
+    fullProduct(uint8_t a, uint8_t b)
+    {
+        ++activations_;
+        uint16_t c = 0;
+        uint16_t row = b;
+        for (uint32_t av = a; av != 0;
+             av >>= 1, row = static_cast<uint16_t>(row << 1)) {
+            if (av & 1)
+                c ^= row;
+        }
+        return c;
+    }
 
     /** Complete modular multiply: full product + reduction. */
-    uint8_t multiply(uint8_t a, uint8_t b, const GFConfig &cfg);
+    uint8_t
+    multiply(uint8_t a, uint8_t b, const GFConfig &cfg)
+    {
+        uint8_t mask = cfg.laneMask();
+        uint16_t full = fullProduct(a & mask, b & mask);
+        return ReductionStage::reduce(full, cfg);
+    }
 
     /** Number of cycles this unit computed something (activity proxy). */
     uint64_t activations() const { return activations_; }
@@ -72,7 +134,13 @@ class GFSquareUnit
      * is only the reduction stage — roughly a third of a multiplier
      * (Table 3) — which is why squares get their own primitive.
      */
-    uint8_t square(uint8_t a, const GFConfig &cfg);
+    uint8_t
+    square(uint8_t a, const GFConfig &cfg)
+    {
+        ++activations_;
+        return ReductionStage::reduce(kSquareSpread[a & cfg.laneMask()],
+                                      cfg);
+    }
 
     uint64_t activations() const { return activations_; }
     void resetStats() { activations_ = 0; }

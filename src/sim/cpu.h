@@ -97,6 +97,38 @@ class Core
     bool predecodeEnabled() const { return predecode_enabled_; }
 
     /**
+     * Enable/disable the fast-dispatch execution path used by run():
+     * a threaded interpreter (computed goto where the compiler supports
+     * it, a switch otherwise — see dispatchKind()) over a fused
+     * micro-op stream derived from the predecoded code.  The fusion
+     * pass recognizes hot adjacent pairs — compare + conditional
+     * branch, load feeding a GF op, address-generation ALU op feeding
+     * a load/store — and Itoh-Tsujii style gfsqs square chains, and
+     * retires them in one dispatch.
+     *
+     * Purely a host-side optimization: cycle accounting, statistics,
+     * trap behavior and code-watch-epoch invalidation are identical to
+     * single stepping (tests/test_dispatch_differential.cc proves it).
+     * run() only uses the fast path when predecode is enabled and no
+     * trace or fault hook is attached; any potentially-trapping
+     * situation bails out, commits nothing, and re-executes through
+     * step() so the architectural trap is raised exactly.
+     */
+    void setFastDispatch(bool on) { fast_dispatch_ = on; }
+    bool fastDispatch() const { return fast_dispatch_; }
+
+    /** Inner-interpreter flavor this build uses: "computed-goto" or
+     *  "switch" (CMake option GFP_THREADED_DISPATCH). */
+    static const char *dispatchKind();
+
+    /**
+     * One line per fused region of the current micro-op stream, e.g.
+     * "0x0040 cmpi+bcc len=2" — consumed by tests and by the gfp-lint
+     * --dump-fused gate.  Empty when predecode is disabled.
+     */
+    std::vector<std::string> fusionDump() const;
+
+    /**
      * Run until HALT, a trap, or until @p max_instrs instructions
      * retire (which yields a Watchdog trap in the result — the core
      * itself stays runnable, the guard is host policy).  The result
@@ -148,6 +180,8 @@ class Core
     unsigned execute(const Instr &in);
     StepResult takeTrap(TrapKind kind, uint32_t addr);
     void rebuildPredecode();
+    void rebuildFusion();
+    void runFast(RunResult &res, uint64_t max_instrs);
 
     /** One predecoded code word; undecodable words stay invalid and
      *  divert to the slow fetch path for the architectural trap.  The
@@ -158,6 +192,22 @@ class Core
         Instr in;
         InstrClass cls = InstrClass::kAlu;
         bool valid = false;
+    };
+
+    /**
+     * One fused micro-op per code word: the best fusion *starting* at
+     * that word, so branching into the middle of a fused pair simply
+     * dispatches the inner instruction's own entry.  handler indexes
+     * the fast interpreter's dispatch table (an enum private to
+     * cpu.cc; 0 always means "divert to step()"), len is the number of
+     * architectural instructions the handler retires, and a/b hold the
+     * decoded head/tail instructions.
+     */
+    struct FusedOp
+    {
+        uint16_t handler = 0; ///< 0 == bail to the slow path
+        uint8_t len = 1;
+        Instr a, b;
     };
 
     Memory &mem_;
@@ -176,9 +226,11 @@ class Core
     FaultHook fault_hook_;
 
     bool predecode_enabled_ = false;
+    bool fast_dispatch_ = true;
     uint32_t predecode_limit_ = 0;        // byte limit of the code region
     uint64_t predecode_epoch_ = 0;        // memory code epoch at build
     std::vector<PredecodedWord> icache_;  // one entry per code word
+    std::vector<FusedOp> fused_;          // one entry per code word
 };
 
 } // namespace gfp

@@ -19,6 +19,7 @@ Machine::Machine(Program program, CoreKind kind, size_t mem_bytes)
                   program_.footprint(), mem_bytes);
     }
     loadProgram();
+    pristine_ = mem_.snapshot();
     core_ = std::make_unique<Core>(mem_, kind);
     core_->enablePredecode(static_cast<uint32_t>(4 * program_.code.size()));
 }
@@ -50,8 +51,12 @@ Machine::reset()
 void
 Machine::fullReset()
 {
-    mem_.fill(0);
-    loadProgram();
+    // Restore the post-construction image in one memcpy rather than
+    // zero-fill + per-word program reload.  When the previous job left
+    // the program text untouched, the code epoch is preserved and the
+    // core's predecoded (and fused) instruction stream stays valid —
+    // the batch engine's per-job reset no longer rebuilds it.
+    mem_.restore(pristine_);
     if (core_->kind() == CoreKind::kGfProcessor)
         core_->gfau().powerOnReset();
     core_->reset();

@@ -94,6 +94,7 @@ class Machine
 
     Program program_;
     Memory mem_;
+    std::vector<uint8_t> pristine_; ///< memory image after construction
     std::unique_ptr<Core> core_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/memory.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/strutil.h"
 
@@ -59,7 +60,7 @@ Memory::write8(uint32_t addr, uint8_t value)
 {
     check(addr, 1);
     bytes_[addr] = value;
-    touch(addr);
+    touch(addr, 1);
 }
 
 void
@@ -68,7 +69,7 @@ Memory::write16(uint32_t addr, uint16_t value)
     check(addr, 2);
     bytes_[addr] = static_cast<uint8_t>(value);
     bytes_[addr + 1] = static_cast<uint8_t>(value >> 8);
-    touch(addr);
+    touch(addr, 2);
 }
 
 void
@@ -77,7 +78,7 @@ Memory::write32(uint32_t addr, uint32_t value)
     check(addr, 4);
     for (unsigned i = 0; i < 4; ++i)
         bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
-    touch(addr);
+    touch(addr, 4);
 }
 
 void
@@ -92,7 +93,7 @@ Memory::flipBit(uint32_t addr, unsigned bit)
 {
     check(addr, 1);
     bytes_[addr] ^= static_cast<uint8_t>(1u << (bit % 8));
-    touch(addr);
+    touch(addr, 1);
 }
 
 void
@@ -100,7 +101,32 @@ Memory::writeBlock(uint32_t addr, const std::vector<uint8_t> &data)
 {
     check(addr, static_cast<unsigned>(data.size()));
     std::copy(data.begin(), data.end(), bytes_.begin() + addr);
-    touch(addr);
+    touch(addr, static_cast<unsigned>(data.size()));
+}
+
+void
+Memory::restore(const std::vector<uint8_t> &image)
+{
+    if (image.size() != bytes_.size())
+        throw MemoryFault(0, static_cast<unsigned>(image.size()),
+                          bytes_.size());
+    // Only the dirty window can differ from the snapshot: bytes outside
+    // it were not modified since construction / the previous restore(),
+    // so they already equal the image.
+    const size_t lo = static_cast<size_t>(
+        std::min<uint64_t>(dirty_lo_, bytes_.size()));
+    const size_t hi = static_cast<size_t>(
+        std::min<uint64_t>(dirty_hi_, bytes_.size()));
+    if (lo < hi) {
+        const size_t watched = std::min<size_t>(watch_limit_, hi);
+        if (lo < watched &&
+            std::memcmp(bytes_.data() + lo, image.data() + lo,
+                        watched - lo) != 0)
+            ++code_epoch_;
+        std::memcpy(bytes_.data() + lo, image.data() + lo, hi - lo);
+    }
+    dirty_lo_ = UINT64_MAX;
+    dirty_hi_ = 0;
 }
 
 std::vector<uint8_t>

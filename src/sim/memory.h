@@ -72,23 +72,94 @@ class Memory
     fill(uint8_t value)
     {
         std::fill(bytes_.begin(), bytes_.end(), value);
-        touch(0);
+        touch(0, static_cast<unsigned>(bytes_.size()));
     }
+
+    /**
+     * Unchecked little-endian accessors for the core's fast dispatch
+     * path, which bounds-checks an access *before* committing to it so
+     * it can divert to the trap-exact slow path without the throw/catch
+     * machinery.  @p bytes must be 1, 2 or 4 and addr+bytes must be in
+     * range.  storeFast still advances the code epoch for writes into
+     * the watched region, so self-modifying stores de-fuse exactly.
+     */
+    uint32_t
+    loadFast(uint32_t addr, unsigned bytes) const
+    {
+        const uint8_t *p = bytes_.data() + addr;
+        switch (bytes) {
+          case 1:
+            return p[0];
+          case 2:
+            return static_cast<uint32_t>(p[0]) |
+                   (static_cast<uint32_t>(p[1]) << 8);
+          default:
+            return static_cast<uint32_t>(p[0]) |
+                   (static_cast<uint32_t>(p[1]) << 8) |
+                   (static_cast<uint32_t>(p[2]) << 16) |
+                   (static_cast<uint32_t>(p[3]) << 24);
+        }
+    }
+
+    void
+    storeFast(uint32_t addr, unsigned bytes, uint32_t value)
+    {
+        uint8_t *p = bytes_.data() + addr;
+        switch (bytes) {
+          case 1:
+            p[0] = static_cast<uint8_t>(value);
+            break;
+          case 2:
+            p[0] = static_cast<uint8_t>(value);
+            p[1] = static_cast<uint8_t>(value >> 8);
+            break;
+          default:
+            for (unsigned i = 0; i < 4; ++i)
+                p[i] = static_cast<uint8_t>(value >> (8 * i));
+            break;
+        }
+        touch(addr, bytes);
+    }
+
+    /** A copy of the full contents, for later restore(). */
+    std::vector<uint8_t> snapshot() const { return bytes_; }
+
+    /**
+     * Restore the contents to @p image (must be the same size; an
+     * earlier snapshot() of *this* memory — every modification since
+     * that snapshot is tracked in a dirty window, so only the window
+     * is compared and copied instead of the whole array; that is what
+     * makes the batch engine's per-job recycling cheap).  The code
+     * epoch is bumped only when the watched code region actually
+     * differs, so restoring an image whose program text is unchanged
+     * keeps predecoded (and fused) instructions valid.
+     */
+    void restore(const std::vector<uint8_t> &image);
 
   private:
     void check(uint32_t addr, unsigned bytes) const;
 
-    /** Record a modification starting at @p addr for code watching. */
+    /** Record a modification of [addr, addr+bytes) for code watching
+     *  and for the dirty window restore() uses. */
     void
-    touch(uint32_t addr)
+    touch(uint32_t addr, unsigned bytes)
     {
         if (addr < watch_limit_)
             ++code_epoch_;
+        if (addr < dirty_lo_)
+            dirty_lo_ = addr;
+        const uint64_t end = static_cast<uint64_t>(addr) + bytes;
+        if (end > dirty_hi_)
+            dirty_hi_ = end;
     }
 
     std::vector<uint8_t> bytes_;
     uint32_t watch_limit_ = 0;
     uint64_t code_epoch_ = 0;
+    // Dirty window: bytes modified since construction or the last
+    // restore().  Empty when dirty_lo_ >= dirty_hi_.
+    uint64_t dirty_lo_ = UINT64_MAX;
+    uint64_t dirty_hi_ = 0;
 };
 
 } // namespace gfp

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Differential proof that the fused threaded-dispatch fast path is
+ * bit-exact with the plain single-stepping interpreter: every catalog
+ * kernel, seeded random programs biased toward the fusion patterns,
+ * branch-into-fused-pair corners, self-modifying code, and SEU bit
+ * flips all run through a fast core and a slow core and must produce
+ * identical registers, memory, traps, and full CycleStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "isa/encoding.h"
+#include "kernels/kernel_catalog.h"
+#include "sim/cpu.h"
+#include "sim/machine.h"
+#include "sim/memory.h"
+
+namespace gfp {
+namespace {
+
+void
+expectStatsEq(const CycleStats &a, const CycleStats &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.instrs, b.instrs) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.load_ops, b.load_ops) << what;
+    EXPECT_EQ(a.load_cycles, b.load_cycles) << what;
+    EXPECT_EQ(a.store_ops, b.store_ops) << what;
+    EXPECT_EQ(a.store_cycles, b.store_cycles) << what;
+    EXPECT_EQ(a.alu_ops, b.alu_ops) << what;
+    EXPECT_EQ(a.alu_cycles, b.alu_cycles) << what;
+    EXPECT_EQ(a.branch_ops, b.branch_ops) << what;
+    EXPECT_EQ(a.branch_cycles, b.branch_cycles) << what;
+    EXPECT_EQ(a.gf_simd_ops, b.gf_simd_ops) << what;
+    EXPECT_EQ(a.gf_simd_cycles, b.gf_simd_cycles) << what;
+    EXPECT_EQ(a.gf32_ops, b.gf32_ops) << what;
+    EXPECT_EQ(a.gf32_cycles, b.gf32_cycles) << what;
+    EXPECT_EQ(a.gfcfg_ops, b.gfcfg_ops) << what;
+    EXPECT_EQ(a.gfcfg_cycles, b.gfcfg_cycles) << what;
+    EXPECT_EQ(a.faults_mem, b.faults_mem) << what;
+    EXPECT_EQ(a.faults_reg, b.faults_reg) << what;
+    EXPECT_EQ(a.faults_cfg, b.faults_cfg) << what;
+}
+
+void
+expectRunEq(const RunResult &a, const RunResult &b, const std::string &what)
+{
+    EXPECT_EQ(a.halted, b.halted) << what;
+    EXPECT_EQ(a.instrs, b.instrs) << what;
+    EXPECT_EQ(a.trap.kind, b.trap.kind)
+        << what << ": " << a.trap.describe() << " vs " << b.trap.describe();
+    EXPECT_EQ(a.trap.pc, b.trap.pc) << what;
+    EXPECT_EQ(a.trap.addr, b.trap.addr) << what;
+    EXPECT_EQ(a.trap.cycle, b.trap.cycle) << what;
+    expectStatsEq(a.stats, b.stats, what);
+}
+
+/** A raw word program on its own memory + core, no Machine wrapper —
+ *  lets the tests control every code byte (invalid words included). */
+struct Rig
+{
+    Memory mem;
+    Core core;
+
+    Rig(const std::vector<uint32_t> &words, CoreKind kind, bool fast,
+        size_t mem_bytes = 16 * 1024)
+        : mem(mem_bytes), core(mem, kind)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            mem.write32(static_cast<uint32_t>(4 * i), words[i]);
+        core.setFastDispatch(fast);
+        core.enablePredecode(static_cast<uint32_t>(4 * words.size()));
+    }
+};
+
+void
+expectCoresEq(Rig &fast, Rig &slow, const std::string &what)
+{
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(fast.core.reg(r), slow.core.reg(r))
+            << what << " r" << r;
+    EXPECT_EQ(fast.core.pc(), slow.core.pc()) << what;
+    EXPECT_EQ(fast.core.halted(), slow.core.halted()) << what;
+    EXPECT_EQ(fast.mem.snapshot(), slow.mem.snapshot()) << what;
+    expectStatsEq(fast.core.stats(), slow.core.stats(), what);
+}
+
+/** Run the same word program through both dispatchers and compare
+ *  everything: end state, trap, per-class statistics. */
+void
+runDifferential(const std::vector<uint32_t> &words, CoreKind kind,
+                uint64_t max_instrs, const std::string &what)
+{
+    Rig fast(words, kind, true);
+    Rig slow(words, kind, false);
+    RunResult rf = fast.core.run(max_instrs);
+    RunResult rs = slow.core.run(max_instrs);
+    expectRunEq(rf, rs, what);
+    expectCoresEq(fast, slow, what);
+}
+
+uint32_t
+enc(Op op, unsigned rd = 0, unsigned rs1 = 0, unsigned rs2 = 0,
+    int32_t imm = 0, unsigned rd2 = 0)
+{
+    Instr in;
+    in.op = op;
+    in.rd = static_cast<uint8_t>(rd);
+    in.rs1 = static_cast<uint8_t>(rs1);
+    in.rs2 = static_cast<uint8_t>(rs2);
+    in.rd2 = static_cast<uint8_t>(rd2);
+    in.imm = imm;
+    return encode(in);
+}
+
+// ------------------- every shipped kernel, both ways -----------------
+
+TEST(DispatchDifferential, AllCatalogKernelsMatchPlainStepping)
+{
+    // Zeroed input buffers are still a complete differential workload:
+    // both cores see identical data, and several kernels take early
+    // exits or run full fixed-trip loops either way.
+    for (const KernelSource &k : kernelCatalog()) {
+        CoreKind kind = k.name.find("baseline") != std::string::npos
+                            ? CoreKind::kBaseline
+                            : CoreKind::kGfProcessor;
+        Machine fast(k.source, kind);
+        Machine slow(k.source, kind);
+        slow.core().setFastDispatch(false);
+        ASSERT_TRUE(fast.core().fastDispatch());
+        RunResult rf = fast.runToHalt(5'000'000);
+        RunResult rs = slow.runToHalt(5'000'000);
+        expectRunEq(rf, rs, k.name);
+        for (unsigned r = 0; r < kNumRegs; ++r)
+            EXPECT_EQ(fast.core().reg(r), slow.core().reg(r))
+                << k.name << " r" << r;
+        EXPECT_EQ(fast.core().pc(), slow.core().pc()) << k.name;
+        EXPECT_EQ(fast.memory().snapshot(), slow.memory().snapshot())
+            << k.name;
+    }
+}
+
+// A kernel run with predecode disabled entirely (pure fetch-decode
+// path) as a second reference for one representative of each family.
+TEST(DispatchDifferential, FastPathMatchesNoPredecodeReference)
+{
+    for (const char *name :
+         {"syndrome-gfcore", "aes-block-gfcore", "inverse233"}) {
+        std::string src;
+        for (const KernelSource &k : kernelCatalog())
+            if (k.name == name)
+                src = k.source;
+        ASSERT_FALSE(src.empty()) << name;
+
+        Machine fast(src, CoreKind::kGfProcessor);
+        Machine ref(src, CoreKind::kGfProcessor);
+        ref.core().disablePredecode();
+        RunResult rf = fast.runToHalt(5'000'000);
+        RunResult rr = ref.runToHalt(5'000'000);
+        expectRunEq(rf, rr, name);
+        EXPECT_EQ(fast.memory().snapshot(), ref.memory().snapshot())
+            << name;
+    }
+}
+
+// ----------------------- seeded random programs ----------------------
+
+/**
+ * Random programs biased toward the fusion patterns (cmp+bcc pairs,
+ * movi feeding loads/stores, gfsqs chains, loads feeding GF ops) plus
+ * hazards: branches into the middle of would-be pairs, out-of-range
+ * accesses, undecodable words, runaway loops (equal watchdogs), and
+ * pc running off the end of the program.
+ */
+std::vector<uint32_t>
+randomProgram(uint64_t seed, CoreKind kind, unsigned n_words)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> words;
+    words.reserve(n_words);
+
+    auto reg = [&] { return static_cast<unsigned>(rng.below(13)); };
+    auto emit = [&](uint32_t w) { words.push_back(w); };
+
+    while (words.size() + 2 < n_words) {
+        switch (rng.below(kind == CoreKind::kGfProcessor ? 10 : 7)) {
+          case 0: { // random register ALU op
+            Op ops[] = {Op::kAdd, Op::kSub, Op::kAnd, Op::kOrr, Op::kEor,
+                        Op::kLsl, Op::kLsr, Op::kAsr, Op::kMul, Op::kMov};
+            emit(enc(ops[rng.below(10)], reg(), reg(), reg()));
+            break;
+          }
+          case 1: { // random immediate ALU op
+            Op ops[] = {Op::kAddi, Op::kSubi, Op::kAndi, Op::kOrri,
+                        Op::kEori, Op::kLsli, Op::kLsri, Op::kAsri};
+            emit(enc(ops[rng.below(8)], reg(), reg(), 0,
+                     static_cast<int32_t>(rng.below(4096)) - 2048));
+            break;
+          }
+          case 2: { // movi / movt pair (materializes constants)
+            unsigned rd = reg();
+            emit(enc(Op::kMovi, rd, 0, 0,
+                     static_cast<int32_t>(rng.below(65536))));
+            if (rng.chance(0.5))
+                emit(enc(Op::kMovt, rd, 0, 0,
+                         static_cast<int32_t>(rng.below(65536))));
+            break;
+          }
+          case 3: { // address-gen ALU feeding a load/store (fusable)
+            unsigned rb = reg();
+            bool in_range = rng.chance(0.8);
+            emit(enc(Op::kMovi, rb, 0, 0,
+                     static_cast<int32_t>(
+                         in_range ? 8192 + rng.below(4096) : 65535)));
+            Op mems[] = {Op::kLdr, Op::kStr, Op::kLdrb, Op::kStrb,
+                         Op::kLdrh, Op::kStrh};
+            emit(enc(mems[rng.below(6)], reg(), rb, 0,
+                     static_cast<int32_t>(rng.below(64))));
+            break;
+          }
+          case 4: { // register-indexed memory op
+            unsigned rb = reg(), ri = reg();
+            emit(enc(Op::kMovi, rb, 0, 0,
+                     static_cast<int32_t>(8192 + rng.below(4096))));
+            emit(enc(Op::kAndi, ri, ri, 0, 255));
+            Op mems[] = {Op::kLdrr, Op::kStrr, Op::kLdrbr, Op::kStrbr,
+                         Op::kLdrhr, Op::kStrhr};
+            emit(enc(mems[rng.below(6)], reg(), rb, ri));
+            break;
+          }
+          case 5: { // compare + conditional branch (fusable), forward
+            Op bccs[] = {Op::kBeq, Op::kBne, Op::kBlt, Op::kBge,
+                         Op::kBgt, Op::kBle, Op::kBlo, Op::kBhs,
+                         Op::kBhi, Op::kBls};
+            if (rng.chance(0.5))
+                emit(enc(Op::kCmp, 0, reg(), reg()));
+            else
+                emit(enc(Op::kCmpi, 0, reg(), 0,
+                         static_cast<int32_t>(rng.below(4096)) - 2048));
+            emit(enc(bccs[rng.below(10)], 0, 0, 0,
+                     static_cast<int32_t>(rng.below(4))));
+            break;
+          }
+          case 6: { // unconditional control flow
+            if (rng.chance(0.7)) {
+                emit(enc(Op::kB, 0, 0, 0,
+                         static_cast<int32_t>(rng.below(3))));
+            } else {
+                emit(enc(Op::kNop));
+            }
+            break;
+          }
+          case 7: { // SIMD GF op, possibly behind a load (fusable)
+            Op gfs[] = {Op::kGfMuls, Op::kGfInvs, Op::kGfSqs,
+                        Op::kGfPows, Op::kGfAdds};
+            unsigned rd = reg();
+            if (rng.chance(0.5)) {
+                unsigned rb = reg();
+                emit(enc(Op::kMovi, rb, 0, 0,
+                         static_cast<int32_t>(8192 + rng.below(1024))));
+                emit(enc(Op::kLdr, rd, rb, 0, 0));
+            }
+            emit(enc(gfs[rng.below(5)], reg(), rd, reg()));
+            break;
+          }
+          case 8: { // gfsqs square chain (fusable run)
+            unsigned rd = reg(), rs = reg();
+            emit(enc(Op::kGfSqs, rd, rs));
+            unsigned run = 1 + static_cast<unsigned>(rng.below(6));
+            for (unsigned k = 0; k < run && words.size() + 2 < n_words;
+                 ++k)
+                emit(enc(Op::kGfSqs, rd, rd));
+            break;
+          }
+          case 9: { // 32-bit partial product
+            emit(enc(Op::kGf32Mul, reg(), reg(), reg(), 0, reg()));
+            break;
+          }
+        }
+        // Occasionally corrupt a word outright: both cores must raise
+        // the identical IllegalInstruction if execution reaches it.
+        if (rng.chance(0.02))
+            words.back() = 0xff000000u | rng.next32() >> 8;
+    }
+    while (words.size() + 1 < n_words)
+        emit(enc(Op::kNop));
+    emit(enc(Op::kHalt));
+    return words;
+}
+
+TEST(DispatchDifferential, SeededRandomProgramsGfCore)
+{
+    for (uint64_t seed = 1; seed <= 40; ++seed)
+        runDifferential(randomProgram(seed, CoreKind::kGfProcessor, 96),
+                        CoreKind::kGfProcessor, 20'000,
+                        "gf seed " + std::to_string(seed));
+}
+
+TEST(DispatchDifferential, SeededRandomProgramsBaseline)
+{
+    // On the baseline core every GF opcode must trap kGfOnBaseline at
+    // the same point on both paths; reuse GF-biased programs for that.
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        runDifferential(randomProgram(seed, CoreKind::kBaseline, 96),
+                        CoreKind::kBaseline, 20'000,
+                        "base seed " + std::to_string(seed));
+        runDifferential(randomProgram(seed, CoreKind::kGfProcessor, 96),
+                        CoreKind::kBaseline, 20'000,
+                        "base/gfprog seed " + std::to_string(seed));
+    }
+}
+
+// ------------------------- handcrafted corners -----------------------
+
+TEST(DispatchDifferential, BranchIntoMiddleOfFusedPair)
+{
+    // Word 1+2 fuse as cmpi+beq.  Word 4 later branches straight to
+    // word 2 (the branch half) with *different* flags, so the fast path
+    // must dispatch word 2's own single-instruction entry.
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 0, 0, 0, 7), // 0
+        enc(Op::kCmpi, 0, 0, 0, 9), // 1  flags != (fused head)
+        enc(Op::kBeq, 0, 0, 0, 3),  // 2  not taken; later target
+        enc(Op::kCmpi, 0, 0, 0, 7), // 3  flags ==
+        enc(Op::kB, 0, 0, 0, -4),   // 4  jump back to word 2
+        enc(Op::kHalt),             // 5  (unreachable)
+        enc(Op::kHalt),             // 6  beq target on second visit
+    };
+    runDifferential(words, CoreKind::kGfProcessor, 1'000,
+                    "branch into fused pair");
+}
+
+TEST(DispatchDifferential, SelfModifyingStoreDefusesExactly)
+{
+    // The program overwrites its own infinite loop with a halt through
+    // a *fused* movi+str pair; the store must invalidate the fused
+    // stream on both paths before word 6 executes again.
+    const uint32_t haltw = enc(Op::kHalt);
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 1, 0, 0, static_cast<int32_t>(haltw & 0xffff)),
+        enc(Op::kMovt, 1, 0, 0, static_cast<int32_t>(haltw >> 16)),
+        enc(Op::kMovi, 2, 0, 0, 24), // address of word 6
+        enc(Op::kStr, 1, 2, 0, 0),   // fuses as alu+st with word 2
+        enc(Op::kNop),
+        enc(Op::kNop),
+        enc(Op::kB, 0, 0, 0, -1), // infinite loop unless overwritten
+    };
+    runDifferential(words, CoreKind::kGfProcessor, 1'000,
+                    "self-modifying store");
+
+    // And the rewritten program must have actually halted (not hit the
+    // watchdog): the store replaced the loop before it spun.
+    Rig rig(words, CoreKind::kGfProcessor, true);
+    RunResult r = rig.core.run(1'000);
+    EXPECT_TRUE(r.halted) << r.trap.describe();
+}
+
+TEST(DispatchDifferential, SeuFlipInCodeRegionDefusesExactly)
+{
+    // Pause both cores mid-run with an equal watchdog, deliver the
+    // same SEU into an instruction word, resume: the stale fused
+    // stream must be invalidated identically on both paths.
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 3, 0, 0, 5), // 0
+        enc(Op::kNop),              // 1
+        enc(Op::kNop),              // 2
+        enc(Op::kAddi, 3, 3, 0, 1), // 3 <- flip lands here
+        enc(Op::kNop),              // 4
+        enc(Op::kHalt),             // 5
+    };
+    for (unsigned bit : {0u, 5u, 26u}) { // imm, rd2 field, opcode bits
+        Rig fast(words, CoreKind::kGfProcessor, true);
+        Rig slow(words, CoreKind::kGfProcessor, false);
+        RunResult pf = fast.core.run(2);
+        RunResult ps = slow.core.run(2);
+        ASSERT_EQ(pf.trap.kind, TrapKind::kWatchdog);
+        ASSERT_EQ(ps.trap.kind, TrapKind::kWatchdog);
+        fast.core.injectFault(FaultTarget::kDataMemory, 4 * 3 + bit / 8,
+                              bit % 8);
+        slow.core.injectFault(FaultTarget::kDataMemory, 4 * 3 + bit / 8,
+                              bit % 8);
+        RunResult rf = fast.core.run(1'000);
+        RunResult rs = slow.core.run(1'000);
+        expectRunEq(rf, rs, "seu bit " + std::to_string(bit));
+        expectCoresEq(fast, slow, "seu bit " + std::to_string(bit));
+    }
+}
+
+TEST(DispatchDifferential, SeuMakesWordUndecodable)
+{
+    // Setting a high opcode bit yields an undecodable word: both paths
+    // must raise kIllegalInstruction at the same pc with the same
+    // faulting word.
+    std::vector<uint32_t> words = {
+        enc(Op::kNop), enc(Op::kNop), enc(Op::kNop), enc(Op::kHalt)};
+    Rig fast(words, CoreKind::kGfProcessor, true);
+    Rig slow(words, CoreKind::kGfProcessor, false);
+    (void)fast.core.run(1);
+    (void)slow.core.run(1);
+    fast.core.injectFault(FaultTarget::kDataMemory, 4 * 2 + 3, 7);
+    slow.core.injectFault(FaultTarget::kDataMemory, 4 * 2 + 3, 7);
+    RunResult rf = fast.core.run(1'000);
+    RunResult rs = slow.core.run(1'000);
+    EXPECT_EQ(rf.trap.kind, TrapKind::kIllegalInstruction);
+    expectRunEq(rf, rs, "undecodable");
+    expectCoresEq(fast, slow, "undecodable");
+}
+
+TEST(DispatchDifferential, ConfigCorruptionTrapsIdentically)
+{
+    // A config-register SEU before a GF instruction: the fast path must
+    // bail (committing nothing) and deliver the identical
+    // kGfConfigCorrupt trap through step().
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 1, 0, 0, 0x1234), // 0
+        enc(Op::kNop),                   // 1
+        enc(Op::kGfMuls, 2, 1, 1),       // 2
+        enc(Op::kHalt),                  // 3
+    };
+    Rig fast(words, CoreKind::kGfProcessor, true);
+    Rig slow(words, CoreKind::kGfProcessor, false);
+    (void)fast.core.run(1);
+    (void)slow.core.run(1);
+    // m=8, flipping bit 57 yields m=10: invalid field width.
+    fast.core.injectFault(FaultTarget::kConfigReg, 0, 57);
+    slow.core.injectFault(FaultTarget::kConfigReg, 0, 57);
+    RunResult rf = fast.core.run(1'000);
+    RunResult rs = slow.core.run(1'000);
+    EXPECT_EQ(rf.trap.kind, TrapKind::kGfConfigCorrupt);
+    expectRunEq(rf, rs, "config corrupt");
+    expectCoresEq(fast, slow, "config corrupt");
+}
+
+TEST(DispatchDifferential, RunawayLoopWatchdogsIdentically)
+{
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 0, 0, 0, 0),  // 0
+        enc(Op::kAddi, 0, 0, 0, 1),  // 1
+        enc(Op::kCmpi, 0, 0, 0, 50), // 2  fused with 3
+        enc(Op::kBne, 0, 0, 0, -4),  // 3  loop back to word 1
+        enc(Op::kB, 0, 0, 0, -1),    // 4  spin forever
+    };
+    // Cut the budget at every point of a fused pair's retirement.
+    for (uint64_t cap : {1u, 2u, 3u, 100u, 151u, 152u, 153u, 400u})
+        runDifferential(words, CoreKind::kGfProcessor, cap,
+                        "watchdog cap " + std::to_string(cap));
+}
+
+TEST(DispatchDifferential, PcRunsOffIntoDataAndOutOfMemory)
+{
+    // No halt: pc falls past the predecoded region into zeroed data
+    // (decodes as add r0,r0,r0), then off the end of memory.  Both
+    // paths must take the same kOutOfRangeAccess fetch trap.
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 5, 0, 0, 9),
+        enc(Op::kNop),
+    };
+    runDifferential(words, CoreKind::kGfProcessor, 100'000,
+                    "pc into data");
+}
+
+// --------------------- introspection sanity checks -------------------
+
+TEST(DispatchIntrospection, DispatchKindIsKnown)
+{
+    std::string kind = Core::dispatchKind();
+    EXPECT_TRUE(kind == "computed-goto" || kind == "switch") << kind;
+}
+
+TEST(DispatchIntrospection, FusionDumpListsFusedRegions)
+{
+    std::vector<uint32_t> words = {
+        enc(Op::kMovi, 0, 0, 0, 1),  // 0: fuses with the ldr below
+        enc(Op::kLdr, 1, 0, 0, 64),  // 1
+        enc(Op::kCmpi, 1, 0, 0, 3),  // 2: fuses with the bne
+        enc(Op::kBne, 0, 0, 0, 1),   // 3
+        enc(Op::kGfSqs, 2, 1),       // 4: head of a square chain
+        enc(Op::kGfSqs, 2, 2),       // 5
+        enc(Op::kGfSqs, 2, 2),       // 6
+        enc(Op::kHalt),              // 7
+    };
+    Rig rig(words, CoreKind::kGfProcessor, true);
+    auto dump = rig.core.fusionDump();
+    ASSERT_FALSE(dump.empty());
+    std::string all;
+    for (const auto &line : dump) {
+        EXPECT_EQ(line.substr(0, 2), "0x") << line;
+        all += line + "\n";
+    }
+    EXPECT_NE(all.find("alu+ld"), std::string::npos) << all;
+    EXPECT_NE(all.find("cmpi+bcc"), std::string::npos) << all;
+    EXPECT_NE(all.find("gfsqs-chain len=3"), std::string::npos) << all;
+
+    // Disabling predecode clears the fused stream.
+    rig.core.disablePredecode();
+    EXPECT_TRUE(rig.core.fusionDump().empty());
+}
+
+} // namespace
+} // namespace gfp

@@ -80,6 +80,65 @@ TEST_P(NistCurves, ScalarMultLdMatchesAffine)
     EXPECT_EQ(c.scalarMult(big, g), c.scalarMultAffine(big, g));
 }
 
+TEST_P(NistCurves, ScalarMultWindowMatchesReference)
+{
+    EllipticCurve c = EllipticCurve::nist(GetParam());
+    const EcPoint &g = c.basePoint();
+    // Short scalars (fall back to double-and-add) and full-size ones
+    // (table path), across several window widths.
+    for (uint64_t k : {0ull, 1ull, 2ull, 3ull, 15ull, 16ull, 17ull,
+                       0xdeadbeefull}) {
+        EXPECT_EQ(c.scalarMultWindow(Gf2x(k), g), c.scalarMult(Gf2x(k), g))
+            << "k=" << k;
+    }
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+        Gf2x k = Gf2x::random(c.field().m(), seed + 9);
+        EcPoint ref = c.scalarMult(k, g);
+        for (unsigned w : {2u, 4u, 5u}) {
+            EXPECT_EQ(c.scalarMultWindow(k, g, w), ref)
+                << "seed=" << seed << " width=" << w;
+        }
+    }
+    EXPECT_TRUE(c.scalarMultWindow(Gf2x(), g).infinity);
+    EXPECT_TRUE(
+        c.scalarMultWindow(Gf2x(5), EcPoint::infinityPoint()).infinity);
+}
+
+TEST(Ecc, BatchToAffineMatchesPerPointConversion)
+{
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    const EcPoint &g = c.basePoint();
+    std::vector<LdPoint> pts;
+    LdPoint p = c.toProjective(g);
+    for (int i = 0; i < 8; ++i) {
+        p = c.doubleLd(p);
+        pts.push_back(p);
+        p = c.addMixed(p, g);
+        pts.push_back(p);
+    }
+    pts.push_back(LdPoint{Gf2x(uint64_t{1}), Gf2x(), Gf2x(), true});
+    pts.push_back(c.toProjective(g));
+
+    c.resetOpCount();
+    std::vector<EcPoint> batch = c.batchToAffine(pts);
+    EXPECT_EQ(c.opCount().inv, 1u); // the whole batch shares one inverse
+
+    ASSERT_EQ(batch.size(), pts.size());
+    for (size_t i = 0; i < pts.size(); ++i)
+        EXPECT_EQ(batch[i], c.toAffine(pts[i])) << "i=" << i;
+}
+
+TEST(Ecc, WindowUsesOneInversionPerTableAndResult)
+{
+    EllipticCurve c = EllipticCurve::nist("K-233");
+    Gf2x k = Gf2x::random(233, 77);
+    c.resetOpCount();
+    c.scalarMultWindow(k, c.basePoint());
+    // One shared inversion for the precomputed table, one for the final
+    // projective-to-affine conversion.
+    EXPECT_EQ(c.opCount().inv, 2u);
+}
+
 INSTANTIATE_TEST_SUITE_P(All, NistCurves,
                          ::testing::Values("K-163", "B-163", "K-233",
                                            "B-233", "K-283", "B-283"),

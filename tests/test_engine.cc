@@ -213,6 +213,60 @@ TEST(Machine, FullResetRestoresPristineState)
     EXPECT_EQ(m.core().stats().cycles, first_cycles);
 }
 
+TEST(BatchEngine, FullResetRestoresFreshlyConstructedState)
+{
+    // After fullReset() the whole machine — every memory byte, the
+    // registers, the flags — must equal a freshly constructed twin.
+    GFField f(8);
+    std::string src = syndromeAsmGfcore(f, 255, 16);
+    Machine fresh(src, CoreKind::kGfProcessor);
+    Machine used(src, CoreKind::kGfProcessor);
+
+    auto jobs = makeSyndromeJobs(1, 31);
+    used.writeBytes("rxdata", jobs[0].inputs[0].second);
+    used.runOk();
+    // Scribble over the program text too (self-modifying footprint).
+    used.memory().write32(0, 0xdeadbeef);
+    used.fullReset();
+
+    EXPECT_EQ(used.memory().snapshot(), fresh.memory().snapshot());
+    for (unsigned r = 0; r < 16; ++r)
+        EXPECT_EQ(used.core().reg(r), fresh.core().reg(r)) << "r" << r;
+    EXPECT_EQ(used.core().pc(), fresh.core().pc());
+    EXPECT_EQ(used.core().stats().cycles, 0u);
+    EXPECT_EQ(used.core().stats().instrs, 0u);
+
+    // And the restored machine reruns identically to the twin.
+    used.writeBytes("rxdata", jobs[0].inputs[0].second);
+    fresh.writeBytes("rxdata", jobs[0].inputs[0].second);
+    used.runOk();
+    fresh.runOk();
+    EXPECT_EQ(used.readBytes("synd", 16), fresh.readBytes("synd", 16));
+}
+
+TEST(BatchEngine, FullResetKeepsCodeEpochWhenTextUntouched)
+{
+    // A job that never writes its own text must not invalidate the
+    // predecoded instruction stream on reset — that reuse is what makes
+    // per-job fullReset() cheap for the batch engine.
+    GFField f(8);
+    Machine m(syndromeAsmGfcore(f, 255, 16), CoreKind::kGfProcessor);
+    auto jobs = makeSyndromeJobs(1, 32);
+    m.writeBytes("rxdata", jobs[0].inputs[0].second);
+    m.runOk();
+
+    uint64_t epoch = m.memory().codeEpoch();
+    m.fullReset();
+    EXPECT_EQ(m.memory().codeEpoch(), epoch);
+
+    // But clobbered text must bump the epoch on restore.
+    m.memory().write32(4, 0x12345678);
+    uint64_t dirty = m.memory().codeEpoch();
+    EXPECT_GT(dirty, epoch);
+    m.fullReset();
+    EXPECT_GT(m.memory().codeEpoch(), dirty);
+}
+
 TEST(BatchEngine, AesCtrBatchMatchesReference)
 {
     // CTR keystream via the engine vs. Aes::applyCtr on the host.

@@ -97,8 +97,9 @@ TEST_P(FieldAxioms, ExhaustiveForSmallFields)
         for (uint32_t a = 0; a < order; ++a) {
             for (uint32_t b = 0; b < order; ++b) {
                 GFElem ab = f.mul(a, b);
-                // commutativity + table path agreement
+                // commutativity + agreement of the three multiply paths
                 EXPECT_EQ(ab, f.mul(b, a));
+                EXPECT_EQ(ab, f.mulCarryless(a, b));
                 EXPECT_EQ(ab, f.mulTable(a, b));
                 // closure
                 EXPECT_LT(ab, order);
@@ -129,6 +130,7 @@ TEST_P(FieldAxioms, ExhaustiveForSmallFields)
             GFElem b = rng.below(order);
             GFElem c = rng.below(order);
             EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+            EXPECT_EQ(f.mul(a, b), f.mulCarryless(a, b));
             EXPECT_EQ(f.mul(a, b), f.mulTable(a, b));
             EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
             EXPECT_EQ(f.mul(a, GFField::add(b, c)),
@@ -167,6 +169,7 @@ TEST(Field, LargerFieldsBasicSanity)
         for (int i = 0; i < 500; ++i) {
             GFElem a = rng.below(f.order());
             GFElem b = rng.below(f.order());
+            EXPECT_EQ(f.mul(a, b), f.mulCarryless(a, b));
             EXPECT_EQ(f.mul(a, b), f.mulTable(a, b));
             if (a)
                 EXPECT_EQ(f.mul(a, f.inv(a)), 1);

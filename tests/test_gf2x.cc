@@ -7,10 +7,82 @@
 
 #include <gtest/gtest.h>
 
+#include "gf/clmul.h"
 #include "gf/gf2x.h"
 
 namespace gfp {
 namespace {
+
+/** Runs each test body twice: hardware-detected clmul, then the
+ *  portable software kernel, so both backends are exercised on every
+ *  host regardless of CPU features. */
+class ClmulBackends : public ::testing::TestWithParam<bool>
+{
+  protected:
+    void SetUp() override { setClmulPortableOnly(GetParam()); }
+    void TearDown() override { setClmulPortableOnly(false); }
+};
+
+INSTANTIATE_TEST_SUITE_P(HwAndPortable, ClmulBackends,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "portable" : "detected";
+                         });
+
+TEST_P(ClmulBackends, WideMatchesBitSerialReference)
+{
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 2000; ++i) {
+        // splitmix64-style sequence for reproducible operands
+        auto next = [&x] {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        uint64_t a = next(), b = next();
+        if (i < 4) { // pin the edge cases
+            a = (i & 1) ? ~0ull : 0;
+            b = (i & 2) ? ~0ull : 1;
+        }
+        uint64_t hi, lo;
+        clmulWide(a, b, hi, lo);
+        // Reference: bit-serial 64x64 carry-less multiply.
+        uint64_t rlo = 0, rhi = 0;
+        for (unsigned k = 0; k < 64; ++k) {
+            if ((b >> k) & 1) {
+                rlo ^= a << k;
+                if (k)
+                    rhi ^= a >> (64 - k);
+            }
+        }
+        ASSERT_EQ(lo, rlo) << "a=" << a << " b=" << b;
+        ASSERT_EQ(hi, rhi) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST_P(ClmulBackends, MulClmulMatchesSchoolbook)
+{
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        unsigned bits_a = 1 + (seed * 67) % 700;
+        unsigned bits_b = 1 + (seed * 129) % 700;
+        Gf2x a = Gf2x::random(bits_a, seed * 2 + 41);
+        Gf2x b = Gf2x::random(bits_b, seed * 2 + 42);
+        EXPECT_EQ(a.mulClmul(b), a.mulSchoolbook(b)) << "seed=" << seed;
+    }
+    EXPECT_TRUE(Gf2x().mulClmul(Gf2x::random(100, 1)).isZero());
+    EXPECT_TRUE(Gf2x::random(100, 1).mulClmul(Gf2x()).isZero());
+}
+
+TEST(Clmul, BackendReportsName)
+{
+    ClmulBackendInfo info = clmulBackend();
+    EXPECT_FALSE(std::string(info.name).empty());
+    setClmulPortableOnly(true);
+    EXPECT_FALSE(clmulBackend().accelerated);
+    setClmulPortableOnly(false);
+}
 
 TEST(Gf2x, BasicConstruction)
 {

@@ -12,6 +12,12 @@
  *                       every irreducible polynomial, degrees 2..8
  *   --exhaustive        with --verify-gfau, additionally sweep every
  *                       (2m-1)-bit product per field
+ *   --dump-fused        print the fused micro-op regions the fast
+ *                       interpreter forms for each program (one line
+ *                       per region, "0xADDR kind len=N"); fails if no
+ *                       program fuses anything — the catalog kernels
+ *                       are written around the fusion patterns, so an
+ *                       all-empty dump means the fusion pass regressed
  *   --werror            exit nonzero on warnings too
  *   --mem-bytes N       memory size for address-range lints
  *   --max-findings N    cap findings per program
@@ -34,6 +40,7 @@
 #include "analysis/lint.h"
 #include "isa/assembler.h"
 #include "kernels/kernel_catalog.h"
+#include "sim/machine.h"
 
 using namespace gfp;
 
@@ -45,6 +52,7 @@ struct Cli
     bool kernels = false;
     bool verify_gfau = false;
     bool exhaustive = false;
+    bool dump_fused = false;
     bool werror = false;
     bool quiet = false;
     LintOptions lint;
@@ -55,8 +63,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--kernels] [--verify-gfau [--exhaustive]] "
-                 "[--werror] [--mem-bytes N] [--max-findings N] [-q] "
-                 "[file.s ...]\n",
+                 "[--dump-fused] [--werror] [--mem-bytes N] "
+                 "[--max-findings N] [-q] [file.s ...]\n",
                  argv0);
     return 2;
 }
@@ -77,6 +85,24 @@ lintOne(const Cli &cli, const std::string &name, const Program &prog,
                     report.clean() ? "clean" : report.summary().c_str());
     }
     return !(report.hasErrors() || (cli.werror && !report.clean()));
+}
+
+/// Print the fused micro-op stream the fast interpreter forms for
+/// @p prog; returns the number of fused regions.
+size_t
+dumpFused(const Cli &cli, const std::string &name, const Program &prog)
+{
+    Machine mach(prog, CoreKind::kGfProcessor, cli.lint.mem_bytes);
+    std::vector<std::string> dump = mach.core().fusionDump();
+    if (!cli.quiet || dump.empty()) {
+        std::printf("%s: %zu fused region%s (%s dispatch)\n", name.c_str(),
+                    dump.size(), dump.size() == 1 ? "" : "s",
+                    Core::dispatchKind());
+    }
+    if (!cli.quiet)
+        for (const std::string &line : dump)
+            std::printf("  %s\n", line.c_str());
+    return dump.size();
 }
 
 } // namespace
@@ -100,6 +126,8 @@ main(int argc, char **argv)
             cli.verify_gfau = true;
         } else if (!std::strcmp(a, "--exhaustive")) {
             cli.exhaustive = true;
+        } else if (!std::strcmp(a, "--dump-fused")) {
+            cli.dump_fused = true;
         } else if (!std::strcmp(a, "--werror")) {
             cli.werror = true;
         } else if (!std::strcmp(a, "-q") || !std::strcmp(a, "--quiet")) {
@@ -123,6 +151,7 @@ main(int argc, char **argv)
 
     bool ok = true;
     unsigned errors = 0, warnings = 0, programs = 0;
+    size_t fused_regions = 0;
 
     for (const std::string &path : cli.files) {
         std::ifstream in(path);
@@ -142,6 +171,8 @@ main(int argc, char **argv)
         }
         ++programs;
         ok = lintOne(cli, path, prog, errors, warnings) && ok;
+        if (cli.dump_fused)
+            fused_regions += dumpFused(cli, path, prog);
     }
 
     if (cli.kernels) {
@@ -157,6 +188,20 @@ main(int argc, char **argv)
             ++programs;
             ok = lintOne(cli, "kernel:" + k.name, prog, errors, warnings) &&
                  ok;
+            if (cli.dump_fused)
+                fused_regions += dumpFused(cli, "kernel:" + k.name, prog);
+        }
+    }
+
+    if (cli.dump_fused && programs > 0) {
+        if (!cli.quiet || fused_regions == 0)
+            std::printf("fused: %zu region%s across %u program%s\n",
+                        fused_regions, fused_regions == 1 ? "" : "s",
+                        programs, programs == 1 ? "" : "s");
+        if (fused_regions == 0) {
+            std::printf("fused: FAILED — no program formed any fused "
+                        "micro-op; the fusion pass has regressed\n");
+            ok = false;
         }
     }
 
