@@ -198,6 +198,23 @@ main(int argc, char **argv)
                 "runs/sec");
     runPredecodeAblation(json);
 
+    // Telemetry snapshot: one traced syndrome batch, archived as a
+    // metrics JSON (engine/metrics.h) and a Perfetto-loadable trace of
+    // per-job worker spans — CI uploads both as artifacts.
+    {
+        TraceLog trace;
+        BatchEngine eng(syndromeBatchProgram(f, 255, 16), {.threads = 4});
+        eng.setTraceLog(&trace);
+        eng.run(syndromeJobs(128));
+        eng.metrics().writeTo("METRICS_engine.json");
+        trace.writeTo("TRACE_engine.json");
+        std::printf("\n  telemetry: %.0f jobs/sec over %g workers -> "
+                    "METRICS_engine.json, %zu trace events -> "
+                    "TRACE_engine.json\n",
+                    eng.metrics().gauge("jobs_per_sec"),
+                    eng.metrics().gauge("workers"), trace.size());
+    }
+
     json.writeTo(argc > 1 ? argv[1] : "BENCH_engine.json");
     return 0;
 }

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal Chrome trace_event JSON emission.
+ *
+ * Produces the "JSON Array Format" wrapped in a {"traceEvents": [...]}
+ * object, loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+ * Only the event phases this repo needs are implemented:
+ *
+ *   ph "X"  complete event   (name, ts, dur)  — a span on a track
+ *   ph "i"  instant event    (name, ts)       — a point marker
+ *   ph "C"  counter event    (name, ts, args) — stacked counter series
+ *   ph "M"  metadata         (process_name / thread_name labels)
+ *
+ * Timestamps and durations are in microseconds (the format's unit).
+ * Tracks are addressed by (pid, tid) pairs; callers pick a convention
+ * (the guest tracer uses pid 1 with one tid per phase kind, the batch
+ * engine uses pid 2 with one tid per worker).
+ *
+ * TraceLog is thread-safe: events may be appended from engine workers
+ * concurrently.  validateTraceEventJson() is a self-contained
+ * structural validator (a tiny JSON parser plus per-event field
+ * checks) used by tests and gfp-prof --check; it keeps the repo free
+ * of a JSON library dependency.
+ */
+
+#ifndef GFP_COMMON_TRACE_EVENT_H
+#define GFP_COMMON_TRACE_EVENT_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfp {
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &s);
+
+class TraceLog
+{
+  public:
+    /** String key/value pairs emitted into an event's "args" object. */
+    using Args = std::vector<std::pair<std::string, std::string>>;
+
+    /** A span: [ts_us, ts_us + dur_us) on track (pid, tid). */
+    void complete(const std::string &name, const std::string &cat,
+                  double ts_us, double dur_us, int pid, int tid,
+                  Args args = {});
+
+    /** A point marker at ts_us on track (pid, tid). */
+    void instant(const std::string &name, const std::string &cat,
+                 double ts_us, int pid, int tid, Args args = {});
+
+    /** A counter sample: each series name maps to a numeric value. */
+    void counter(const std::string &name, double ts_us, int pid,
+                 const std::vector<std::pair<std::string, double>> &series);
+
+    /** Label a pid in the trace viewer ("process_name" metadata). */
+    void processName(int pid, const std::string &name);
+
+    /** Label a (pid, tid) track ("thread_name" metadata). */
+    void threadName(int pid, int tid, const std::string &name);
+
+    size_t size() const;
+
+    /** The full {"traceEvents": [...]} document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        char ph = 'i';
+        double ts = 0;
+        double dur = 0;
+        int pid = 0;
+        int tid = 0;
+        /** Pre-encoded JSON fragments: {key, raw JSON value}. */
+        std::vector<std::pair<std::string, std::string>> args;
+    };
+
+    void push(Event ev);
+
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+};
+
+/**
+ * Structural validation of a trace document: well-formed JSON, a root
+ * object with a "traceEvents" array, and per-event required fields
+ * (string "name"/"ph", numeric "ts"/"pid"/"tid", numeric "dur" for
+ * "X" events).  On failure returns false and, if @p error is non-null,
+ * stores a human-readable reason.
+ */
+bool validateTraceEventJson(const std::string &json,
+                            std::string *error = nullptr);
+
+} // namespace gfp
+
+#endif // GFP_COMMON_TRACE_EVENT_H

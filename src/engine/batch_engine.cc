@@ -1,9 +1,11 @@
 #include "engine/batch_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/strutil.h"
 #include "isa/assembler.h"
 
 namespace gfp {
@@ -73,8 +75,10 @@ BatchEngine::BatchEngine(const std::string &asm_source, CoreKind kind)
 }
 
 JobResult
-BatchEngine::runOne(Machine &machine, const Job &job) const
+BatchEngine::runOne(Machine &machine, const Job &job,
+                    std::chrono::steady_clock::time_point epoch) const
 {
+    const auto t0 = std::chrono::steady_clock::now();
     machine.fullReset();
     for (const auto &[label, bytes] : job.inputs)
         machine.writeBytes(label, bytes);
@@ -103,6 +107,9 @@ BatchEngine::runOne(Machine &machine, const Job &job) const
         for (const auto &label : job.word_outputs)
             res.words.emplace(label, machine.readWord(label));
     }
+    const auto t1 = std::chrono::steady_clock::now();
+    res.start_seconds = std::chrono::duration<double>(t0 - epoch).count();
+    res.host_seconds = std::chrono::duration<double>(t1 - t0).count();
     return res;
 }
 
@@ -113,8 +120,10 @@ BatchEngine::run(const std::vector<Job> &jobs)
         static_cast<unsigned>(std::min<size_t>(threads_, jobs.size()));
     std::vector<JobResult> results(jobs.size());
     worker_stats_.assign(std::max(n_workers, 1u), CycleStats());
+    metrics_.clear();
     if (jobs.empty())
         return results;
+    const auto epoch = std::chrono::steady_clock::now();
 
     // Self-scheduling work queue: workers pull the next unclaimed job
     // index, so a slow job (or a long watchdog) never stalls the rest
@@ -128,7 +137,7 @@ BatchEngine::run(const std::vector<Job> &jobs)
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 break;
-            results[i] = runOne(machine, jobs[i]);
+            results[i] = runOne(machine, jobs[i], epoch);
             results[i].worker = worker_idx;
             aggregate += results[i].stats;
         }
@@ -137,14 +146,19 @@ BatchEngine::run(const std::vector<Job> &jobs)
 
     if (n_workers <= 1) {
         worker(0);
-        return results;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (unsigned w = 0; w < n_workers; ++w)
+            pool.emplace_back(worker, w);
+        for (auto &t : pool)
+            t.join();
     }
-    std::vector<std::thread> pool;
-    pool.reserve(n_workers);
-    for (unsigned w = 0; w < n_workers; ++w)
-        pool.emplace_back(worker, w);
-    for (auto &t : pool)
-        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch)
+            .count();
+    recordRunTelemetry(results, elapsed, std::max(n_workers, 1u));
     return results;
 }
 
@@ -153,15 +167,86 @@ BatchEngine::runSerial(const std::vector<Job> &jobs)
 {
     std::vector<JobResult> results;
     results.reserve(jobs.size());
+    metrics_.clear();
+    const auto epoch = std::chrono::steady_clock::now();
     Machine machine(program_, kind_, opts_.mem_bytes);
     machine.core().setFastDispatch(opts_.fast_dispatch);
     CycleStats aggregate;
     for (const Job &job : jobs) {
-        results.push_back(runOne(machine, job));
+        results.push_back(runOne(machine, job, epoch));
         aggregate += results.back().stats;
     }
     worker_stats_.assign(1, aggregate);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch)
+            .count();
+    if (!jobs.empty())
+        recordRunTelemetry(results, elapsed, 1);
     return results;
+}
+
+void
+BatchEngine::recordRunTelemetry(const std::vector<JobResult> &results,
+                                double elapsed_seconds, unsigned n_workers)
+{
+    metrics_.set("workers", n_workers);
+    metrics_.add("jobs_total", static_cast<double>(results.size()));
+    if (elapsed_seconds > 0)
+        metrics_.set("jobs_per_sec",
+                     static_cast<double>(results.size()) / elapsed_seconds);
+
+    std::vector<double> busy(n_workers, 0.0);
+    for (const JobResult &r : results) {
+        metrics_.observe("job_host_us", r.host_seconds * 1e6);
+        metrics_.observe("job_guest_cycles",
+                         static_cast<double>(r.stats.cycles));
+        if (r.worker < n_workers)
+            busy[r.worker] += r.host_seconds;
+        if (!r.ok()) {
+            metrics_.add("jobs_failed_total");
+            metrics_.add(strprintf("trap_%s_total",
+                                   trapKindName(r.trap.kind)));
+        }
+    }
+    for (unsigned w = 0; w < n_workers; ++w)
+        metrics_.set(strprintf("worker%u_utilization", w),
+                     elapsed_seconds > 0 ? busy[w] / elapsed_seconds : 0.0);
+
+    // Queue depth over time: jobs not yet started, sampled at each
+    // job-start instant.  Jobs were claimed in start order, so sorting
+    // the start times reconstructs the queue drain exactly.
+    std::vector<double> starts;
+    starts.reserve(results.size());
+    for (const JobResult &r : results)
+        starts.push_back(r.start_seconds);
+    std::sort(starts.begin(), starts.end());
+    metrics_.set("queue_depth_peak", static_cast<double>(results.size()));
+
+    if (!trace_log_) {
+        return;
+    }
+    trace_log_->processName(kEnginePid, "gfp batch engine");
+    for (unsigned w = 0; w < n_workers; ++w)
+        trace_log_->threadName(kEnginePid, static_cast<int>(w) + 1,
+                               strprintf("worker %u", w));
+    for (size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        TraceLog::Args args = {
+            {"queue_wait_us", strprintf("%.1f", r.start_seconds * 1e6)}};
+        if (!r.ok())
+            args.emplace_back("trap", trapKindName(r.trap.kind));
+        trace_log_->complete(strprintf("job %zu", i),
+                             r.ok() ? "job" : "job-trapped",
+                             r.start_seconds * 1e6, r.host_seconds * 1e6,
+                             kEnginePid, static_cast<int>(r.worker) + 1,
+                             std::move(args));
+    }
+    for (size_t i = 0; i < starts.size(); ++i) {
+        trace_log_->counter(
+            "queue_depth", starts[i] * 1e6, kEnginePid,
+            {{"jobs", static_cast<double>(starts.size() - i - 1)}});
+    }
 }
 
 } // namespace gfp

@@ -34,12 +34,16 @@
 #ifndef GFP_ENGINE_BATCH_ENGINE_H
 #define GFP_ENGINE_BATCH_ENGINE_H
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/trace_event.h"
+
+#include "engine/metrics.h"
 #include "isa/program.h"
 #include "sim/cpu.h"
 #include "sim/fault_injector.h"
@@ -86,6 +90,13 @@ struct JobResult
     CycleStats stats;    ///< guest cycle statistics of this job's run
     unsigned worker = 0; ///< index of the worker that ran the job
 
+    /** Host wall-clock telemetry, relative to the start of the run()
+     *  (or runSerial()) call that produced this result: when this job
+     *  began on its worker and how long it held the worker.  Feeds the
+     *  engine's Metrics histograms and trace export. */
+    double start_seconds = 0;
+    double host_seconds = 0;
+
     /** Outputs read back after a clean halt (empty if trapped). */
     std::map<std::string, std::vector<uint8_t>> outputs;
     std::map<std::string, uint32_t> words;
@@ -107,6 +118,9 @@ struct BatchProgram
 class BatchEngine
 {
   public:
+    /** Trace pid for engine worker tracks (the guest tracer uses 1). */
+    static constexpr int kEnginePid = 2;
+
     struct Options
     {
         /** Worker threads; 0 picks std::thread::hardware_concurrency().
@@ -162,15 +176,40 @@ class BatchEngine
         return worker_stats_;
     }
 
+    /**
+     * Telemetry of the last run() / runSerial(): job and trap
+     * counters, jobs/s, per-worker utilization gauges, and host-side
+     * latency histograms (see engine/metrics.h for the naming
+     * conventions).  Reset at the start of every run.
+     */
+    const Metrics &metrics() const { return metrics_; }
+
+    /**
+     * Attach a trace log (common/trace_event.h); every subsequent run
+     * appends one "X" span per job on its worker's track (pid 2, one
+     * tid per worker; args carry queue wait and trap kind) plus a
+     * queue-depth counter series.  nullptr detaches.  The caller owns
+     * the log and must keep it alive while attached.
+     */
+    void setTraceLog(TraceLog *log) { trace_log_ = log; }
+
   private:
-    /** Recycle @p machine and run one job on it. */
-    JobResult runOne(Machine &machine, const Job &job) const;
+    /** Recycle @p machine and run one job on it; start/host seconds
+     *  are measured against @p epoch. */
+    JobResult runOne(Machine &machine, const Job &job,
+                     std::chrono::steady_clock::time_point epoch) const;
+
+    /** Fill metrics_ and the attached trace log from a finished run. */
+    void recordRunTelemetry(const std::vector<JobResult> &results,
+                            double elapsed_seconds, unsigned n_workers);
 
     Program program_;
     CoreKind kind_;
     Options opts_;
     unsigned threads_;
     std::vector<CycleStats> worker_stats_;
+    Metrics metrics_;
+    TraceLog *trace_log_ = nullptr;
 };
 
 } // namespace gfp

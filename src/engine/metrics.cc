@@ -1,0 +1,152 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/strutil.h"
+#include "common/trace_event.h"
+
+namespace gfp {
+
+void
+Metrics::add(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+}
+
+void
+Metrics::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = value;
+}
+
+void
+Metrics::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Histogram &h = histograms_[name];
+    if (h.count == 0) {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = std::min(h.min, value);
+        h.max = std::max(h.max, value);
+    }
+    ++h.count;
+    h.sum += value;
+    unsigned b = 0;
+    while (b + 1 < kHistBuckets && value > std::ldexp(1.0, b))
+        ++b;
+    ++h.buckets[b];
+}
+
+double
+Metrics::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+double
+Metrics::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Metrics::Histogram
+Metrics::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram() : it->second;
+}
+
+void
+Metrics::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+namespace {
+
+std::string
+jsonNumber(double v)
+{
+    if (std::isfinite(v) &&
+        v == static_cast<double>(static_cast<long long>(v)))
+        return strprintf("%lld", static_cast<long long>(v));
+    return strprintf("%.6g", v);
+}
+
+} // namespace
+
+std::string
+Metrics::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : counters_) {
+        out += strprintf("%s\n    \"%s\": %s", first ? "" : ",",
+                         jsonEscape(name).c_str(), jsonNumber(v).c_str());
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : gauges_) {
+        out += strprintf("%s\n    \"%s\": %s", first ? "" : ",",
+                         jsonEscape(name).c_str(), jsonNumber(v).c_str());
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        out += strprintf(
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, "
+            "\"min\": %s, \"max\": %s, \"buckets\": {",
+            first ? "" : ",", jsonEscape(name).c_str(),
+            static_cast<unsigned long long>(h.count),
+            jsonNumber(h.sum).c_str(), jsonNumber(h.min).c_str(),
+            jsonNumber(h.max).c_str());
+        bool bfirst = true;
+        for (unsigned b = 0; b < kHistBuckets; ++b) {
+            if (!h.buckets[b])
+                continue;
+            std::string le = b + 1 < kHistBuckets
+                                 ? strprintf("%.0f", std::ldexp(1.0, b))
+                                 : "+inf";
+            out += strprintf("%s\"%s\": %llu", bfirst ? "" : ", ",
+                             le.c_str(),
+                             static_cast<unsigned long long>(h.buckets[b]));
+            bfirst = false;
+        }
+        out += "}}";
+        first = false;
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+Metrics::writeTo(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << toJson();
+    return static_cast<bool>(f);
+}
+
+} // namespace gfp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small metrics registry for the batch engine: named counters,
+ * gauges, and histograms, snapshotted to JSON.
+ *
+ * The registry is deliberately schema-free — callers create a metric
+ * by touching its name — and thread-safe, so engine workers can record
+ * into it concurrently.  Conventions used by BatchEngine (documented
+ * in docs/PROFILING.md):
+ *
+ *   counters    jobs_total, jobs_failed_total, trap_<kind>_total
+ *   gauges      workers, jobs_per_sec, queue_depth_peak,
+ *               worker<i>_utilization (busy time / wall time)
+ *   histograms  job_host_us (per-job host wall-clock, microseconds),
+ *               job_guest_cycles
+ *
+ * Histograms keep count/sum/min/max plus power-of-two buckets
+ * (le 1, 2, 4, ... 2^30), enough for latency shape without a
+ * quantile sketch.
+ */
+
+#ifndef GFP_ENGINE_METRICS_H
+#define GFP_ENGINE_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gfp {
+
+class Metrics
+{
+  public:
+    static constexpr unsigned kHistBuckets = 31; ///< le 2^0 .. 2^29, +inf
+
+    struct Histogram
+    {
+        uint64_t count = 0;
+        double sum = 0;
+        double min = 0;
+        double max = 0;
+        /** bucket[i] counts observations <= 2^i; the last is +inf. */
+        std::array<uint64_t, kHistBuckets> buckets{};
+    };
+
+    /** Add @p delta (default 1) to a monotonic counter. */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Set a gauge to its current value. */
+    void set(const std::string &name, double value);
+
+    /** Record one observation into a histogram. */
+    void observe(const std::string &name, double value);
+
+    double counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+    Histogram histogram(const std::string &name) const;
+
+    void clear();
+
+    /** {"counters": {...}, "gauges": {...}, "histograms": {...}} */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace gfp
+
+#endif // GFP_ENGINE_METRICS_H

@@ -1,0 +1,52 @@
+#include "hwmodel/energy_model.h"
+
+namespace gfp {
+
+EnergyModel
+EnergyModel::nominal()
+{
+    ProcessorSynthesis p;
+    // uW / MHz is pJ/cycle exactly.
+    return EnergyModel(p.shell_power_uw / p.frequency_mhz,
+                       p.gfau_power_uw / p.frequency_mhz,
+                       p.nominal_voltage, p.frequency_mhz);
+}
+
+EnergyModel
+EnergyModel::scaled07v()
+{
+    ProcessorSynthesis p;
+    // The paper publishes the scaled total and GFAU power; the shell is
+    // their difference (231 - 75 = 156 uW).
+    const double shell_uw = p.total_power_uw_at_07v - p.gfau_power_uw_at_07v;
+    return EnergyModel(shell_uw / p.frequency_mhz,
+                       p.gfau_power_uw_at_07v / p.frequency_mhz,
+                       p.scaled_voltage, p.frequency_mhz);
+}
+
+double
+EnergyModel::runEnergyPj(const CycleStats &stats) const
+{
+    return shell_pj_per_cycle_ * static_cast<double>(stats.cycles) +
+           gfauEnergyPj(stats);
+}
+
+double
+EnergyModel::gfauEnergyPj(const CycleStats &stats) const
+{
+    const uint64_t gf_cycles =
+        stats.gf_simd_cycles + stats.gf32_cycles + stats.gfcfg_cycles;
+    return gfau_pj_per_cycle_ * static_cast<double>(gf_cycles);
+}
+
+double
+EnergyModel::averagePowerUw(const CycleStats &stats) const
+{
+    if (stats.cycles == 0)
+        return 0.0;
+    // pJ / (cycles / MHz) us = pJ/us = uW.
+    const double us = static_cast<double>(stats.cycles) / clock_mhz_;
+    return runEnergyPj(stats) / us;
+}
+
+} // namespace gfp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-cycle energy attribution from the 28nm calibration constants.
+ *
+ * The paper reports average power at the 100 MHz / 0.9 V operating
+ * point (Table 11): 279 uW for the two-stage processor shell and
+ * 152 uW for the GF arithmetic unit.  Average power at a fixed clock
+ * is energy per cycle — 1 uW at 1 MHz is exactly 1 pJ/cycle — so the
+ * published figures convert to:
+ *
+ *   shell  279 uW / 100 MHz = 2.79 pJ per cycle (every cycle: fetch,
+ *          decode, registers, and the integer datapath are alive
+ *          regardless of what retires)
+ *   GFAU   152 uW / 100 MHz = 1.52 pJ per cycle in which the GF unit
+ *          is exercised (gfsimd / gf32 / gfcfg-class cycles)
+ *
+ * EnergyModel joins these rates against cycle counts — a whole-run
+ * CycleStats or a single profiled pc's class/cycle pair — to produce
+ * Table 7/11-style energy breakdowns automatically.  The 0.7 V model
+ * uses the paper's SPICE-measured scaled powers (231 uW total, 75 uW
+ * GFAU), not a naive V^2 scaling.
+ *
+ * This is attribution of *published averages*, not microarchitectural
+ * power simulation: within a class every cycle costs the same.
+ */
+
+#ifndef GFP_HWMODEL_ENERGY_MODEL_H
+#define GFP_HWMODEL_ENERGY_MODEL_H
+
+#include "hwmodel/synthesis.h"
+#include "isa/isa.h"
+#include "sim/stats.h"
+
+namespace gfp {
+
+class EnergyModel
+{
+  public:
+    /** The 0.9 V / 100 MHz operating point of Table 11. */
+    static EnergyModel nominal();
+
+    /** The paper's SPICE-measured 0.7 V point (Sec. 3.4). */
+    static EnergyModel scaled07v();
+
+    /** pJ burned by one cycle of class @p cls: the shell rate, plus
+     *  the GFAU rate when the cycle exercises the GF unit. */
+    double
+    cyclePj(InstrClass cls) const
+    {
+        return shell_pj_per_cycle_ +
+               (usesGfau(cls) ? gfau_pj_per_cycle_ : 0.0);
+    }
+
+    /** pJ for @p cycles cycles of class @p cls. */
+    double
+    energyPj(InstrClass cls, uint64_t cycles) const
+    {
+        return cyclePj(cls) * static_cast<double>(cycles);
+    }
+
+    /** Total pJ for a whole run's statistics. */
+    double runEnergyPj(const CycleStats &stats) const;
+
+    /** Of runEnergyPj, the pJ attributable to the GF unit. */
+    double gfauEnergyPj(const CycleStats &stats) const;
+
+    /** Average power in uW if the run executes back-to-back at the
+     *  model's clock (energy / time; sanity-checks against Table 11). */
+    double averagePowerUw(const CycleStats &stats) const;
+
+    double shellPjPerCycle() const { return shell_pj_per_cycle_; }
+    double gfauPjPerCycle() const { return gfau_pj_per_cycle_; }
+    double voltage() const { return voltage_; }
+    double clockMhz() const { return clock_mhz_; }
+
+    static bool
+    usesGfau(InstrClass cls)
+    {
+        return cls == InstrClass::kGfSimd || cls == InstrClass::kGf32 ||
+               cls == InstrClass::kGfCfg;
+    }
+
+  private:
+    EnergyModel(double shell_pj, double gfau_pj, double voltage,
+                double clock_mhz)
+        : shell_pj_per_cycle_(shell_pj), gfau_pj_per_cycle_(gfau_pj),
+          voltage_(voltage), clock_mhz_(clock_mhz)
+    {
+    }
+
+    double shell_pj_per_cycle_;
+    double gfau_pj_per_cycle_;
+    double voltage_;
+    double clock_mhz_;
+};
+
+} // namespace gfp
+
+#endif // GFP_HWMODEL_ENERGY_MODEL_H

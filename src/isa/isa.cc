@@ -114,9 +114,28 @@ classOf(Op op)
         return InstrClass::kGf32;
       case Op::kGfCfg:
         return InstrClass::kGfCfg;
+      case Op::kNop:
+      case Op::kHalt:
+        return InstrClass::kCtrl;
       default:
         return InstrClass::kAlu;
     }
+}
+
+const char *
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::kAlu:    return "alu";
+      case InstrClass::kLoad:   return "load";
+      case InstrClass::kStore:  return "store";
+      case InstrClass::kBranch: return "branch";
+      case InstrClass::kCtrl:   return "ctrl";
+      case InstrClass::kGfSimd: return "gfsimd";
+      case InstrClass::kGf32:   return "gf32";
+      case InstrClass::kGfCfg:  return "gfcfg";
+    }
+    GFP_PANIC("instrClassName: bad class %d", static_cast<int>(cls));
 }
 
 bool

@@ -94,16 +94,26 @@ enum class Op : uint8_t {
     kNumOps
 };
 
-/** Broad classification used by the cycle/statistics model. */
+/** Broad classification used by the cycle/statistics model.  Every
+ *  opcode maps to exactly one class, so the per-class counters in
+ *  CycleStats partition `instrs`/`cycles` (asserted by
+ *  CycleStats::consistent()). */
 enum class InstrClass : uint8_t {
-    kAlu,
+    kAlu,    ///< integer/bitwise data processing (incl. cmp/cmpi)
     kLoad,
     kStore,
-    kBranch,
+    kBranch, ///< all control transfers: b.cc, bl, jr, ret
+    kCtrl,   ///< nop and halt (no dataflow, no transfer)
     kGfSimd,
     kGf32,
     kGfCfg,
 };
+
+/** Number of InstrClass values (for per-class accumulation arrays). */
+constexpr unsigned kNumInstrClasses = 8;
+
+/** Human-readable class name ("alu", "load", ...). */
+const char *instrClassName(InstrClass cls);
 
 /** A decoded instruction. */
 struct Instr

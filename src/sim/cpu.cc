@@ -4,6 +4,7 @@
 #include "common/strutil.h"
 #include "isa/disasm.h"
 #include "isa/encoding.h"
+#include "sim/profiler.h"
 
 // Inner-interpreter flavor.  GFP_THREADED_DISPATCH is normally set by
 // CMake (option of the same name, default ON); computed goto needs the
@@ -664,8 +665,11 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
 
 #define GFP_RETIRE(cls, cyc, target)                                        \
     do {                                                                    \
+        const uint32_t retire_pc = pc_;                                     \
         pc_ = (target);                                                     \
         stats_.record(InstrClass::cls, (cyc));                              \
+        if (profile_)                                                       \
+            profile_->record(retire_pc, InstrClass::cls, (cyc));            \
         ++res.instrs;                                                       \
     } while (0)
 
@@ -719,13 +723,16 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
 #define GFP_CMPBCC_TAIL                                                     \
     do {                                                                    \
         stats_.record(InstrClass::kAlu, 1);                                 \
-        if (condition(f->b.op)) {                                           \
-            pc_ = pc_ + 8 + static_cast<uint32_t>(f->b.imm) * 4;            \
-            stats_.record(InstrClass::kBranch, 2);                          \
-        } else {                                                            \
-            pc_ += 8;                                                       \
-            stats_.record(InstrClass::kBranch, 1);                          \
+        const unsigned br_cyc = condition(f->b.op) ? 2 : 1;                 \
+        stats_.record(InstrClass::kBranch, br_cyc);                         \
+        if (profile_) {                                                     \
+            profile_->record(pc_, InstrClass::kAlu, 1);                     \
+            profile_->record(pc_ + 4, InstrClass::kBranch, br_cyc);         \
         }                                                                   \
+        if (br_cyc == 2)                                                    \
+            pc_ = pc_ + 8 + static_cast<uint32_t>(f->b.imm) * 4;            \
+        else                                                                \
+            pc_ += 8;                                                       \
         res.instrs += 2;                                                    \
     } while (0)
 
@@ -763,6 +770,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         r[f->b.rd] = simdApply(f->b);
         stats_.record(InstrClass::kLoad, 2);
         stats_.record(InstrClass::kGfSimd, 1);
+        if (profile_) {
+            profile_->record(pc_, InstrClass::kLoad, 2);
+            profile_->record(pc_ + 4, InstrClass::kGfSimd, 1);
+        }
         pc_ += 8;
         res.instrs += 2;
         GFP_NEXT;
@@ -785,6 +796,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         r[ld.rd] = memLoad(a32, n);
         stats_.record(InstrClass::kAlu, 1);
         stats_.record(InstrClass::kLoad, 2);
+        if (profile_) {
+            profile_->record(pc_, InstrClass::kAlu, 1);
+            profile_->record(pc_ + 4, InstrClass::kLoad, 2);
+        }
         pc_ += 8;
         res.instrs += 2;
         GFP_NEXT;
@@ -810,6 +825,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         memStore(a32, n, val);
         stats_.record(InstrClass::kAlu, 1);
         stats_.record(InstrClass::kStore, 2);
+        if (profile_) {
+            profile_->record(pc_, InstrClass::kAlu, 1);
+            profile_->record(pc_ + 4, InstrClass::kStore, 2);
+        }
         pc_ += 8;
         res.instrs += 2;
         GFP_NEXT;
@@ -823,8 +842,11 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         for (unsigned k = 1; k < f->len; ++k)
             v = gfau_.simdSquare(v);
         r[f->a.rd] = v;
-        for (unsigned k = 0; k < f->len; ++k)
+        for (unsigned k = 0; k < f->len; ++k) {
             stats_.record(InstrClass::kGfSimd, 1);
+            if (profile_)
+                profile_->record(pc_ + 4u * k, InstrClass::kGfSimd, 1);
+        }
         pc_ += 4u * f->len;
         res.instrs += f->len;
         GFP_NEXT;
@@ -916,14 +938,14 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
 
     GFP_CASE(Nop)
     {
-        GFP_RETIRE(kAlu, 1, pc_ + 4);
+        GFP_RETIRE(kCtrl, 1, pc_ + 4);
         GFP_NEXT;
     }
 
     GFP_CASE(Halt)
     {
         halted_ = true;
-        GFP_RETIRE(kAlu, 1, pc_ + 4);
+        GFP_RETIRE(kCtrl, 1, pc_ + 4);
         return;
     }
 
@@ -1063,6 +1085,7 @@ Core::step()
     const Instr &in = *fetched;
     if (trace_)
         trace_(pc_, in);
+    const uint32_t retire_pc = pc_;
 
     StepResult out;
     try {
@@ -1077,6 +1100,8 @@ Core::step()
     }
 
     stats_.record(cls, out.cycles);
+    if (profile_)
+        profile_->record(retire_pc, cls, out.cycles);
     if (fault_hook_)
         fault_hook_(*this, stats_.cycles);
     return out;

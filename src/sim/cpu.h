@@ -40,6 +40,8 @@
 
 namespace gfp {
 
+class PcProfile;
+
 enum class CoreKind { kBaseline, kGfProcessor };
 
 /** Architectural state an SEU can strike (sim/fault_injector.h). */
@@ -143,6 +145,19 @@ class Core
     GFArithmeticUnit &gfau();
     const GFArithmeticUnit &gfau() const;
 
+    /**
+     * Attach a per-PC profiler (sim/profiler.h); nullptr detaches.  The
+     * profile receives one record per retired instruction with the same
+     * class/cycle pair CycleStats sees, on *both* execution paths —
+     * unlike a trace hook, attaching a profile does not force the
+     * stepping path, and fused micro-ops are de-aggregated to their
+     * constituent PCs so plain and fused profiles match exactly.  The
+     * caller owns the profile and must keep it alive while attached.
+     * Detached cost is one null check per retire.
+     */
+    void setProfile(PcProfile *profile) { profile_ = profile; }
+    PcProfile *profile() const { return profile_; }
+
     /** Optional per-retire hook: (pc, instruction) before side effects. */
     using TraceHook = std::function<void(uint32_t, const Instr &)>;
     void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
@@ -222,6 +237,7 @@ class Core
     uint32_t pending_addr_ = 0;
     TrapKind requested_trap_ = TrapKind::kNone; // raised via requestTrap()
     CycleStats stats_;
+    PcProfile *profile_ = nullptr;
     TraceHook trace_;
     FaultHook fault_hook_;
 

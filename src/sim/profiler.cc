@@ -1,0 +1,70 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+
+namespace gfp {
+
+PcProfile::PcCount
+PcProfile::at(uint32_t pc) const
+{
+    const uint32_t idx = pc >> 2;
+    if ((pc & 3u) == 0 && idx < dense_.size())
+        return dense_[idx];
+    auto it = overflow_.find(pc);
+    return it == overflow_.end() ? PcCount() : it->second;
+}
+
+std::vector<std::pair<uint32_t, PcProfile::PcCount>>
+PcProfile::nonZero() const
+{
+    std::vector<std::pair<uint32_t, PcCount>> out;
+    for (uint32_t i = 0; i < dense_.size(); ++i)
+        if (dense_[i].instrs)
+            out.emplace_back(4 * i, dense_[i]);
+    for (const auto &[pc, c] : overflow_)
+        if (c.instrs)
+            out.emplace_back(pc, c);
+    // dense_ entries are already ascending; overflow pcs interleave only
+    // when they are unaligned or beyond the region, so a full sort keeps
+    // the contract simple.
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
+uint64_t
+PcProfile::sumPcInstrs() const
+{
+    uint64_t s = 0;
+    for (const auto &c : dense_)
+        s += c.instrs;
+    for (const auto &[pc, c] : overflow_)
+        s += c.instrs;
+    return s;
+}
+
+uint64_t
+PcProfile::sumPcCycles() const
+{
+    uint64_t s = 0;
+    for (const auto &c : dense_)
+        s += c.cycles;
+    for (const auto &[pc, c] : overflow_)
+        s += c.cycles;
+    return s;
+}
+
+bool
+PcProfile::consistent() const
+{
+    uint64_t class_ops = 0, class_cycles = 0;
+    for (unsigned i = 0; i < kNumInstrClasses; ++i) {
+        class_ops += class_ops_[i];
+        class_cycles += class_cycles_[i];
+    }
+    return sumPcInstrs() == total_instrs_ &&
+           sumPcCycles() == total_cycles_ && class_ops == total_instrs_ &&
+           class_cycles == total_cycles_;
+}
+
+} // namespace gfp

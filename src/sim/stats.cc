@@ -9,8 +9,8 @@ CycleStats::summary() const
 {
     std::string s = strprintf(
         "instrs=%llu cycles=%llu | LD %llu/%llu ST %llu/%llu "
-        "ALU %llu/%llu BR %llu/%llu GFSIMD %llu/%llu GF32 %llu/%llu "
-        "GFCFG %llu/%llu (ops/cycles)",
+        "ALU %llu/%llu BR %llu/%llu CTRL %llu/%llu GFSIMD %llu/%llu "
+        "GF32 %llu/%llu GFCFG %llu/%llu (ops/cycles)",
         static_cast<unsigned long long>(instrs),
         static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(load_ops),
@@ -21,6 +21,8 @@ CycleStats::summary() const
         static_cast<unsigned long long>(alu_cycles),
         static_cast<unsigned long long>(branch_ops),
         static_cast<unsigned long long>(branch_cycles),
+        static_cast<unsigned long long>(ctrl_ops),
+        static_cast<unsigned long long>(ctrl_cycles),
         static_cast<unsigned long long>(gf_simd_ops),
         static_cast<unsigned long long>(gf_simd_cycles),
         static_cast<unsigned long long>(gf32_ops),

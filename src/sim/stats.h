@@ -4,6 +4,14 @@
  * the categories the paper's Table 7 reports: loads, stores, 32-bit GF
  * partial products, SIMD GF operations, "ALUs" (all integer/bitwise
  * data processing) and control flow.
+ *
+ * The per-class counters *partition* the totals: every opcode class has
+ * its own bucket (an audit found nop/halt previously folded into the
+ * generic ALU bucket — they now have their own `ctrl` counters; gfcfg's
+ * 2-cycle memory read was already tracked in its own bucket), and
+ * consistent() asserts that class ops/cycles sum exactly to
+ * `instrs`/`cycles`.  The per-PC profiler (sim/profiler.h) relies on
+ * the same partition for its attribution invariant.
  */
 
 #ifndef GFP_SIM_STATS_H
@@ -25,6 +33,7 @@ struct CycleStats
     uint64_t store_ops = 0, store_cycles = 0;
     uint64_t alu_ops = 0, alu_cycles = 0;
     uint64_t branch_ops = 0, branch_cycles = 0;
+    uint64_t ctrl_ops = 0, ctrl_cycles = 0;
     uint64_t gf_simd_ops = 0, gf_simd_cycles = 0;
     uint64_t gf32_ops = 0, gf32_cycles = 0;
     uint64_t gfcfg_ops = 0, gfcfg_cycles = 0;
@@ -51,6 +60,8 @@ struct CycleStats
             ++store_ops; store_cycles += cycles_taken; break;
           case InstrClass::kBranch:
             ++branch_ops; branch_cycles += cycles_taken; break;
+          case InstrClass::kCtrl:
+            ++ctrl_ops; ctrl_cycles += cycles_taken; break;
           case InstrClass::kGfSimd:
             ++gf_simd_ops; gf_simd_cycles += cycles_taken; break;
           case InstrClass::kGf32:
@@ -60,6 +71,64 @@ struct CycleStats
           case InstrClass::kAlu:
             ++alu_ops; alu_cycles += cycles_taken; break;
         }
+    }
+
+    /** Ops of class @p cls (the bucket record() fills for it). */
+    uint64_t
+    classOps(InstrClass cls) const
+    {
+        switch (cls) {
+          case InstrClass::kLoad:   return load_ops;
+          case InstrClass::kStore:  return store_ops;
+          case InstrClass::kBranch: return branch_ops;
+          case InstrClass::kCtrl:   return ctrl_ops;
+          case InstrClass::kGfSimd: return gf_simd_ops;
+          case InstrClass::kGf32:   return gf32_ops;
+          case InstrClass::kGfCfg:  return gfcfg_ops;
+          case InstrClass::kAlu:    return alu_ops;
+        }
+        return 0;
+    }
+
+    /** Cycles of class @p cls. */
+    uint64_t
+    classCycles(InstrClass cls) const
+    {
+        switch (cls) {
+          case InstrClass::kLoad:   return load_cycles;
+          case InstrClass::kStore:  return store_cycles;
+          case InstrClass::kBranch: return branch_cycles;
+          case InstrClass::kCtrl:   return ctrl_cycles;
+          case InstrClass::kGfSimd: return gf_simd_cycles;
+          case InstrClass::kGf32:   return gf32_cycles;
+          case InstrClass::kGfCfg:  return gfcfg_cycles;
+          case InstrClass::kAlu:    return alu_cycles;
+        }
+        return 0;
+    }
+
+    /** Sum of every class ops bucket — must equal `instrs`. */
+    uint64_t
+    sumClassOps() const
+    {
+        return load_ops + store_ops + alu_ops + branch_ops + ctrl_ops +
+               gf_simd_ops + gf32_ops + gfcfg_ops;
+    }
+
+    /** Sum of every class cycles bucket — must equal `cycles`. */
+    uint64_t
+    sumClassCycles() const
+    {
+        return load_cycles + store_cycles + alu_cycles + branch_cycles +
+               ctrl_cycles + gf_simd_cycles + gf32_cycles + gfcfg_cycles;
+    }
+
+    /** The class buckets partition the totals: no op ever falls through
+     *  uncounted and none is double-counted. */
+    bool
+    consistent() const
+    {
+        return sumClassOps() == instrs && sumClassCycles() == cycles;
     }
 
     CycleStats &
@@ -75,6 +144,8 @@ struct CycleStats
         alu_cycles += o.alu_cycles;
         branch_ops += o.branch_ops;
         branch_cycles += o.branch_cycles;
+        ctrl_ops += o.ctrl_ops;
+        ctrl_cycles += o.ctrl_cycles;
         gf_simd_ops += o.gf_simd_ops;
         gf_simd_cycles += o.gf_simd_cycles;
         gf32_ops += o.gf32_ops;
@@ -101,6 +172,8 @@ struct CycleStats
         d.alu_cycles = alu_cycles - o.alu_cycles;
         d.branch_ops = branch_ops - o.branch_ops;
         d.branch_cycles = branch_cycles - o.branch_cycles;
+        d.ctrl_ops = ctrl_ops - o.ctrl_ops;
+        d.ctrl_cycles = ctrl_cycles - o.ctrl_cycles;
         d.gf_simd_ops = gf_simd_ops - o.gf_simd_ops;
         d.gf_simd_cycles = gf_simd_cycles - o.gf_simd_cycles;
         d.gf32_ops = gf32_ops - o.gf32_ops;
@@ -114,8 +187,11 @@ struct CycleStats
     }
 
     /** Ops in the paper's "ALUs" bucket (data processing + control). */
-    uint64_t aluBucketOps() const { return alu_ops + branch_ops; }
-    uint64_t aluBucketCycles() const { return alu_cycles + branch_cycles; }
+    uint64_t aluBucketOps() const { return alu_ops + ctrl_ops + branch_ops; }
+    uint64_t aluBucketCycles() const
+    {
+        return alu_cycles + ctrl_cycles + branch_cycles;
+    }
 
     std::string summary() const;
 };

@@ -1,0 +1,110 @@
+#include "sim/tracer.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "sim/trap.h"
+
+namespace gfp {
+
+GuestTracer::GuestTracer(TraceLog &log, Core &core, const Program &program,
+                         double clock_mhz)
+    : log_(log), core_(core), program_(program), clock_mhz_(clock_mhz)
+{
+    const uint32_t code_end =
+        static_cast<uint32_t>(program_.code.size()) * 4;
+    for (const auto &[name, addr] : program_.symbols)
+        if (addr < code_end)
+            regions_.push_back(Region{addr, name});
+    std::sort(regions_.begin(), regions_.end(),
+              [](const Region &a, const Region &b) {
+                  return a.addr < b.addr;
+              });
+    // The entry point is a region even when unlabeled.
+    if (regions_.empty() || regions_.front().addr != 0)
+        regions_.insert(regions_.begin(), Region{0, "_entry"});
+
+    log_.processName(kGuestPid, "gfp guest");
+    log_.threadName(kGuestPid, kPhaseTid, "kernel phases");
+    log_.threadName(kGuestPid, kMarkerTid, "events");
+}
+
+int
+GuestTracer::regionOf(uint32_t pc) const
+{
+    // First region with addr > pc, minus one.
+    size_t lo = 0, hi = regions_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (regions_[mid].addr <= pc)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return static_cast<int>(lo) - 1;
+}
+
+void
+GuestTracer::attach()
+{
+    cur_region_ = -1;
+    region_start_cycle_ = core_.stats().cycles;
+    last_cycle_ = region_start_cycle_;
+    core_.setTraceHook(
+        [this](uint32_t pc, const Instr &in) { onRetire(pc, in); });
+    attached_ = true;
+}
+
+void
+GuestTracer::onRetire(uint32_t pc, const Instr &in)
+{
+    // The hook fires before execute(), so stats().cycles is the cycle
+    // count at which this instruction *starts*.
+    const uint64_t now = core_.stats().cycles;
+    last_cycle_ = now;
+
+    const int region = regionOf(pc);
+    if (region != cur_region_) {
+        if (cur_region_ >= 0 && now > region_start_cycle_) {
+            log_.complete(regions_[cur_region_].name, "kernel",
+                          toUs(region_start_cycle_),
+                          toUs(now) - toUs(region_start_cycle_), kGuestPid,
+                          kPhaseTid);
+        }
+        cur_region_ = region;
+        region_start_cycle_ = now;
+    }
+
+    if (in.op == Op::kGfCfg) {
+        log_.instant("gfConfig", "reconfig", toUs(now), kGuestPid,
+                     kMarkerTid,
+                     {{"blob_addr", strprintf("0x%x", in.imm)}});
+    }
+}
+
+void
+GuestTracer::finish(const Trap *trap)
+{
+    if (!attached_)
+        return;
+    // Cycles retired after the last hook call (the final instruction's
+    // own cost) extend the open span to the core's cycle count.
+    const uint64_t end = core_.stats().cycles;
+    if (cur_region_ >= 0 && end > region_start_cycle_) {
+        log_.complete(regions_[cur_region_].name, "kernel",
+                      toUs(region_start_cycle_),
+                      toUs(end) - toUs(region_start_cycle_), kGuestPid,
+                      kPhaseTid);
+    }
+    if (trap && *trap) {
+        log_.instant(strprintf("trap:%s", trapKindName(trap->kind)), "trap",
+                     toUs(trap->cycle), kGuestPid, kMarkerTid,
+                     {{"pc", strprintf("0x%x", trap->pc)},
+                      {"addr", strprintf("0x%x", trap->addr)}});
+    }
+    core_.setTraceHook(nullptr);
+    attached_ = false;
+    cur_region_ = -1;
+}
+
+} // namespace gfp

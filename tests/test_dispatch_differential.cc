@@ -38,6 +38,8 @@ expectStatsEq(const CycleStats &a, const CycleStats &b,
     EXPECT_EQ(a.alu_cycles, b.alu_cycles) << what;
     EXPECT_EQ(a.branch_ops, b.branch_ops) << what;
     EXPECT_EQ(a.branch_cycles, b.branch_cycles) << what;
+    EXPECT_EQ(a.ctrl_ops, b.ctrl_ops) << what;
+    EXPECT_EQ(a.ctrl_cycles, b.ctrl_cycles) << what;
     EXPECT_EQ(a.gf_simd_ops, b.gf_simd_ops) << what;
     EXPECT_EQ(a.gf_simd_cycles, b.gf_simd_cycles) << what;
     EXPECT_EQ(a.gf32_ops, b.gf32_ops) << what;

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Intra-repo markdown link checker.
+#
+# Scans every tracked *.md file for [text](target) links and fails if a
+# relative target does not resolve to a file in the repo, or if a
+# #fragment does not match any heading in the target file (GitHub slug
+# rules: lowercase, punctuation stripped, spaces become hyphens).
+# External links (http/https/mailto) are ignored — CI must not depend
+# on network reachability.
+#
+# Usage: tools/check_doc_links.sh [repo-root]
+set -u
+
+root="${1:-$(git rev-parse --show-toplevel 2>/dev/null || echo .)}"
+cd "$root" || exit 2
+
+if git rev-parse --git-dir >/dev/null 2>&1; then
+    mapfile -t files < <(git ls-files '*.md')
+else
+    mapfile -t files < <(find . -name '*.md' -not -path './build/*' \
+        | sed 's|^\./||')
+fi
+
+slugify() {
+    # GitHub heading -> anchor: strip markdown emphasis/code ticks,
+    # lowercase, drop everything but alphanumerics/spaces/hyphens,
+    # spaces to hyphens.
+    printf '%s' "$1" \
+        | sed -e 's/[`*_]//g' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+has_anchor() {
+    # $1 = file, $2 = fragment (without '#')
+    local file="$1" frag="$2" line heading
+    while IFS= read -r line; do
+        heading="${line###}"
+        heading="${heading## }"
+        # Headings keep at most one leading '#' run; strip the rest.
+        heading="$(printf '%s' "$line" | sed 's/^#\{1,6\} *//')"
+        if [ "$(slugify "$heading")" = "$frag" ]; then
+            return 0
+        fi
+    done < <(grep -E '^#{1,6} ' "$file")
+    return 1
+}
+
+errors=0
+checked=0
+
+for f in "${files[@]}"; do
+    dir=$(dirname "$f")
+    # Extract every (target) of an inline [text](target) link.  One link
+    # per output line; grep -o keeps it simple and ordering stable.
+    while IFS= read -r target; do
+        target="${target#\(}"
+        target="${target%\)}"
+        # Strip optional "title" suffix:  (path "Title")
+        target="${target%% \"*}"
+        case "$target" in
+            http://* | https://* | mailto:*) continue ;;
+        esac
+        checked=$((checked + 1))
+        frag=""
+        path="$target"
+        case "$target" in
+            *'#'*)
+                frag="${target#*#}"
+                path="${target%%#*}"
+                ;;
+        esac
+        if [ -z "$path" ]; then
+            resolved="$f" # same-file #fragment
+        else
+            resolved="$dir/$path"
+        fi
+        # Normalise ./ and ../ without requiring the target to exist.
+        resolved=$(realpath -m --relative-to=. "$resolved")
+        if [ ! -e "$resolved" ]; then
+            echo "$f: dead link -> $target (no such file: $resolved)"
+            errors=$((errors + 1))
+            continue
+        fi
+        if [ -n "$frag" ] && [[ "$resolved" == *.md ]]; then
+            if ! has_anchor "$resolved" "$frag"; then
+                echo "$f: dead anchor -> $target (no heading #$frag" \
+                    "in $resolved)"
+                errors=$((errors + 1))
+            fi
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed 's/^]//')
+done
+
+echo "check_doc_links: ${#files[@]} files, $checked links," \
+    "$errors dead"
+[ "$errors" -eq 0 ]
