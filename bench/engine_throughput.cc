@@ -10,6 +10,18 @@
  * this reproduction can serve simulated decode/crypto traffic.  Every
  * number also lands in BENCH_engine.json (path overridable via argv[1])
  * so CI can archive the run.
+ *
+ * Methodology notes:
+ *  - every timed configuration is run three times; the best wall time
+ *    is reported and the relative spread (max-min)/best rides along,
+ *    so a single noisy run cannot gate an efficiency target;
+ *  - parallel efficiency is normalized to the *achievable* parallelism
+ *    min(threads, hardware_concurrency): ideal 8-worker wall time on a
+ *    4-core host is serial/4, not serial/8 — and on a 1-core host the
+ *    metric measures pure scheduler overhead (a perfectly
+ *    work-conserving pool scores ~1.0 at any width, a contended one
+ *    scores below).  On multi-core hosts with threads <= cores this is
+ *    exactly the classical speedup/threads definition.
  */
 
 #include <chrono>
@@ -53,37 +65,59 @@ syndromeJobs(unsigned n_jobs)
     return jobs;
 }
 
+/** Wall time of three repetitions of @p body: best plus the relative
+ *  spread (max-min)/best, so one preempted run cannot gate a target. */
+template <typename F>
+std::pair<double, double>
+bestOf3(F &&body)
+{
+    double best = 0, worst = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto t0 = Clock::now();
+        body();
+        double s = seconds(t0, Clock::now());
+        if (rep == 0 || s < best)
+            best = s;
+        if (rep == 0 || s > worst)
+            worst = s;
+    }
+    return {best, best > 0 ? (worst - best) / best : 0.0};
+}
+
 void
 runScaling(const char *name, const char *tag, BatchProgram bp,
            const std::vector<Job> &jobs, BenchJsonReporter &json)
 {
-    std::printf("\n  %s: %zu jobs\n", name, jobs.size());
-    std::printf("  %-26s %11s %12s %9s %7s\n", "configuration",
-                "wall [ms]", "jobs/sec", "speedup", "eff");
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::printf("\n  %s: %zu jobs (best of 3 runs, spread = "
+                "(max-min)/best)\n",
+                name, jobs.size());
+    std::printf("  %-26s %11s %8s %12s %9s %7s\n", "configuration",
+                "wall [ms]", "spread", "jobs/sec", "speedup", "eff");
 
     // The before/after anchor: the same serial engine with macro-op
     // fusion and threaded dispatch disabled — every instruction goes
     // through the single-stepping interpreter, as before this
     // optimization existed.
     BatchEngine plain_eng(bp, {.threads = 1, .fast_dispatch = false});
-    auto t0 = Clock::now();
-    auto plain = plain_eng.runSerial(jobs);
-    auto t1 = Clock::now();
-    double plain_s = seconds(t0, t1);
-    std::printf("  %-26s %11.1f %12.0f %8.2fx %6s\n",
+    std::vector<JobResult> plain;
+    auto [plain_s, plain_spread] =
+        bestOf3([&] { plain = plain_eng.runSerial(jobs); });
+    std::printf("  %-26s %11.1f %7.1f%% %12.0f %8.2fx %6s\n",
                 "serial, plain dispatch", 1e3 * plain_s,
-                jobs.size() / plain_s, 1.0, "-");
+                100.0 * plain_spread, jobs.size() / plain_s, 1.0, "-");
     json.add(strprintf("%s.plain_dispatch_jobs_per_sec", tag),
              jobs.size() / plain_s, "jobs/sec");
 
     BatchEngine serial_eng(bp, {.threads = 1});
-    t0 = Clock::now();
-    auto serial = serial_eng.runSerial(jobs);
-    t1 = Clock::now();
-    double serial_s = seconds(t0, t1);
-    std::printf("  %-26s %11.1f %12.0f %8.2fx %6s\n",
+    std::vector<JobResult> serial;
+    auto [serial_s, serial_spread] =
+        bestOf3([&] { serial = serial_eng.runSerial(jobs); });
+    std::printf("  %-26s %11.1f %7.1f%% %12.0f %8.2fx %6s\n",
                 "serial, fused dispatch", 1e3 * serial_s,
-                jobs.size() / serial_s, plain_s / serial_s, "-");
+                100.0 * serial_spread, jobs.size() / serial_s,
+                plain_s / serial_s, "-");
     json.add(strprintf("%s.serial_jobs_per_sec", tag),
              jobs.size() / serial_s, "jobs/sec");
     json.add(strprintf("%s.fused_dispatch_speedup", tag),
@@ -101,10 +135,8 @@ runScaling(const char *name, const char *tag, BatchProgram bp,
     double engine_1t_s = 0;
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
         BatchEngine eng(bp, {.threads = threads});
-        t0 = Clock::now();
-        auto par = eng.run(jobs);
-        t1 = Clock::now();
-        double s = seconds(t0, t1);
+        std::vector<JobResult> par;
+        auto [s, spread] = bestOf3([&] { par = eng.run(jobs); });
         if (threads == 1)
             engine_1t_s = s;
         // Parity check while we are here: engine == serial, bit for bit.
@@ -115,19 +147,34 @@ runScaling(const char *name, const char *tag, BatchProgram bp,
                 return;
             }
         }
-        // Scaling efficiency: fraction of ideal linear speedup over the
-        // 1-thread engine run (so pool overhead shows at threads=1 as
-        // eff vs. the serial row, and contention shows beyond it).
-        double eff = engine_1t_s / (s * threads);
-        std::printf("  %-26s %11.1f %12.0f %8.2fx %5.0f%%\n",
+        // Scaling efficiency, normalized to achievable parallelism:
+        // fraction of the ideal wall time engine_1t / min(threads, hw)
+        // actually achieved.  With threads <= cores this is the
+        // classical speedup/threads; oversubscribed (or on a 1-core
+        // host) it measures scheduler overhead instead of flooring at
+        // 1/threads by construction.
+        const unsigned ideal = std::min(threads, hw);
+        double eff = engine_1t_s / (s * ideal);
+        std::printf("  %-26s %11.1f %7.1f%% %12.0f %8.2fx %5.0f%%\n",
                     strprintf("engine, %u thread%s", threads,
                               threads == 1 ? "" : "s")
                         .c_str(),
-                    1e3 * s, jobs.size() / s, plain_s / s, 100.0 * eff);
+                    1e3 * s, 100.0 * spread, jobs.size() / s,
+                    plain_s / s, 100.0 * eff);
         json.add(strprintf("%s.engine_%ut_jobs_per_sec", tag, threads),
                  jobs.size() / s, "jobs/sec");
+        json.add(strprintf("%s.engine_%ut_spread", tag, threads), spread,
+                 "fraction");
         json.add(strprintf("%s.engine_%ut_efficiency", tag, threads), eff,
                  "fraction");
+        json.add(strprintf("%s.engine_%ut_ideal_parallelism", tag,
+                           threads),
+                 ideal, "threads");
+        // Steal-path activity of the last repetition (run-scoped).
+        json.add(strprintf("%s.engine_%ut_steals", tag, threads),
+                 eng.metrics().gauge("steals"), "steals");
+        json.add(strprintf("%s.engine_%ut_jobs_stolen", tag, threads),
+                 eng.metrics().gauge("jobs_stolen"), "jobs");
     }
 }
 

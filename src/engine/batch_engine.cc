@@ -1,12 +1,15 @@
 #include "engine/batch_engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "isa/assembler.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace gfp {
 
@@ -39,7 +42,47 @@ resolveThreads(unsigned requested)
     return hw ? hw : 1;
 }
 
+void
+pinToCpu(unsigned worker_idx)
+{
+#if defined(__linux__)
+    unsigned hw = std::thread::hardware_concurrency();
+    if (!hw)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(worker_idx % hw, &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)worker_idx;
+#endif
+}
+
 } // anonymous namespace
+
+/** One finished job in a worker's arena, tagged with its batch index. */
+struct IndexedResult
+{
+    uint32_t index;
+    JobResult result;
+};
+
+/**
+ * One in-flight batch.  Worker w appends only to arenas[w], so arena
+ * writes are unsynchronized; readers (the worker that completes the
+ * batch, and the waiter) only look after the acq_rel countdown on
+ * `remaining` reached zero, which orders every arena write before them.
+ */
+struct BatchEngine::Batch
+{
+    std::vector<Job> jobs;
+    std::chrono::steady_clock::time_point epoch;
+    std::atomic<size_t> remaining{0};
+    std::vector<std::vector<IndexedResult>> arenas;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+};
 
 BatchEngine::BatchEngine(BatchProgram bp, Options opts)
     : program_(std::move(bp.program)), kind_(bp.kind), opts_(opts),
@@ -72,6 +115,290 @@ BatchEngine::BatchEngine(const std::string &asm_source, CoreKind kind)
     : BatchEngine(BatchProgram{Assembler::assemble(asm_source), kind},
                   Options())
 {
+}
+
+BatchEngine::~BatchEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        if (!pool_started_)
+            return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(idle_mu_);
+        stop_ = true;
+    }
+    idle_cv_.notify_all();
+    for (auto &t : pool_)
+        t.join();
+}
+
+void
+BatchEngine::startPool()
+{
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (pool_started_)
+        return;
+    shards_.reserve(threads_);
+    worker_steals_.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w) {
+        shards_.push_back(std::make_unique<Shard>());
+        worker_steals_.push_back(
+            std::make_unique<std::atomic<uint64_t>>(0));
+    }
+    pool_.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        pool_.emplace_back([this, w] { workerLoop(w); });
+    pool_started_ = true;
+}
+
+bool
+BatchEngine::popLocal(unsigned w, Task &out)
+{
+    Shard &sh = *shards_[w];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (sh.q.empty())
+        return false;
+    out = sh.q.front();
+    sh.q.pop_front();
+    sh.depth.fetch_sub(1, std::memory_order_relaxed);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+}
+
+bool
+BatchEngine::stealInto(unsigned w, Task &out)
+{
+    for (unsigned off = 1; off < threads_; ++off) {
+        const unsigned v = (w + off) % threads_;
+        Shard &victim = *shards_[v];
+        std::vector<Task> loot;
+        {
+            std::lock_guard<std::mutex> lk(victim.mu);
+            const size_t depth = victim.q.size();
+            if (depth == 0)
+                continue;
+            // Chase–Lev ends: the owner drains the front, so take the
+            // newer half from the back (order preserved).
+            const size_t k = (depth + 1) / 2;
+            loot.assign(victim.q.end() - static_cast<ptrdiff_t>(k),
+                        victim.q.end());
+            victim.q.erase(victim.q.end() - static_cast<ptrdiff_t>(k),
+                           victim.q.end());
+            victim.depth.fetch_sub(k, std::memory_order_relaxed);
+        }
+        out = loot.front();
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        if (loot.size() > 1) {
+            Shard &own = *shards_[w];
+            std::lock_guard<std::mutex> lk(own.mu);
+            own.q.insert(own.q.end(), loot.begin() + 1, loot.end());
+            own.depth.fetch_add(loot.size() - 1,
+                                std::memory_order_relaxed);
+        }
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        worker_steals_[w]->fetch_add(1, std::memory_order_relaxed);
+        jobs_stolen_.fetch_add(loot.size(), std::memory_order_relaxed);
+        return true;
+    }
+    steal_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+BatchEngine::workerLoop(unsigned w)
+{
+    if (opts_.pin_workers)
+        pinToCpu(w);
+    uint64_t epoch = machine_epoch_.load(std::memory_order_acquire);
+    auto machine =
+        std::make_unique<Machine>(program_, kind_, opts_.mem_bytes);
+    machine->core().setFastDispatch(opts_.fast_dispatch);
+    for (;;) {
+        const uint64_t e = machine_epoch_.load(std::memory_order_acquire);
+        if (e != epoch) {
+            // refreshWorkers(): rebuild the Machine from scratch — the
+            // engine-level fullReset analogue for long-running pools.
+            epoch = e;
+            machine =
+                std::make_unique<Machine>(program_, kind_, opts_.mem_bytes);
+            machine->core().setFastDispatch(opts_.fast_dispatch);
+        }
+        Task task;
+        if (popLocal(w, task) || stealInto(w, task)) {
+            Batch &batch = *task.batch;
+            IndexedResult entry;
+            entry.index = task.index;
+            entry.result =
+                runOne(*machine, batch.jobs[task.index], batch.epoch);
+            entry.result.worker = w;
+            batch.arenas[w].push_back(std::move(entry));
+            if (batch.remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1)
+                finishBatch(batch);
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        if (stop_ && pending_.load(std::memory_order_acquire) == 0)
+            break;
+        idle_cv_.wait(lk, [this] {
+            return stop_ ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_ && pending_.load(std::memory_order_acquire) == 0)
+            break;
+    }
+}
+
+void
+BatchEngine::finishBatch(Batch &batch)
+{
+    // The acq_rel countdown that brought us here ordered every other
+    // worker's arena writes before this scan.
+    size_t clean = 0, trapped = 0;
+    for (const auto &arena : batch.arenas)
+        for (const auto &entry : arena)
+            (entry.result.ok() ? clean : trapped) += 1;
+    metrics_.add("jobs_completed_total", static_cast<double>(clean));
+    metrics_.add("jobs_trapped_total", static_cast<double>(trapped));
+    publishPoolGauges();
+    {
+        // Notify under the lock: the waiter may destroy the batch the
+        // moment it observes done, so nothing may touch it after the
+        // lock is released.
+        std::lock_guard<std::mutex> lk(batch.mu);
+        batch.done = true;
+        batch.cv.notify_all();
+    }
+}
+
+void
+BatchEngine::publishPoolGauges()
+{
+    for (unsigned w = 0; w < threads_; ++w) {
+        metrics_.set(strprintf("shard%u_queue_depth", w),
+                     static_cast<double>(
+                         shards_[w]->depth.load(std::memory_order_relaxed)));
+        metrics_.set(strprintf("worker%u_steals", w),
+                     static_cast<double>(worker_steals_[w]->load(
+                         std::memory_order_relaxed)));
+    }
+    metrics_.set("steals", static_cast<double>(
+                               steals_.load(std::memory_order_relaxed)));
+    metrics_.set("jobs_stolen",
+                 static_cast<double>(
+                     jobs_stolen_.load(std::memory_order_relaxed)));
+    metrics_.set("steal_failures",
+                 static_cast<double>(
+                     steal_failures_.load(std::memory_order_relaxed)));
+}
+
+BatchEngine::Ticket
+BatchEngine::submitBatch(std::vector<Job> jobs)
+{
+    startPool();
+    auto batch = std::make_shared<Batch>();
+    batch->jobs = std::move(jobs);
+    batch->epoch = std::chrono::steady_clock::now();
+    const size_t n = batch->jobs.size();
+    batch->remaining.store(n, std::memory_order_relaxed);
+    batch->arenas.resize(threads_);
+
+    Ticket ticket;
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        ticket = next_ticket_++;
+        batches_.emplace(ticket, batch);
+    }
+    if (n == 0) {
+        std::lock_guard<std::mutex> lk(batch->mu);
+        batch->done = true;
+        return ticket;
+    }
+    metrics_.add("jobs_submitted_total", static_cast<double>(n));
+
+    // Slice the batch into at most one contiguous run per shard — N
+    // jobs enter a shard per lock acquisition, instead of one.  The
+    // starting shard rotates per batch so small batches spread out.
+    const size_t slices = std::min<size_t>(threads_, n);
+    const unsigned start =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % threads_;
+    size_t base = 0;
+    for (size_t s = 0; s < slices; ++s) {
+        const size_t count = n / slices + (s < n % slices ? 1 : 0);
+        const unsigned idx = (start + static_cast<unsigned>(s)) % threads_;
+        Shard &sh = *shards_[idx];
+        {
+            std::lock_guard<std::mutex> lk(sh.mu);
+            for (size_t i = base; i < base + count; ++i)
+                sh.q.push_back(
+                    Task{batch.get(), static_cast<uint32_t>(i)});
+            sh.depth.fetch_add(count, std::memory_order_relaxed);
+        }
+        metrics_.observe("submit_batch_jobs", static_cast<double>(count));
+        metrics_.set(strprintf("shard%u_queue_depth", idx),
+                     static_cast<double>(
+                         sh.depth.load(std::memory_order_relaxed)));
+        base += count;
+    }
+    pending_.fetch_add(n, std::memory_order_acq_rel);
+    {
+        // Taking the idle lock (even empty) orders the pending_ bump
+        // against any worker mid-way into its sleep decision.
+        std::lock_guard<std::mutex> lk(idle_mu_);
+    }
+    idle_cv_.notify_all();
+    return ticket;
+}
+
+std::vector<JobResult>
+BatchEngine::wait(Ticket ticket)
+{
+    std::shared_ptr<Batch> batch;
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        auto it = batches_.find(ticket);
+        GFP_ASSERT(it != batches_.end(),
+                   "unknown or already-redeemed batch ticket %llu",
+                   static_cast<unsigned long long>(ticket));
+        batch = it->second;
+        batches_.erase(it);
+    }
+    {
+        std::unique_lock<std::mutex> lk(batch->mu);
+        batch->cv.wait(lk, [&] { return batch->done; });
+    }
+
+    // Drain the per-worker arenas into the job-ordered result vector.
+    // The exactly-once contract is asserted structurally: every index
+    // appears exactly once across all arenas.
+    std::vector<JobResult> results(batch->jobs.size());
+    std::vector<CycleStats> stats(threads_, CycleStats());
+    std::vector<uint8_t> seen(batch->jobs.size(), 0);
+    size_t merged = 0;
+    for (auto &arena : batch->arenas) {
+        for (auto &entry : arena) {
+            GFP_ASSERT(entry.index < results.size() && !seen[entry.index],
+                       "job %u executed more than once", entry.index);
+            seen[entry.index] = 1;
+            stats[entry.result.worker] += entry.result.stats;
+            results[entry.index] = std::move(entry.result);
+            ++merged;
+        }
+    }
+    GFP_ASSERT(merged == results.size(),
+               "batch executed %zu of %zu jobs", merged, results.size());
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        worker_stats_ = std::move(stats);
+    }
+    return results;
+}
+
+void
+BatchEngine::refreshWorkers()
+{
+    machine_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 JobResult
@@ -116,49 +443,48 @@ BatchEngine::runOne(Machine &machine, const Job &job,
 std::vector<JobResult>
 BatchEngine::run(const std::vector<Job> &jobs)
 {
-    const unsigned n_workers =
-        static_cast<unsigned>(std::min<size_t>(threads_, jobs.size()));
-    std::vector<JobResult> results(jobs.size());
-    worker_stats_.assign(std::max(n_workers, 1u), CycleStats());
     metrics_.clear();
-    if (jobs.empty())
-        return results;
-    const auto epoch = std::chrono::steady_clock::now();
-
-    // Self-scheduling work queue: workers pull the next unclaimed job
-    // index, so a slow job (or a long watchdog) never stalls the rest
-    // of the batch behind a static partition.
-    std::atomic<size_t> next{0};
-    auto worker = [&](unsigned worker_idx) {
-        Machine machine(program_, kind_, opts_.mem_bytes);
-        machine.core().setFastDispatch(opts_.fast_dispatch);
-        CycleStats aggregate;
-        while (true) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                break;
-            results[i] = runOne(machine, jobs[i], epoch);
-            results[i].worker = worker_idx;
-            aggregate += results[i].stats;
-        }
-        worker_stats_[worker_idx] = aggregate;
-    };
-
-    if (n_workers <= 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_workers);
-        for (unsigned w = 0; w < n_workers; ++w)
-            pool.emplace_back(worker, w);
-        for (auto &t : pool)
-            t.join();
+    if (jobs.empty()) {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        worker_stats_.assign(1, CycleStats());
+        return {};
     }
+    // Snapshot the steal counters so the gauges published after this
+    // run are run-scoped (the raw atomics are engine-lifetime).
+    startPool();
+    const uint64_t steals0 = steals_.load(std::memory_order_relaxed);
+    const uint64_t stolen0 = jobs_stolen_.load(std::memory_order_relaxed);
+    const uint64_t fails0 =
+        steal_failures_.load(std::memory_order_relaxed);
+    std::vector<uint64_t> worker0(threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        worker0[w] = worker_steals_[w]->load(std::memory_order_relaxed);
+
+    const auto epoch = std::chrono::steady_clock::now();
+    Ticket ticket = submitBatch(jobs);
+    auto results = wait(ticket);
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       epoch)
             .count();
-    recordRunTelemetry(results, elapsed, std::max(n_workers, 1u));
+    recordRunTelemetry(results, elapsed, threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        metrics_.set(
+            strprintf("worker%u_steals", w),
+            static_cast<double>(
+                worker_steals_[w]->load(std::memory_order_relaxed) -
+                worker0[w]));
+    metrics_.set("steals",
+                 static_cast<double>(
+                     steals_.load(std::memory_order_relaxed) - steals0));
+    metrics_.set(
+        "jobs_stolen",
+        static_cast<double>(
+            jobs_stolen_.load(std::memory_order_relaxed) - stolen0));
+    metrics_.set(
+        "steal_failures",
+        static_cast<double>(
+            steal_failures_.load(std::memory_order_relaxed) - fails0));
     return results;
 }
 
@@ -176,7 +502,10 @@ BatchEngine::runSerial(const std::vector<Job> &jobs)
         results.push_back(runOne(machine, job, epoch));
         aggregate += results.back().stats;
     }
-    worker_stats_.assign(1, aggregate);
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        worker_stats_.assign(1, aggregate);
+    }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       epoch)

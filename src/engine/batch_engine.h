@@ -1,27 +1,49 @@
 /**
  * @file
- * Multi-threaded batch execution engine.
+ * Multi-threaded batch execution engine with sharded work stealing.
  *
  * The ROADMAP's production target is serving decode/crypto traffic at
  * scale, but a single Machine interprets one guest program at a time on
  * one thread.  A BatchEngine runs many *independent* jobs — RS/BCH
- * codeword decodes, AES blocks, ECDH exchanges — over a pool of worker
- * threads.  Each worker owns one reusable Machine built from the shared
- * Program and recycles it with Machine::fullReset() between jobs
- * (reset-and-rerun; the program is assembled exactly once per engine,
- * predecoded once per worker).
+ * codeword decodes, AES blocks, ECDH exchanges — over a persistent pool
+ * of worker threads.  Each worker owns one reusable Machine built from
+ * the shared Program and recycles it with Machine::fullReset() between
+ * jobs (reset-and-rerun; the program is assembled exactly once per
+ * engine, predecoded once per worker).
  *
- * Isolation guarantees:
+ * Scheduling topology (this replaced a single contended work queue and
+ * a shared results vector):
+ *
+ *  - every worker owns a *shard*: a deque of pending jobs behind its
+ *    own lock, so submission and claiming never cross one global lock;
+ *  - submitBatch() slices a batch into per-shard runs — N jobs pushed
+ *    per lock acquisition — instead of queueing jobs one at a time;
+ *  - a worker drains its own shard oldest-first; when empty it *steals*
+ *    the newer half of a victim's shard (Chase–Lev-style ends: owner at
+ *    the front, thieves at the back; per-shard locks stand in for the
+ *    lock-free protocol because batches are pushed by external
+ *    producers, which breaks the single-owner-push invariant the
+ *    original algorithm needs);
+ *  - each worker appends finished JobResults to a per-worker *result
+ *    arena* of the owning batch; arenas are drained into the job-ordered
+ *    result vector only when the batch completes, so workers never
+ *    contend on a shared results structure;
+ *  - completion is an async signal (atomic countdown + condition
+ *    variable), not a join: producers on any thread submitBatch() and
+ *    wait() on their own tickets concurrently.
+ *
+ * Isolation guarantees (unchanged from the single-queue engine):
  *  - jobs are data-driven (label-addressed input/output byte blocks),
  *    so nothing host-side is shared between workers during a run;
  *  - a faulting job (trap, watchdog, injected SEU) yields a JobResult
  *    carrying the Trap and no outputs — it never aborts the host, and
  *    fullReset() guarantees the *next* job on that worker starts from a
- *    pristine machine, so one bad job cannot poison the batch;
+ *    pristine machine, so one bad job cannot poison the batch, even
+ *    when the bad job reached its worker over the steal path;
  *  - results are returned in job order regardless of which worker ran
  *    a job, and are bit-for-bit identical to serial execution.
  *
- * Typical use:
+ * Typical synchronous use:
  *
  *     BatchEngine eng(syndromeBatchProgram(field, n, 2 * t));
  *     std::vector<Job> jobs;
@@ -29,15 +51,28 @@
  *         jobs.push_back(syndromeJob(rx, 2 * t));
  *     for (const JobResult &r : eng.run(jobs))
  *         if (r.ok()) use(r.bytes("synd"));
+ *
+ * Pipelined use (submission decoupled from completion):
+ *
+ *     auto t1 = eng.submitBatch(makeJobs(block1));
+ *     auto t2 = eng.submitBatch(makeJobs(block2));  // any thread
+ *     auto r1 = eng.wait(t1);                       // job-ordered
+ *     auto r2 = eng.wait(t2);
  */
 
 #ifndef GFP_ENGINE_BATCH_ENGINE_H
 #define GFP_ENGINE_BATCH_ENGINE_H
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -90,10 +125,10 @@ struct JobResult
     CycleStats stats;    ///< guest cycle statistics of this job's run
     unsigned worker = 0; ///< index of the worker that ran the job
 
-    /** Host wall-clock telemetry, relative to the start of the run()
-     *  (or runSerial()) call that produced this result: when this job
-     *  began on its worker and how long it held the worker.  Feeds the
-     *  engine's Metrics histograms and trace export. */
+    /** Host wall-clock telemetry, relative to the submission instant of
+     *  the batch that carried this job: when this job began on its
+     *  worker and how long it held the worker.  Feeds the engine's
+     *  Metrics histograms and trace export. */
     double start_seconds = 0;
     double host_seconds = 0;
 
@@ -121,6 +156,9 @@ class BatchEngine
     /** Trace pid for engine worker tracks (the guest tracer uses 1). */
     static constexpr int kEnginePid = 2;
 
+    /** Handle for an in-flight batch; redeem with wait(). */
+    using Ticket = uint64_t;
+
     struct Options
     {
         /** Worker threads; 0 picks std::thread::hardware_concurrency().
@@ -137,6 +175,11 @@ class BatchEngine
          *  core (bit-exact with single stepping; off is only useful for
          *  differential testing and debugging). */
         bool fast_dispatch = true;
+
+        /** Pin worker w to host CPU (w mod hardware_concurrency) so a
+         *  worker's Machine (and its predecode cache) stays cache-warm
+         *  on one core.  Linux only; silently ignored elsewhere. */
+        bool pin_workers = false;
     };
 
     BatchEngine(BatchProgram bp, Options opts);
@@ -149,7 +192,14 @@ class BatchEngine
     BatchEngine(Program program, CoreKind kind);
     BatchEngine(const std::string &asm_source, CoreKind kind);
 
-    /** Worker threads a run() will use. */
+    /** Drains queued work, then stops and joins the worker pool.
+     *  Results of tickets never redeemed with wait() are discarded. */
+    ~BatchEngine();
+
+    BatchEngine(const BatchEngine &) = delete;
+    BatchEngine &operator=(const BatchEngine &) = delete;
+
+    /** Worker threads (and shards) the pool uses. */
     unsigned threads() const { return threads_; }
 
     const Program &program() const { return program_; }
@@ -158,7 +208,9 @@ class BatchEngine
     /**
      * Run all jobs across the worker pool.  Results are indexed like
      * @p jobs.  Never throws on guest faults; a trapped job is reported
-     * in its JobResult.
+     * in its JobResult.  Equivalent to submitBatch() + wait(), plus the
+     * legacy per-run telemetry contract: the Metrics registry is
+     * cleared first and describes only this run.
      */
     std::vector<JobResult> run(const std::vector<Job> &jobs);
 
@@ -169,18 +221,48 @@ class BatchEngine
      */
     std::vector<JobResult> runSerial(const std::vector<Job> &jobs);
 
+    /**
+     * Asynchronously submit a batch: jobs are sliced into per-shard
+     * runs (one shard lock acquisition per run) and the pool starts on
+     * them immediately.  Thread-safe — any number of producer threads
+     * may submit concurrently; each batch is tracked by its own ticket
+     * and executes each job exactly once.  Unlike run(), the Metrics
+     * registry is NOT cleared, so counters accumulate across batches
+     * (that is what sustained-service callers want to watch).
+     */
+    Ticket submitBatch(std::vector<Job> jobs);
+
+    /**
+     * Block until every job of @p ticket has executed, then return its
+     * results in job order (per-worker arenas are drained and merged
+     * here, on the waiting thread).  Each ticket can be redeemed once;
+     * an unknown or already-redeemed ticket is host misuse and fatal.
+     */
+    std::vector<JobResult> wait(Ticket ticket);
+
+    /**
+     * Ask every worker to tear down and rebuild its Machine before its
+     * next job (lazy, per worker).  The per-job fullReset() already
+     * guarantees a pristine machine; this additionally discards the
+     * host-side allocations (memory arrays, predecode cache) — the
+     * engine-level analogue of fullReset() for long-running services.
+     */
+    void refreshWorkers();
+
     /** Per-worker aggregated guest cycle statistics of the last run()
-     *  (runSerial() fills a single slot). */
+     *  (or last wait(); runSerial() fills a single slot). */
     const std::vector<CycleStats> &workerStats() const
     {
         return worker_stats_;
     }
 
     /**
-     * Telemetry of the last run() / runSerial(): job and trap
-     * counters, jobs/s, per-worker utilization gauges, and host-side
-     * latency histograms (see engine/metrics.h for the naming
-     * conventions).  Reset at the start of every run.
+     * Telemetry registry.  run()/runSerial() clear it first, so after a
+     * synchronous run it describes exactly that run; across
+     * submitBatch()/wait() it accumulates.  Naming conventions are
+     * documented in engine/metrics.h (job/trap counters, jobs/s,
+     * utilization and shard-depth gauges, steal counters, latency and
+     * submission-batch histograms).
      */
     const Metrics &metrics() const { return metrics_; }
 
@@ -194,6 +276,35 @@ class BatchEngine
     void setTraceLog(TraceLog *log) { trace_log_ = log; }
 
   private:
+    struct Batch;
+
+    /** One pending job reference in a shard.  The raw Batch pointer is
+     *  safe: a batch is only released after all of its tasks executed
+     *  (remaining == 0) *and* the owner redeemed the ticket. */
+    struct Task
+    {
+        Batch *batch;
+        uint32_t index;
+    };
+
+    /** A worker's job shard: its own lock, deque, and a mirrored depth
+     *  for lock-free gauge reads.  Cache-line-aligned so neighboring
+     *  shards never false-share. */
+    struct alignas(64) Shard
+    {
+        std::mutex mu;
+        std::deque<Task> q;
+        std::atomic<size_t> depth{0};
+    };
+
+    void startPool();
+    void workerLoop(unsigned w);
+    bool popLocal(unsigned w, Task &out);
+    bool stealInto(unsigned w, Task &out);
+    void execute(unsigned w, const Task &task);
+    void finishBatch(Batch &batch);
+    void publishPoolGauges();
+
     /** Recycle @p machine and run one job on it; start/host seconds
      *  are measured against @p epoch. */
     JobResult runOne(Machine &machine, const Job &job,
@@ -207,6 +318,31 @@ class BatchEngine
     CoreKind kind_;
     Options opts_;
     unsigned threads_;
+
+    // ---- pool state ----
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> pool_;
+    std::mutex pool_mu_;   ///< guards pool start and batch registry
+    bool pool_started_ = false;
+    std::map<Ticket, std::shared_ptr<Batch>> batches_;
+    Ticket next_ticket_ = 1;
+    std::atomic<unsigned> next_shard_{0}; ///< rotates batch placement
+    std::atomic<uint64_t> machine_epoch_{0}; ///< refreshWorkers() ticks
+
+    // ---- idle/wakeup protocol: pending_ counts queued-but-unclaimed
+    // jobs; workers sleep on idle_cv_ only when it reads zero ----
+    std::mutex idle_mu_;
+    std::condition_variable idle_cv_;
+    std::atomic<size_t> pending_{0};
+    bool stop_ = false;
+
+    // ---- steal telemetry (engine-lifetime; published as gauges) ----
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> worker_steals_;
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> jobs_stolen_{0};
+    std::atomic<uint64_t> steal_failures_{0};
+
+    std::mutex stats_mu_; ///< guards worker_stats_ writes from wait()
     std::vector<CycleStats> worker_stats_;
     Metrics metrics_;
     TraceLog *trace_log_ = nullptr;

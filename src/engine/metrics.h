@@ -9,10 +9,23 @@
  * in docs/PROFILING.md):
  *
  *   counters    jobs_total, jobs_failed_total, trap_<kind>_total
+ *               (run()-scoped; recorded when a run's telemetry lands);
+ *               jobs_submitted_total, jobs_completed_total,
+ *               jobs_trapped_total (recorded live at submission and
+ *               batch completion, so they accumulate across
+ *               submitBatch()/wait() cycles — the scheduler invariant
+ *               is submitted == completed + trapped once drained)
  *   gauges      workers, jobs_per_sec, queue_depth_peak,
- *               worker<i>_utilization (busy time / wall time)
+ *               worker<i>_utilization (busy time / wall time),
+ *               shard<i>_queue_depth (per-shard pending jobs; zero
+ *               once the pool is drained),
+ *               steals / jobs_stolen / steal_failures and
+ *               worker<i>_steals (work-stealing activity; run-scoped
+ *               after run(), cumulative across submitBatch()/wait())
  *   histograms  job_host_us (per-job host wall-clock, microseconds),
- *               job_guest_cycles
+ *               job_guest_cycles,
+ *               submit_batch_jobs (jobs pushed into a shard per
+ *               submission lock acquisition)
  *
  * Histograms keep count/sum/min/max plus power-of-two buckets
  * (le 1, 2, 4, ... 2^30), enough for latency shape without a
