@@ -190,8 +190,10 @@ ControlFlowGraph::intraSucc(uint32_t idx) const
     if (!nd.valid)
         return out;
     if (nd.is_indirect) {
-        // Over-approximation: any labeled instruction.
-        out = labeled_;
+        // Refined target set when the analyzer proved one, otherwise
+        // the over-approximation: any labeled instruction.
+        auto it = indirect_targets_.find(idx);
+        out = it != indirect_targets_.end() ? it->second : labeled_;
         return out;
     }
     if (nd.is_return || nd.is_halt)
@@ -210,6 +212,27 @@ ControlFlowGraph::intraSucc(uint32_t idx) const
     if (nd.falls_through && idx + 1 < n)
         out.push_back(idx + 1);
     return out;
+}
+
+void
+ControlFlowGraph::refineIndirectTargets(uint32_t idx,
+                                        std::vector<uint32_t> targets)
+{
+    if (idx >= nodes_.size() || !nodes_[idx].is_indirect)
+        return;
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    for (uint32_t t : targets) {
+        if (t < nodes_.size())
+            nodes_[t].leader = true;
+    }
+    indirect_targets_[idx] = std::move(targets);
+    // The refined edge set can only shrink mayReturn/reachable, but
+    // both feed intraSucc (call return-site edges), so recompute from
+    // scratch rather than patching.
+    computeMayReturn();
+    computeReachable();
 }
 
 void

@@ -29,6 +29,7 @@
 #define GFP_ANALYSIS_CFG_H
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "isa/isa.h"
@@ -110,6 +111,23 @@ class ControlFlowGraph
     const std::vector<bool> &reachable() const { return reachable_; }
 
     /**
+     * Replace the labeled-nodes over-approximation of the indirect jump
+     * at @p idx with a proven target set (from the abstract
+     * interpreter's const-propagation of the jump register / jump
+     * table).  Downstream structure (mayReturn, reachability) is
+     * recomputed; the refined targets become block leaders.  Passing an
+     * empty set is legal and means "no in-code target is feasible" —
+     * the node then has no successors, like a halt.
+     */
+    void refineIndirectTargets(uint32_t idx, std::vector<uint32_t> targets);
+
+    /** True if refineIndirectTargets() has been applied to @p idx. */
+    bool indirectRefined(uint32_t idx) const
+    {
+        return indirect_targets_.count(idx) != 0;
+    }
+
+    /**
      * Strongly connected components of the *intraprocedural* edge
      * relation, restricted to reachable nodes.  Each inner vector is
      * one SCC; only SCCs that contain a cycle (more than one node, or a
@@ -129,6 +147,7 @@ class ControlFlowGraph
 
     const Program *prog_;
     std::vector<CfgNode> nodes_;
+    std::map<uint32_t, std::vector<uint32_t>> indirect_targets_;
     std::vector<uint32_t> labeled_;
     std::vector<uint32_t> call_sites_;
     std::vector<uint32_t> entries_;

@@ -1,0 +1,222 @@
+/** @file Implementation of the JSON / SARIF report renderers. */
+
+#include "analysis/report_format.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gfp {
+
+namespace {
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::kError ? "error" : "warning";
+}
+
+std::string
+numStr(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return buf;
+}
+
+/** 1-based source line of block word @p idx, or 0. */
+int
+lineOf(const ProgramReport &r, uint32_t word_idx)
+{
+    return r.prog ? r.prog->lineOfWord(word_idx) : 0;
+}
+
+void
+appendCertJson(std::ostringstream &os, const ProgramReport &r)
+{
+    const ProgramCertificate &c = r.cert;
+    os << "\"certificate\":{"
+       << "\"trap_free\":" << (c.trap_free ? "true" : "false")
+       << ",\"jit_safe\":" << (c.jit_safe ? "true" : "false")
+       << ",\"has_gf_ops\":" << (c.has_gf_ops ? "true" : "false")
+       << ",\"refined_indirects\":" << c.refined_indirects
+       << ",\"blocks\":{\"total\":" << c.blocks.size()
+       << ",\"reachable\":" << c.reachableBlocks()
+       << ",\"trap_free\":" << c.trapFreeBlocks() << "}"
+       << ",\"loops\":{\"total\":" << c.loops.size()
+       << ",\"bounded\":" << c.boundedLoops() << "}";
+
+    os << ",\"wcet\":{"
+       << "\"bounded\":" << (c.cost.bounded ? "true" : "false")
+       << ",\"instr_bound\":" << c.cost.instr_bound
+       << ",\"cycle_bound\":" << c.cost.cycle_bound
+       << ",\"gf_cycle_bound\":" << c.cost.gf_cycle_bound
+       << ",\"energy_nominal_pj\":" << numStr(c.cost.energy_nominal_pj)
+       << ",\"energy_07v_pj\":" << numStr(c.cost.energy_07v_pj)
+       << ",\"watchdog\":" << c.cost.watchdog << ",\"within_watchdog\":"
+       << (c.cost.within_watchdog ? "true" : "false") << ",\"reason\":\""
+       << jsonEscape(c.cost.reason) << "\"}";
+
+    os << ",\"configs\":[";
+    for (size_t i = 0; i < c.configs.size(); ++i) {
+        const ConfigCertificate &cc = c.configs[i];
+        if (i)
+            os << ",";
+        os << "{\"word\":" << cc.idx << ",\"addr\":" << cc.addr
+           << ",\"verdict\":\"" << configVerdictName(cc.verdict)
+           << "\",\"m\":" << cc.m << ",\"tainted_bytes\":"
+           << unsigned{cc.tainted_bytes} << ",\"message\":\""
+           << jsonEscape(cc.message) << "\"}";
+    }
+    os << "]";
+
+    os << ",\"caveats\":[";
+    for (size_t i = 0; i < c.caveats.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(c.caveats[i]) << "\"";
+    }
+    os << "]}";
+}
+
+struct SarifResult
+{
+    std::string rule;
+    std::string level; ///< "error" | "warning" | "note"
+    std::string text;
+    std::string uri;
+    int line = 0;
+};
+
+void
+collectSarifResults(const ProgramReport &r, std::vector<SarifResult> &out)
+{
+    for (const Finding &f : r.lint.findings) {
+        out.push_back({lintRuleName(f.rule), severityName(f.severity),
+                       r.name + ": " + f.message, r.uri(), f.line});
+    }
+    if (!r.certified)
+        return;
+    const ProgramCertificate &c = r.cert;
+    for (const BlockCertificate &b : c.blocks) {
+        if (!b.reachable)
+            continue;
+        for (const std::string &o : b.obstacles) {
+            const char *rule =
+                b.trapFree() ? "jit-safety" : "trap-freedom";
+            out.push_back({rule, "warning", r.name + ": " + o, r.uri(),
+                           lineOf(r, b.first)});
+        }
+    }
+    for (const ConfigCertificate &cc : c.configs) {
+        if (cc.ok())
+            continue;
+        out.push_back({"config-certificate", "warning",
+                       r.name + ": gfcfg configuration " +
+                           configVerdictName(cc.verdict) + ": " + cc.message,
+                       r.uri(), lineOf(r, cc.idx)});
+    }
+    if (c.cost.bounded) {
+        out.push_back({"wcet-bound", "note", r.name + ": " + c.summary(),
+                       r.uri(), 0});
+    } else {
+        out.push_back({"wcet-unbounded", "warning",
+                       r.name + ": WCET unbounded: " + c.cost.reason +
+                           " (watchdog fallback applies)",
+                       r.uri(), 0});
+    }
+}
+
+} // namespace
+
+bool
+parseReportFormat(const std::string &name, ReportFormat &out)
+{
+    if (name == "human")
+        out = ReportFormat::kHuman;
+    else if (name == "json")
+        out = ReportFormat::kJson;
+    else if (name == "sarif")
+        out = ReportFormat::kSarif;
+    else
+        return false;
+    return true;
+}
+
+std::string
+renderJson(const std::vector<ProgramReport> &reports)
+{
+    std::ostringstream os;
+    os << "{\"tool\":\"gfp-lint\",\"programs\":[";
+    for (size_t p = 0; p < reports.size(); ++p) {
+        const ProgramReport &r = reports[p];
+        if (p)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(r.name) << "\",\"file\":\""
+           << jsonEscape(r.file) << "\",\"findings\":[";
+        for (size_t i = 0; i < r.lint.findings.size(); ++i) {
+            const Finding &f = r.lint.findings[i];
+            if (i)
+                os << ",";
+            os << "{\"rule\":\"" << lintRuleName(f.rule)
+               << "\",\"severity\":\"" << severityName(f.severity)
+               << "\",\"pc\":" << f.pc << ",\"line\":" << f.line
+               << ",\"message\":\"" << jsonEscape(f.message) << "\"}";
+        }
+        os << "]";
+        if (r.certified) {
+            os << ",";
+            appendCertJson(os, r);
+        }
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+renderSarif(const std::vector<ProgramReport> &reports)
+{
+    std::vector<SarifResult> results;
+    for (const ProgramReport &r : reports)
+        collectSarifResults(r, results);
+
+    // Rule metadata: every distinct ruleId that appears.
+    std::vector<std::string> rules;
+    for (const SarifResult &res : results) {
+        bool seen = false;
+        for (const std::string &id : rules)
+            seen = seen || id == res.rule;
+        if (!seen)
+            rules.push_back(res.rule);
+    }
+
+    std::ostringstream os;
+    os << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+          "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+          "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+          "\"name\":\"gfp-lint\",\"informationUri\":"
+          "\"https://example.invalid/gfp\",\"rules\":[";
+    for (size_t i = 0; i < rules.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"id\":\"" << jsonEscape(rules[i]) << "\"}";
+    }
+    os << "]}},\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SarifResult &res = results[i];
+        if (i)
+            os << ",";
+        os << "{\"ruleId\":\"" << jsonEscape(res.rule) << "\",\"level\":\""
+           << res.level << "\",\"message\":{\"text\":\""
+           << jsonEscape(res.text) << "\"},\"locations\":[{"
+           << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+           << jsonEscape(res.uri) << "\"}";
+        if (res.line > 0)
+            os << ",\"region\":{\"startLine\":" << res.line << "}";
+        os << "}}]}";
+    }
+    os << "]}]}";
+    return os.str();
+}
+
+} // namespace gfp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable renderings of gfp-lint's output: a compact JSON
+ * schema for scripting, and SARIF 2.1.0 for code-scanning UIs and CI
+ * annotation.  One report covers a whole lint run (several programs),
+ * each with its lint findings and, when certification ran, its
+ * ProgramCertificate (analysis/certify.h).
+ *
+ * SARIF mapping:
+ *   - every lint Finding becomes a result with ruleId = lintRuleName()
+ *     and level error/warning, located at its source line (via the
+ *     assembler's debug info) in the originating file;
+ *   - certificate obstacles become "trap-freedom" / "jit-safety"
+ *     warnings anchored at the block's first word;
+ *   - an unbounded WCET becomes a "wcet-unbounded" warning, a bounded
+ *     one a "wcet-bound" note carrying the cycle/energy numbers;
+ *   - refuted gfcfg configurations become "config-certificate"
+ *     warnings.
+ */
+
+#ifndef GFP_ANALYSIS_REPORT_FORMAT_H
+#define GFP_ANALYSIS_REPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/certify.h"
+#include "analysis/lint.h"
+#include "common/trace_event.h" // jsonEscape
+
+namespace gfp {
+
+enum class ReportFormat : uint8_t { kHuman, kJson, kSarif };
+
+/** Parse "human" / "json" / "sarif"; false on anything else. */
+bool parseReportFormat(const std::string &name, ReportFormat &out);
+
+/** One linted (and possibly certified) program in a run. */
+struct ProgramReport
+{
+    std::string name;  ///< display name ("kernel:aes_ecb", file path...)
+    std::string file;  ///< originating source path; may be empty
+    LintReport lint;
+    bool certified = false;      ///< cert below is populated
+    ProgramCertificate cert;
+    const Program *prog = nullptr; ///< for word -> line mapping; optional
+
+    /** Location URI for SARIF: the file when known, else the name. */
+    const std::string &uri() const { return file.empty() ? name : file; }
+};
+
+/** The whole run as compact JSON (schema in docs/ANALYSIS.md). */
+std::string renderJson(const std::vector<ProgramReport> &reports);
+
+/** The whole run as a SARIF 2.1.0 log. */
+std::string renderSarif(const std::vector<ProgramReport> &reports);
+
+} // namespace gfp
+
+#endif // GFP_ANALYSIS_REPORT_FORMAT_H

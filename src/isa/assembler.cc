@@ -32,7 +32,11 @@ Program::labelAt(uint32_t addr) const
 std::string
 AsmDiagnostic::render() const
 {
-    return strprintf("line %d, col %d: %s", line, column, message.c_str());
+    if (file.empty())
+        return strprintf("line %d, col %d: %s", line, column,
+                         message.c_str());
+    return strprintf("%s: line %d, col %d: %s", file.c_str(), line, column,
+                     message.c_str());
 }
 
 namespace {
@@ -739,6 +743,19 @@ Assembler::tryAssemble(const std::string &source, Program &out,
             diag.message = e.what();
         return false;
     }
+}
+
+bool
+Assembler::tryAssembleFile(const std::string &source,
+                           const std::string &file, Program &out,
+                           AsmDiagnostic &diag)
+{
+    // err() overwrites the whole diagnostic, so the path is stamped
+    // after the fact rather than pre-seeded.
+    const bool ok = tryAssemble(source, out, diag);
+    if (!ok)
+        diag.file = file;
+    return ok;
 }
 
 bool

@@ -49,8 +49,11 @@ struct AsmDiagnostic
     int line = 0;        ///< 1-based source line (0 = unknown)
     int column = 0;      ///< 1-based column of the offending token
     std::string message; ///< diagnostic text, no location prefix
+    std::string file;    ///< originating source path; may be empty
 
-    /** "line L, col C: message" */
+    /** "file: line L, col C: message" (no "file:" when unknown).
+     *  Multi-file drivers (gfp-lint over several inputs, SARIF
+     *  locations) rely on the path traveling with the diagnostic. */
     std::string render() const;
 };
 
@@ -72,6 +75,12 @@ class Assembler
     /** Structured-diagnostic variant: fills @p diag on failure. */
     static bool tryAssemble(const std::string &source, Program &out,
                             AsmDiagnostic &diag);
+
+    /** As above, stamping @p file into the diagnostic so multi-file
+     *  drivers can attribute the error without extra bookkeeping. */
+    static bool tryAssembleFile(const std::string &source,
+                                const std::string &file, Program &out,
+                                AsmDiagnostic &diag);
 };
 
 } // namespace gfp

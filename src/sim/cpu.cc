@@ -4,6 +4,7 @@
 #include "common/strutil.h"
 #include "isa/disasm.h"
 #include "isa/encoding.h"
+#include "sim/cost_model.h"
 #include "sim/profiler.h"
 
 // Inner-interpreter flavor.  GFP_THREADED_DISPATCH is normally set by
@@ -229,7 +230,7 @@ Core::execute(const Instr &in)
     auto &r = regs_;
     const uint32_t next_pc = pc_ + 4;
     uint32_t new_pc = next_pc;
-    unsigned cycles = 1;
+    unsigned cycles = kDefaultCycles;
 
     if (isGfOp(in.op) && kind_ == CoreKind::kBaseline) {
         pending_trap_ = TrapKind::kGfOnBaseline;
@@ -282,53 +283,53 @@ Core::execute(const Instr &in)
 
       case Op::kLdr:
         r[in.rd] = mem_.read32(r[in.rs1] + static_cast<uint32_t>(in.imm));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kStr:
         mem_.write32(r[in.rs1] + static_cast<uint32_t>(in.imm), r[in.rd]);
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kLdrb:
         r[in.rd] = mem_.read8(r[in.rs1] + static_cast<uint32_t>(in.imm));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kStrb:
         mem_.write8(r[in.rs1] + static_cast<uint32_t>(in.imm),
                     static_cast<uint8_t>(r[in.rd]));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kLdrh:
         r[in.rd] = mem_.read16(r[in.rs1] + static_cast<uint32_t>(in.imm));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kStrh:
         mem_.write16(r[in.rs1] + static_cast<uint32_t>(in.imm),
                      static_cast<uint16_t>(r[in.rd]));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kLdrr:
         r[in.rd] = mem_.read32(r[in.rs1] + r[in.rs2]);
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kStrr:
         mem_.write32(r[in.rs1] + r[in.rs2], r[in.rd]);
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kLdrbr:
         r[in.rd] = mem_.read8(r[in.rs1] + r[in.rs2]);
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kStrbr:
         mem_.write8(r[in.rs1] + r[in.rs2], static_cast<uint8_t>(r[in.rd]));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kLdrhr:
         r[in.rd] = mem_.read16(r[in.rs1] + r[in.rs2]);
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       case Op::kStrhr:
         mem_.write16(r[in.rs1] + r[in.rs2], static_cast<uint16_t>(r[in.rd]));
-        cycles = 2;
+        cycles = kMemCycles;
         break;
 
       case Op::kB:
@@ -347,16 +348,16 @@ Core::execute(const Instr &in)
             if (in.op == Op::kBl)
                 r[kRegLr] = next_pc;
             new_pc = next_pc + static_cast<uint32_t>(in.imm) * 4;
-            cycles = 2;
+            cycles = kTakenBranchCycles;
         }
         break;
       case Op::kJr:
         new_pc = r[in.rs1];
-        cycles = 2;
+        cycles = kTakenBranchCycles;
         break;
       case Op::kRet:
         new_pc = r[kRegLr];
-        cycles = 2;
+        cycles = kTakenBranchCycles;
         break;
       case Op::kNop:
         break;
@@ -395,7 +396,7 @@ Core::execute(const Instr &in)
             return 0;
         }
         gfau_.loadConfig(cfg);
-        cycles = 2;
+        cycles = kMemCycles;
         break;
       }
 
@@ -690,7 +691,7 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         if (static_cast<uint64_t>(a32) + (nbytes) > msize)                  \
             return;                                                         \
         r[in.rd] = memLoad(a32, (nbytes));                                  \
-        GFP_RETIRE(kLoad, 2, pc_ + 4);                                      \
+        GFP_RETIRE(kLoad, kMemCycles, pc_ + 4);                                      \
         GFP_NEXT;                                                           \
     }
 
@@ -702,7 +703,7 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         if (static_cast<uint64_t>(a32) + (nbytes) > msize)                  \
             return;                                                         \
         memStore(a32, (nbytes), r[in.rd]);                                  \
-        GFP_RETIRE(kStore, 2, pc_ + 4);                                     \
+        GFP_RETIRE(kStore, kMemCycles, pc_ + 4);                                     \
         GFP_NEXT;                                                           \
     }
 
@@ -710,10 +711,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
     GFP_CASE(name)                                                          \
     {                                                                       \
         if (taken_expr) {                                                   \
-            GFP_RETIRE(kBranch, 2,                                          \
+            GFP_RETIRE(kBranch, kTakenBranchCycles,                     \
                        pc_ + 4 + static_cast<uint32_t>(f->a.imm) * 4);      \
         } else {                                                            \
-            GFP_RETIRE(kBranch, 1, pc_ + 4);                                \
+            GFP_RETIRE(kBranch, kDefaultCycles, pc_ + 4);                                \
         }                                                                   \
         GFP_NEXT;                                                           \
     }
@@ -723,13 +724,14 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
 #define GFP_CMPBCC_TAIL                                                     \
     do {                                                                    \
         stats_.record(InstrClass::kAlu, 1);                                 \
-        const unsigned br_cyc = condition(f->b.op) ? 2 : 1;                 \
+        const unsigned br_cyc =                                             \
+            condition(f->b.op) ? kTakenBranchCycles : kDefaultCycles;       \
         stats_.record(InstrClass::kBranch, br_cyc);                         \
         if (profile_) {                                                     \
             profile_->record(pc_, InstrClass::kAlu, 1);                     \
             profile_->record(pc_ + 4, InstrClass::kBranch, br_cyc);         \
         }                                                                   \
-        if (br_cyc == 2)                                                    \
+        if (br_cyc == kTakenBranchCycles)                                   \
             pc_ = pc_ + 8 + static_cast<uint32_t>(f->b.imm) * 4;            \
         else                                                                \
             pc_ += 8;                                                       \
@@ -768,10 +770,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
             return;
         r[ld.rd] = memLoad(a32, n);
         r[f->b.rd] = simdApply(f->b);
-        stats_.record(InstrClass::kLoad, 2);
+        stats_.record(InstrClass::kLoad, kMemCycles);
         stats_.record(InstrClass::kGfSimd, 1);
         if (profile_) {
-            profile_->record(pc_, InstrClass::kLoad, 2);
+            profile_->record(pc_, InstrClass::kLoad, kMemCycles);
             profile_->record(pc_ + 4, InstrClass::kGfSimd, 1);
         }
         pc_ += 8;
@@ -795,10 +797,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         r[alu.rd] = t;
         r[ld.rd] = memLoad(a32, n);
         stats_.record(InstrClass::kAlu, 1);
-        stats_.record(InstrClass::kLoad, 2);
+        stats_.record(InstrClass::kLoad, kMemCycles);
         if (profile_) {
             profile_->record(pc_, InstrClass::kAlu, 1);
-            profile_->record(pc_ + 4, InstrClass::kLoad, 2);
+            profile_->record(pc_ + 4, InstrClass::kLoad, kMemCycles);
         }
         pc_ += 8;
         res.instrs += 2;
@@ -824,10 +826,10 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
         // dispatch's GFP_CHECKS sees it and de-fuses.
         memStore(a32, n, val);
         stats_.record(InstrClass::kAlu, 1);
-        stats_.record(InstrClass::kStore, 2);
+        stats_.record(InstrClass::kStore, kMemCycles);
         if (profile_) {
             profile_->record(pc_, InstrClass::kAlu, 1);
-            profile_->record(pc_ + 4, InstrClass::kStore, 2);
+            profile_->record(pc_ + 4, InstrClass::kStore, kMemCycles);
         }
         pc_ += 8;
         res.instrs += 2;
@@ -919,20 +921,20 @@ Core::runFast(RunResult &res, uint64_t max_instrs)
     GFP_CASE(Bl)
     {
         r[kRegLr] = pc_ + 4;
-        GFP_RETIRE(kBranch, 2,
+        GFP_RETIRE(kBranch, kTakenBranchCycles,
                    pc_ + 4 + static_cast<uint32_t>(f->a.imm) * 4);
         GFP_NEXT;
     }
 
     GFP_CASE(Jr)
     {
-        GFP_RETIRE(kBranch, 2, r[f->a.rs1]);
+        GFP_RETIRE(kBranch, kTakenBranchCycles, r[f->a.rs1]);
         GFP_NEXT;
     }
 
     GFP_CASE(Ret)
     {
-        GFP_RETIRE(kBranch, 2, r[kRegLr]);
+        GFP_RETIRE(kBranch, kTakenBranchCycles, r[kRegLr]);
         GFP_NEXT;
     }
 
