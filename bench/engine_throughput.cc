@@ -1,9 +1,16 @@
 /**
  * @file
  * Batch execution engine throughput: jobs/sec for RS syndrome decode
- * jobs and AES-CTR blocks, serial vs. 1/2/4/8 worker threads, plus two
+ * jobs and AES-CTR blocks, serial vs. 1/2/4/8 worker threads, plus
  * single-thread ablations: plain single-stepping dispatch vs. the fused
- * threaded interpreter, and fetch+decode vs. the predecode cache.
+ * threaded interpreter vs. the template-JIT translated mode, and
+ * fetch+decode vs. the predecode cache.  The translated leg's
+ * before/after numbers additionally land in BENCH_jit.json.
+ *
+ * Usage: engine_throughput [--dispatch=plain|fused|translated]
+ *                          [engine_json] [jit_json]
+ * --dispatch selects the mode the thread-scaling engines run in
+ * (default fused); the serial ablation legs always run all three.
  *
  * Unlike the table/figure benches (which report the paper's *guest*
  * cycle counts), this bench measures the *host* interpreter — how fast
@@ -26,11 +33,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/strutil.h"
 #include "engine/batch_engine.h"
+#include "jit/translator.h"
 #include "kernels/batch_kernels.h"
 #include "kernels/coding_kernels.h"
 
@@ -65,12 +75,16 @@ syndromeJobs(unsigned n_jobs)
     return jobs;
 }
 
-/** Wall time of three repetitions of @p body: best plus the relative
- *  spread (max-min)/best, so one preempted run cannot gate a target. */
+/** Wall time of three repetitions of @p body after one untimed warmup
+ *  (first-touch costs — predecode, JIT GF tables, branch history — hit
+ *  every configuration once and are not steady-state throughput): best
+ *  plus the relative spread (max-min)/best, so one preempted run
+ *  cannot gate a target. */
 template <typename F>
 std::pair<double, double>
 bestOf3(F &&body)
 {
+    body();
     double best = 0, worst = 0;
     for (int rep = 0; rep < 3; ++rep) {
         auto t0 = Clock::now();
@@ -86,7 +100,8 @@ bestOf3(F &&body)
 
 void
 runScaling(const char *name, const char *tag, BatchProgram bp,
-           const std::vector<Job> &jobs, BenchJsonReporter &json)
+           const std::vector<Job> &jobs, BenchJsonReporter &json,
+           BenchJsonReporter &jit_json, DispatchMode scaling_mode)
 {
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
@@ -100,7 +115,8 @@ runScaling(const char *name, const char *tag, BatchProgram bp,
     // fusion and threaded dispatch disabled — every instruction goes
     // through the single-stepping interpreter, as before this
     // optimization existed.
-    BatchEngine plain_eng(bp, {.threads = 1, .fast_dispatch = false});
+    BatchEngine plain_eng(bp,
+                          {.threads = 1, .dispatch = DispatchMode::kPlain});
     std::vector<JobResult> plain;
     auto [plain_s, plain_spread] =
         bestOf3([&] { plain = plain_eng.runSerial(jobs); });
@@ -123,10 +139,42 @@ runScaling(const char *name, const char *tag, BatchProgram bp,
     json.add(strprintf("%s.fused_dispatch_speedup", tag),
              plain_s / serial_s, "x");
 
-    // Fusion must not change results: both serial runs bit-identical.
+    // Template-JIT translated mode, same serial engine shape.  The
+    // before/after pair for BENCH_jit.json is fused (before this
+    // optimization) vs translated (after).
+    BatchEngine trans_eng(
+        bp, {.threads = 1, .dispatch = DispatchMode::kTranslated});
+    std::vector<JobResult> trans;
+    auto [trans_s, trans_spread] =
+        bestOf3([&] { trans = trans_eng.runSerial(jobs); });
+    std::printf("  %-26s %11.1f %7.1f%% %12.0f %8.2fx %6s\n",
+                "serial, translated (JIT)", 1e3 * trans_s,
+                100.0 * trans_spread, jobs.size() / trans_s,
+                plain_s / trans_s, "-");
+    json.add(strprintf("%s.translated_jobs_per_sec", tag),
+             jobs.size() / trans_s, "jobs/sec");
+    json.add(strprintf("%s.translated_speedup_over_fused", tag),
+             serial_s / trans_s, "x");
+    jit_json.add(strprintf("%s.before_fused_jobs_per_sec", tag),
+                 jobs.size() / serial_s, "jobs/sec");
+    jit_json.add(strprintf("%s.before_fused_spread", tag), serial_spread,
+                 "fraction");
+    jit_json.add(strprintf("%s.after_translated_jobs_per_sec", tag),
+                 jobs.size() / trans_s, "jobs/sec");
+    jit_json.add(strprintf("%s.after_translated_spread", tag),
+                 trans_spread, "fraction");
+    jit_json.add(strprintf("%s.translated_speedup_over_fused", tag),
+                 serial_s / trans_s, "x");
+    jit_json.add(strprintf("%s.translated_speedup_over_plain", tag),
+                 plain_s / trans_s, "x");
+
+    // No dispatch mode may change results: all serial runs
+    // bit-identical.
     for (size_t i = 0; i < jobs.size(); ++i) {
         if (plain[i].outputs != serial[i].outputs ||
-            plain[i].words != serial[i].words) {
+            plain[i].words != serial[i].words ||
+            trans[i].outputs != serial[i].outputs ||
+            trans[i].words != serial[i].words) {
             std::printf("  !! dispatch parity FAILED at job %zu\n", i);
             return;
         }
@@ -134,7 +182,8 @@ runScaling(const char *name, const char *tag, BatchProgram bp,
 
     double engine_1t_s = 0;
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
-        BatchEngine eng(bp, {.threads = threads});
+        BatchEngine eng(bp,
+                        {.threads = threads, .dispatch = scaling_mode});
         std::vector<JobResult> par;
         auto [s, spread] = bestOf3([&] { par = eng.run(jobs); });
         if (threads == 1)
@@ -218,26 +267,53 @@ runPredecodeAblation(BenchJsonReporter &json)
 int
 main(int argc, char **argv)
 {
+    DispatchMode scaling_mode = DispatchMode::kFused;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--dispatch=", 0) == 0) {
+            if (!parseDispatchMode(arg.substr(11), scaling_mode)) {
+                std::fprintf(stderr,
+                             "engine_throughput: unknown dispatch mode "
+                             "'%s' (plain|fused|translated)\n",
+                             arg.substr(11).c_str());
+                return 2;
+            }
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
     header("engine_throughput",
            "batch engine jobs/sec and thread scaling (host-side measure)");
     note(strprintf("host reports %u hardware thread(s)",
                    std::thread::hardware_concurrency()));
-    note(strprintf("dispatch: %s", Core::dispatchKind()));
+    note(strprintf("dispatch: %s interpreter, scaling engines in %s "
+                   "mode, JIT backend %s",
+                   Core::dispatchKind(), dispatchModeName(scaling_mode),
+                   jit::nativeBackendName()));
 
     BenchJsonReporter json("engine_throughput");
     json.add("host_threads", std::thread::hardware_concurrency(), "");
     json.add(std::string("host.dispatch_") + Core::dispatchKind(), 1,
              "flag");
+    BenchJsonReporter jit_json("engine_throughput_jit");
+    jit_json.add("host_threads", std::thread::hardware_concurrency(), "");
+    jit_json.add(std::string("host.jit_backend_") +
+                     jit::nativeBackendName(),
+                 1, "flag");
 
     GFField f(8);
     runScaling("RS(255,239) syndrome decode", "syndrome",
-               syndromeBatchProgram(f, 255, 16), syndromeJobs(512), json);
+               syndromeBatchProgram(f, 255, 16), syndromeJobs(512), json,
+               jit_json, scaling_mode);
 
     Aes aes(std::vector<uint8_t>(16, 0x42));
     AesBlock iv{};
     iv[15] = 1;
     runScaling("AES-128-CTR blocks", "aes_ctr", aesBlockBatchProgram(),
-               aesCtrJobs(aes, iv, 256 * 16), json);
+               aesCtrJobs(aes, iv, 1024 * 16), json, jit_json,
+               scaling_mode);
 
     std::printf("\n  predecode ablation (single thread, syndrome "
                 "kernel, 400 reruns)\n");
@@ -262,6 +338,7 @@ main(int argc, char **argv)
                     eng.metrics().gauge("workers"), trace.size());
     }
 
-    json.writeTo(argc > 1 ? argv[1] : "BENCH_engine.json");
+    json.writeTo(!paths.empty() ? paths[0] : "BENCH_engine.json");
+    jit_json.writeTo(paths.size() > 1 ? paths[1] : "BENCH_jit.json");
     return 0;
 }

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "isa/assembler.h"
+#include "jit/core_translation.h"
+#include "jit/translator.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -88,6 +90,17 @@ BatchEngine::BatchEngine(BatchProgram bp, Options opts)
     : program_(std::move(bp.program)), kind_(bp.kind), opts_(opts),
       threads_(resolveThreads(opts.threads))
 {
+    if (opts_.dispatch == DispatchMode::kTranslated) {
+        // Compile once, share everywhere: the translation is immutable
+        // host code plus lookup tables; all mutable run state lives in
+        // each worker's CoreTranslation.  The certificate-gated policy
+        // translates nothing when the certifier declines the program —
+        // those workers simply run fused.
+        jit::TranslateOptions topts;
+        topts.mem_bytes = opts_.mem_bytes;
+        topts.watchdog_max_instrs = opts_.max_instrs;
+        translation_ = jit::translate(program_, kind_, topts);
+    }
 }
 
 BatchEngine::BatchEngine(Program program, CoreKind kind, Options opts)
@@ -206,6 +219,15 @@ BatchEngine::stealInto(unsigned w, Task &out)
 }
 
 void
+BatchEngine::configureDispatch(Machine &machine) const
+{
+    machine.core().setDispatchMode(opts_.dispatch);
+    if (translation_)
+        machine.core().setTranslation(
+            jit::makeCoreTranslation(translation_));
+}
+
+void
 BatchEngine::workerLoop(unsigned w)
 {
     if (opts_.pin_workers)
@@ -213,7 +235,7 @@ BatchEngine::workerLoop(unsigned w)
     uint64_t epoch = machine_epoch_.load(std::memory_order_acquire);
     auto machine =
         std::make_unique<Machine>(program_, kind_, opts_.mem_bytes);
-    machine->core().setFastDispatch(opts_.fast_dispatch);
+    configureDispatch(*machine);
     for (;;) {
         const uint64_t e = machine_epoch_.load(std::memory_order_acquire);
         if (e != epoch) {
@@ -222,7 +244,7 @@ BatchEngine::workerLoop(unsigned w)
             epoch = e;
             machine =
                 std::make_unique<Machine>(program_, kind_, opts_.mem_bytes);
-            machine->core().setFastDispatch(opts_.fast_dispatch);
+            configureDispatch(*machine);
         }
         Task task;
         if (popLocal(w, task) || stealInto(w, task)) {
@@ -496,7 +518,7 @@ BatchEngine::runSerial(const std::vector<Job> &jobs)
     metrics_.clear();
     const auto epoch = std::chrono::steady_clock::now();
     Machine machine(program_, kind_, opts_.mem_bytes);
-    machine.core().setFastDispatch(opts_.fast_dispatch);
+    configureDispatch(machine);
     CycleStats aggregate;
     for (const Job &job : jobs) {
         results.push_back(runOne(machine, job, epoch));

@@ -86,6 +86,10 @@
 
 namespace gfp {
 
+namespace jit {
+class CompiledProgram;
+}
+
 /**
  * One independent guest job: inputs to write before the run, outputs to
  * read back after a clean halt.  All labels resolve through the shared
@@ -171,10 +175,15 @@ class BatchEngine
         /** Memory size of each worker's machine. */
         size_t mem_bytes = 256 * 1024;
 
-        /** Use the fused threaded-dispatch fast path on each worker's
-         *  core (bit-exact with single stepping; off is only useful for
-         *  differential testing and debugging). */
-        bool fast_dispatch = true;
+        /**
+         * Dispatch mode for each worker's core (every mode is
+         * bit-exact with single stepping; kPlain is only useful for
+         * differential testing and debugging).  kTranslated compiles
+         * the program once with the certificate-gated template JIT
+         * (src/jit) and shares the translation across workers;
+         * programs the certifier declines simply run fused.
+         */
+        DispatchMode dispatch = DispatchMode::kFused;
 
         /** Pin worker w to host CPU (w mod hardware_concurrency) so a
          *  worker's Machine (and its predecode cache) stays cache-warm
@@ -310,6 +319,10 @@ class BatchEngine
     JobResult runOne(Machine &machine, const Job &job,
                      std::chrono::steady_clock::time_point epoch) const;
 
+    /** Apply opts_.dispatch to a (re)built worker machine: set the
+     *  mode and, for kTranslated, install the shared translation. */
+    void configureDispatch(Machine &machine) const;
+
     /** Fill metrics_ and the attached trace log from a finished run. */
     void recordRunTelemetry(const std::vector<JobResult> &results,
                             double elapsed_seconds, unsigned n_workers);
@@ -318,6 +331,10 @@ class BatchEngine
     CoreKind kind_;
     Options opts_;
     unsigned threads_;
+
+    /** Shared immutable translation (kTranslated only; may hold zero
+     *  blocks when the certifier declined the program). */
+    std::shared_ptr<const jit::CompiledProgram> translation_;
 
     // ---- pool state ----
     std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * AArch64 instruction encoders for the A64 template backend.
+ *
+ * Pure functions from operands to the 32-bit instruction word, compiled
+ * on every host — tests/test_jit.cc golden-byte checks them against
+ * known assembler output on x86-64 CI even though the emitted code only
+ * *runs* on an AArch64 host.  Only the handful of encodings the
+ * templates need; register numbers are architectural (31 = zr/sp where
+ * the instruction says so).
+ */
+
+#ifndef GFP_JIT_A64_ENCODER_H
+#define GFP_JIT_A64_ENCODER_H
+
+#include <cstdint>
+
+namespace gfp::jit::a64 {
+
+/** Condition codes (b.cond / cset). */
+enum Cond : uint32_t {
+    kEq = 0x0, kNe = 0x1, kCs = 0x2, kCc = 0x3, kMi = 0x4, kPl = 0x5,
+    kVs = 0x6, kVc = 0x7, kHi = 0x8, kLs = 0x9, kGe = 0xA, kLt = 0xB,
+    kGt = 0xC, kLe = 0xD,
+};
+
+inline uint32_t invert(uint32_t cond) { return cond ^ 1u; }
+
+// --- moves ---------------------------------------------------------
+
+/** movz wd/xd, #imm16, lsl #(hw*16). */
+inline uint32_t
+movz(bool is64, unsigned rd, uint16_t imm, unsigned hw)
+{
+    return (is64 ? 0xD2800000u : 0x52800000u) | (hw << 21) |
+           (static_cast<uint32_t>(imm) << 5) | rd;
+}
+
+/** movk wd/xd, #imm16, lsl #(hw*16). */
+inline uint32_t
+movk(bool is64, unsigned rd, uint16_t imm, unsigned hw)
+{
+    return (is64 ? 0xF2800000u : 0x72800000u) | (hw << 21) |
+           (static_cast<uint32_t>(imm) << 5) | rd;
+}
+
+// --- loads/stores, unsigned scaled immediate -----------------------
+
+/** ldr xt, [xn, #imm] (imm multiple of 8). */
+inline uint32_t
+ldrX(unsigned rt, unsigned rn, unsigned imm)
+{
+    return 0xF9400000u | ((imm / 8) << 10) | (rn << 5) | rt;
+}
+
+/** str xt, [xn, #imm]. */
+inline uint32_t
+strX(unsigned rt, unsigned rn, unsigned imm)
+{
+    return 0xF9000000u | ((imm / 8) << 10) | (rn << 5) | rt;
+}
+
+/** ldr wt, [xn, #imm] (imm multiple of 4). */
+inline uint32_t
+ldrW(unsigned rt, unsigned rn, unsigned imm)
+{
+    return 0xB9400000u | ((imm / 4) << 10) | (rn << 5) | rt;
+}
+
+/** str wt, [xn, #imm]. */
+inline uint32_t
+strW(unsigned rt, unsigned rn, unsigned imm)
+{
+    return 0xB9000000u | ((imm / 4) << 10) | (rn << 5) | rt;
+}
+
+/** ldrb wt, [xn, #imm]. */
+inline uint32_t
+ldrb(unsigned rt, unsigned rn, unsigned imm)
+{
+    return 0x39400000u | (imm << 10) | (rn << 5) | rt;
+}
+
+/** strb wt, [xn, #imm]. */
+inline uint32_t
+strb(unsigned rt, unsigned rn, unsigned imm)
+{
+    return 0x39000000u | (imm << 10) | (rn << 5) | rt;
+}
+
+// --- loads/stores, register offset [xn, xm] ------------------------
+
+inline uint32_t
+ldrRegW(unsigned rt, unsigned rn, unsigned rm)
+{
+    return 0xB8606800u | (rm << 16) | (rn << 5) | rt;
+}
+
+inline uint32_t
+ldrhReg(unsigned rt, unsigned rn, unsigned rm)
+{
+    return 0x78606800u | (rm << 16) | (rn << 5) | rt;
+}
+
+inline uint32_t
+ldrbReg(unsigned rt, unsigned rn, unsigned rm)
+{
+    return 0x38606800u | (rm << 16) | (rn << 5) | rt;
+}
+
+inline uint32_t
+strRegW(unsigned rt, unsigned rn, unsigned rm)
+{
+    return 0xB8206800u | (rm << 16) | (rn << 5) | rt;
+}
+
+inline uint32_t
+strhReg(unsigned rt, unsigned rn, unsigned rm)
+{
+    return 0x78206800u | (rm << 16) | (rn << 5) | rt;
+}
+
+inline uint32_t
+strbReg(unsigned rt, unsigned rn, unsigned rm)
+{
+    return 0x38206800u | (rm << 16) | (rn << 5) | rt;
+}
+
+// --- pairs (prologue/epilogue) -------------------------------------
+
+/** stp xt1, xt2, [sp, #-imm]! (pre-index). */
+inline uint32_t
+stpPre(unsigned rt1, unsigned rt2, unsigned rn, int imm)
+{
+    const uint32_t imm7 = static_cast<uint32_t>((imm / 8) & 0x7F);
+    return 0xA9800000u | (imm7 << 15) | (rt2 << 10) | (rn << 5) | rt1;
+}
+
+/** ldp xt1, xt2, [sp], #imm (post-index). */
+inline uint32_t
+ldpPost(unsigned rt1, unsigned rt2, unsigned rn, int imm)
+{
+    const uint32_t imm7 = static_cast<uint32_t>((imm / 8) & 0x7F);
+    return 0xA8C00000u | (imm7 << 15) | (rt2 << 10) | (rn << 5) | rt1;
+}
+
+/** stp xt1, xt2, [xn, #imm] (signed offset). */
+inline uint32_t
+stpOff(unsigned rt1, unsigned rt2, unsigned rn, int imm)
+{
+    const uint32_t imm7 = static_cast<uint32_t>((imm / 8) & 0x7F);
+    return 0xA9000000u | (imm7 << 15) | (rt2 << 10) | (rn << 5) | rt1;
+}
+
+/** ldp xt1, xt2, [xn, #imm]. */
+inline uint32_t
+ldpOff(unsigned rt1, unsigned rt2, unsigned rn, int imm)
+{
+    const uint32_t imm7 = static_cast<uint32_t>((imm / 8) & 0x7F);
+    return 0xA9400000u | (imm7 << 15) | (rt2 << 10) | (rn << 5) | rt1;
+}
+
+// --- integer ALU ---------------------------------------------------
+
+/** add/sub/and/orr/eor wd, wn, wm — shifted-register, shift 0. */
+inline uint32_t addW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x0B000000u | (m << 16) | (n << 5) | d;
+}
+inline uint32_t subW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x4B000000u | (m << 16) | (n << 5) | d;
+}
+inline uint32_t andW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x0A000000u | (m << 16) | (n << 5) | d;
+}
+inline uint32_t orrW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x2A000000u | (m << 16) | (n << 5) | d;
+}
+inline uint32_t eorW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x4A000000u | (m << 16) | (n << 5) | d;
+}
+
+/** mul wd, wn, wm (madd with wzr accumulator). */
+inline uint32_t
+mulW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x1B007C00u | (m << 16) | (n << 5) | d;
+}
+
+/** lslv/lsrv/asrv wd, wn, wm — count masked by 31, like the guest. */
+inline uint32_t lslvW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x1AC02000u | (m << 16) | (n << 5) | d;
+}
+inline uint32_t lsrvW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x1AC02400u | (m << 16) | (n << 5) | d;
+}
+inline uint32_t asrvW(unsigned d, unsigned n, unsigned m)
+{
+    return 0x1AC02800u | (m << 16) | (n << 5) | d;
+}
+
+/** cmp wn, wm (subs wzr). */
+inline uint32_t
+cmpW(unsigned n, unsigned m)
+{
+    return 0x6B00001Fu | (m << 16) | (n << 5);
+}
+
+/** cmp xn, xm. */
+inline uint32_t
+cmpX(unsigned n, unsigned m)
+{
+    return 0xEB00001Fu | (m << 16) | (n << 5);
+}
+
+/** add xd, xn, #imm12. */
+inline uint32_t
+addXImm(unsigned d, unsigned n, unsigned imm12)
+{
+    return 0x91000000u | (imm12 << 10) | (n << 5) | d;
+}
+
+/** sub xd, xn, #imm12. */
+inline uint32_t
+subXImm(unsigned d, unsigned n, unsigned imm12)
+{
+    return 0xD1000000u | (imm12 << 10) | (n << 5) | d;
+}
+
+/** cmp xn, #imm12 (subs xzr). */
+inline uint32_t
+cmpXImm(unsigned n, unsigned imm12)
+{
+    return 0xF100001Fu | (imm12 << 10) | (n << 5);
+}
+
+/** add xd, xn, xm, lsl #shift. */
+inline uint32_t
+addXShift(unsigned d, unsigned n, unsigned m, unsigned shift)
+{
+    return 0x8B000000u | (m << 16) | (shift << 10) | (n << 5) | d;
+}
+
+/** and wd, wn, #0xffff (movt's low-half mask). */
+inline uint32_t
+andWImm16Mask(unsigned d, unsigned n)
+{
+    return 0x12003C00u | (n << 5) | d;
+}
+
+/** tst wn, #3 (alignment check: ands wzr, wn, #3). */
+inline uint32_t
+tstWImm3(unsigned n)
+{
+    return 0x7200041Fu | (n << 5);
+}
+
+/** lsr xd, xn, #32 (gf32mul high word). */
+inline uint32_t
+lsrX32(unsigned d, unsigned n)
+{
+    return 0xD360FC00u | (n << 5) | d;
+}
+
+/** cset wd, cond (csinc wd, wzr, wzr, !cond). */
+inline uint32_t
+csetW(unsigned d, uint32_t cond)
+{
+    return 0x1A9F07E0u | (invert(cond) << 12) | d;
+}
+
+// --- control flow --------------------------------------------------
+
+/** b #(imm26*4). */
+inline uint32_t
+b(int32_t imm26)
+{
+    return 0x14000000u | (static_cast<uint32_t>(imm26) & 0x03FFFFFFu);
+}
+
+/** b.cond #(imm19*4). */
+inline uint32_t
+bcond(uint32_t cond, int32_t imm19)
+{
+    return 0x54000000u |
+           ((static_cast<uint32_t>(imm19) & 0x7FFFFu) << 5) | cond;
+}
+
+/** cbz/cbnz wt, #(imm19*4). */
+inline uint32_t
+cbzW(unsigned rt, int32_t imm19)
+{
+    return 0x34000000u |
+           ((static_cast<uint32_t>(imm19) & 0x7FFFFu) << 5) | rt;
+}
+inline uint32_t
+cbnzW(unsigned rt, int32_t imm19)
+{
+    return 0x35000000u |
+           ((static_cast<uint32_t>(imm19) & 0x7FFFFu) << 5) | rt;
+}
+
+/** cbz xt, #(imm19*4). */
+inline uint32_t
+cbzX(unsigned rt, int32_t imm19)
+{
+    return 0xB4000000u |
+           ((static_cast<uint32_t>(imm19) & 0x7FFFFu) << 5) | rt;
+}
+
+inline uint32_t br(unsigned rn) { return 0xD61F0000u | (rn << 5); }
+inline uint32_t blr(unsigned rn) { return 0xD63F0000u | (rn << 5); }
+inline uint32_t ret() { return 0xD65F03C0u; }
+
+} // namespace gfp::jit::a64
+
+#endif // GFP_JIT_A64_ENCODER_H

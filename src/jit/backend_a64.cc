@@ -1,0 +1,624 @@
+/**
+ * @file
+ * AArch64 template backend.
+ *
+ * Mirrors jit/backend_x64.cc template for template; the encoders live
+ * in jit/a64_encoder.h so the golden-byte tests cover them on every
+ * host.  Host register convention (AAPCS64, all callee-saved across
+ * the GF helper calls):
+ *
+ *   x19  JitContext*            x22  guest memory size
+ *   x20  guest register file    x23  remaining watchdog budget
+ *   x21  guest memory base
+ *
+ * w0/w1/w2 carry guest values, x9/x10 host temporaries, x16 the helper
+ * address (the intra-procedure-call register, fittingly).  Guest NZCV
+ * lives in the context flag bytes exactly as on x86-64: cmp templates
+ * end in four cset+strb pairs (mi/eq/cs/vs are precisely the guest's
+ * n/z/c/v — ARM's carry is already the no-borrow convention), branch
+ * templates re-test the bytes.
+ *
+ * The whole emitter compiles on every host so x86-64 CI type-checks and
+ * exercises it (tests emit, but only an AArch64 host executes); the
+ * translator only installs it when the host really is AArch64.
+ */
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "jit/a64_encoder.h"
+#include "jit/code_cache.h"
+#include "jit/gf_tables.h"
+#include "jit/translator.h"
+
+namespace gfp::jit {
+
+namespace {
+
+using namespace a64;
+
+constexpr unsigned kCtx = 19, kRegs = 20, kMem = 21, kMemSize = 22,
+                   kBudget = 23, kSp = 31;
+
+constexpr unsigned kOffWatch = 24, kOffBudgetC = 32, kOffExec = 40,
+                   kOffTaken = 48, kOffEntries = 56, kOffGf = 64,
+                   kOffFlagN = 72, kOffFlagZ = 73, kOffFlagC = 74,
+                   kOffFlagV = 75, kOffExitPc = 76, kOffExitReason = 80,
+                   kOffDeoptBlock = 84, kOffDeoptK = 88, kOffDirtyLo = 96,
+                   kOffDirtyHi = 104;
+
+/** Word-granular assembler with the three A64 branch fixup shapes. */
+class AsmA64
+{
+  public:
+    std::vector<uint32_t> words;
+
+    enum class Br { kB26, kCond19, kCmp19 };
+
+    size_t
+    newLabel()
+    {
+        labels_.push_back(-1);
+        return labels_.size() - 1;
+    }
+
+    void
+    bind(size_t label)
+    {
+        GFP_ASSERT(labels_[label] < 0, "label bound twice");
+        labels_[label] = static_cast<int64_t>(words.size());
+    }
+
+    void emit(uint32_t w) { words.push_back(w); }
+
+    void
+    b(size_t label)
+    {
+        fixups_.push_back({words.size(), label, Br::kB26});
+        emit(a64::b(0));
+    }
+
+    void
+    bcond(uint32_t cond, size_t label)
+    {
+        fixups_.push_back({words.size(), label, Br::kCond19});
+        emit(a64::bcond(cond, 0));
+    }
+
+    void
+    cbzW(unsigned rt, size_t label)
+    {
+        fixups_.push_back({words.size(), label, Br::kCmp19});
+        emit(a64::cbzW(rt, 0));
+    }
+
+    void
+    cbnzW(unsigned rt, size_t label)
+    {
+        fixups_.push_back({words.size(), label, Br::kCmp19});
+        emit(a64::cbnzW(rt, 0));
+    }
+
+    void
+    cbzX(unsigned rt, size_t label)
+    {
+        fixups_.push_back({words.size(), label, Br::kCmp19});
+        emit(a64::cbzX(rt, 0));
+    }
+
+    void
+    finalize()
+    {
+        for (const Fixup &f : fixups_) {
+            const int64_t at = labels_[f.label];
+            GFP_ASSERT(at >= 0, "unbound jit label");
+            const int64_t rel = at - static_cast<int64_t>(f.at);
+            uint32_t &w = words[f.at];
+            if (f.kind == Br::kB26) {
+                GFP_ASSERT(rel >= -(1 << 25) && rel < (1 << 25),
+                           "b out of range");
+                w |= static_cast<uint32_t>(rel) & 0x03FFFFFFu;
+            } else {
+                GFP_ASSERT(rel >= -(1 << 18) && rel < (1 << 18),
+                           "b.cond/cbz out of range");
+                w |= (static_cast<uint32_t>(rel) & 0x7FFFFu) << 5;
+            }
+        }
+        fixups_.clear();
+    }
+
+  private:
+    struct Fixup
+    {
+        size_t at;
+        size_t label;
+        Br kind;
+    };
+
+    std::vector<int64_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+struct EmitterA64
+{
+    AsmA64 a;
+    const CompiledProgram &cp;
+    size_t exit_label = 0;
+    std::vector<size_t> block_label;
+
+    explicit EmitterA64(const CompiledProgram &c) : cp(c) {}
+
+    void loadGuest(unsigned w, unsigned g) { a.emit(ldrW(w, kRegs, 4 * g)); }
+    void storeGuest(unsigned g, unsigned w) { a.emit(strW(w, kRegs, 4 * g)); }
+
+    /** w<reg> = imm32 via movz(+movk). */
+    void
+    movImm32(unsigned reg, uint32_t imm)
+    {
+        a.emit(movz(false, reg, static_cast<uint16_t>(imm), 0));
+        if ((imm >> 16) != 0)
+            a.emit(movk(false, reg, static_cast<uint16_t>(imm >> 16), 1));
+    }
+
+    /** x9 = imm64 (helper addresses). */
+    void
+    movImm64(unsigned reg, uint64_t imm)
+    {
+        a.emit(movz(true, reg, static_cast<uint16_t>(imm), 0));
+        for (unsigned hw = 1; hw < 4; ++hw) {
+            const uint16_t part = static_cast<uint16_t>(imm >> (16 * hw));
+            if (part != 0)
+                a.emit(movk(true, reg, part, hw));
+        }
+    }
+
+    void
+    movCtx32(unsigned off, uint32_t imm)
+    {
+        movImm32(1, imm);
+        a.emit(strW(1, kCtx, off));
+    }
+
+    void
+    exitWith(uint32_t pc, uint32_t reason)
+    {
+        movCtx32(kOffExitPc, pc);
+        movCtx32(kOffExitReason, reason);
+        a.b(exit_label);
+    }
+
+    void
+    resolve(uint32_t w)
+    {
+        const int32_t nb = cp.blockAt(w);
+        if (nb >= 0)
+            a.b(block_label[static_cast<size_t>(nb)]);
+        else
+            exitWith(w * 4, kExitExternal);
+    }
+
+    /** counters[idx]++ via the table pointer at ctx+off. */
+    void
+    bumpCounter(unsigned off, uint32_t idx)
+    {
+        a.emit(ldrX(9, kCtx, off));
+        a.emit(ldrX(10, 9, 8 * idx));
+        a.emit(addXImm(10, 10, 1));
+        a.emit(strX(10, 9, 8 * idx));
+    }
+
+    void
+    setFlags()
+    {
+        static constexpr uint32_t cond[4] = {kMi, kEq, kCs, kVs};
+        static constexpr unsigned off[4] = {kOffFlagN, kOffFlagZ,
+                                            kOffFlagC, kOffFlagV};
+        for (int i = 0; i < 4; ++i) {
+            a.emit(csetW(2, cond[i]));
+            a.emit(strb(2, kCtx, off[i]));
+        }
+    }
+
+    void
+    callHelper(const void *fn)
+    {
+        movImm64(16, reinterpret_cast<uint64_t>(fn));
+        a.emit(blr(16));
+    }
+
+    /** w0 = access address; x1 = end; deopt unless end <= mem_size. */
+    void
+    emitAddress(const Instr &in, bool reg_offset, unsigned bytes,
+                size_t deopt)
+    {
+        loadGuest(0, in.rs1);
+        if (reg_offset) {
+            loadGuest(1, in.rs2);
+            a.emit(addW(0, 0, 1));
+        } else if (in.imm != 0) {
+            movImm32(1, static_cast<uint32_t>(in.imm));
+            a.emit(addW(0, 0, 1));
+        }
+        a.emit(addXImm(1, 0, bytes));
+        a.emit(cmpX(1, kMemSize));
+        a.bcond(kHi, deopt);
+    }
+
+    void
+    emitLoad(const Instr &in, bool reg_offset, unsigned bytes,
+             size_t deopt)
+    {
+        emitAddress(in, reg_offset, bytes, deopt);
+        switch (bytes) {
+          case 1: a.emit(ldrbReg(2, kMem, 0)); break;
+          case 2: a.emit(ldrhReg(2, kMem, 0)); break;
+          default: a.emit(ldrRegW(2, kMem, 0)); break;
+        }
+        storeGuest(in.rd, 2);
+    }
+
+    void
+    emitStore(const Instr &in, bool reg_offset, unsigned bytes,
+              size_t deopt)
+    {
+        emitAddress(in, reg_offset, bytes, deopt);
+        a.emit(ldrX(9, kCtx, kOffWatch));
+        a.emit(cmpX(0, 9));
+        a.bcond(kCc, deopt); // addr < watch_limit -> SMC deopt
+        size_t skip_lo = a.newLabel();
+        a.emit(ldrX(9, kCtx, kOffDirtyLo));
+        a.emit(cmpX(0, 9));
+        a.bcond(kCs, skip_lo);
+        a.emit(strX(0, kCtx, kOffDirtyLo));
+        a.bind(skip_lo);
+        size_t skip_hi = a.newLabel();
+        a.emit(ldrX(9, kCtx, kOffDirtyHi));
+        a.emit(cmpX(1, 9));
+        a.bcond(kLs, skip_hi);
+        a.emit(strX(1, kCtx, kOffDirtyHi));
+        a.bind(skip_hi);
+        loadGuest(2, in.rd); // stores write r[rd]
+        switch (bytes) {
+          case 1: a.emit(strbReg(2, kMem, 0)); break;
+          case 2: a.emit(strhReg(2, kMem, 0)); break;
+          default: a.emit(strRegW(2, kMem, 0)); break;
+        }
+    }
+
+    void
+    emitInstr(const Instr &in, size_t deopt)
+    {
+        switch (in.op) {
+          case Op::kAdd: case Op::kSub: case Op::kAnd:
+          case Op::kOrr: case Op::kEor: case Op::kMul: {
+            loadGuest(0, in.rs1);
+            loadGuest(1, in.rs2);
+            switch (in.op) {
+              case Op::kAdd: a.emit(addW(0, 0, 1)); break;
+              case Op::kSub: a.emit(subW(0, 0, 1)); break;
+              case Op::kAnd: a.emit(andW(0, 0, 1)); break;
+              case Op::kOrr: a.emit(orrW(0, 0, 1)); break;
+              case Op::kEor: a.emit(eorW(0, 0, 1)); break;
+              default:       a.emit(mulW(0, 0, 1)); break;
+            }
+            storeGuest(in.rd, 0);
+            break;
+          }
+          case Op::kLsl: case Op::kLsr: case Op::kAsr:
+            loadGuest(0, in.rs1);
+            loadGuest(1, in.rs2);
+            a.emit(in.op == Op::kLsl   ? lslvW(0, 0, 1)
+                   : in.op == Op::kLsr ? lsrvW(0, 0, 1)
+                                       : asrvW(0, 0, 1));
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kMov:
+            loadGuest(0, in.rs1);
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kCmp:
+            loadGuest(0, in.rs1);
+            loadGuest(1, in.rs2);
+            a.emit(cmpW(0, 1));
+            setFlags();
+            break;
+
+          case Op::kAddi: case Op::kSubi: case Op::kAndi:
+          case Op::kOrri: case Op::kEori:
+            loadGuest(0, in.rs1);
+            movImm32(1, static_cast<uint32_t>(in.imm));
+            switch (in.op) {
+              case Op::kAddi: a.emit(addW(0, 0, 1)); break;
+              case Op::kSubi: a.emit(subW(0, 0, 1)); break;
+              case Op::kAndi: a.emit(andW(0, 0, 1)); break;
+              case Op::kOrri: a.emit(orrW(0, 0, 1)); break;
+              default:        a.emit(eorW(0, 0, 1)); break;
+            }
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kLsli: case Op::kLsri: case Op::kAsri:
+            loadGuest(0, in.rs1);
+            movImm32(1, static_cast<uint32_t>(in.imm) & 31);
+            a.emit(in.op == Op::kLsli   ? lslvW(0, 0, 1)
+                   : in.op == Op::kLsri ? lsrvW(0, 0, 1)
+                                        : asrvW(0, 0, 1));
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kMovi:
+            movImm32(0, static_cast<uint32_t>(in.imm) & 0xffff);
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kMovt:
+            loadGuest(0, in.rd);
+            a.emit(andWImm16Mask(0, 0));
+            a.emit(movz(false, 1, static_cast<uint16_t>(in.imm), 1));
+            a.emit(orrW(0, 0, 1));
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kCmpi:
+            loadGuest(0, in.rs1);
+            movImm32(1, static_cast<uint32_t>(in.imm));
+            a.emit(cmpW(0, 1));
+            setFlags();
+            break;
+
+          case Op::kLdr:  emitLoad(in, false, 4, deopt); break;
+          case Op::kLdrh: emitLoad(in, false, 2, deopt); break;
+          case Op::kLdrb: emitLoad(in, false, 1, deopt); break;
+          case Op::kLdrr:  emitLoad(in, true, 4, deopt); break;
+          case Op::kLdrhr: emitLoad(in, true, 2, deopt); break;
+          case Op::kLdrbr: emitLoad(in, true, 1, deopt); break;
+          case Op::kStr:  emitStore(in, false, 4, deopt); break;
+          case Op::kStrh: emitStore(in, false, 2, deopt); break;
+          case Op::kStrb: emitStore(in, false, 1, deopt); break;
+          case Op::kStrr:  emitStore(in, true, 4, deopt); break;
+          case Op::kStrhr: emitStore(in, true, 2, deopt); break;
+          case Op::kStrbr: emitStore(in, true, 1, deopt); break;
+
+          case Op::kNop:
+            break;
+
+          case Op::kGfMuls:
+          case Op::kGfPows:
+            a.emit(ldrX(0, kCtx, kOffGf));
+            loadGuest(1, in.rs1);
+            loadGuest(2, in.rs2);
+            callHelper(reinterpret_cast<const void *>(
+                in.op == Op::kGfMuls ? &gfp_jit_gfmuls : &gfp_jit_gfpows));
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kGfSqs:
+          case Op::kGfInvs:
+            a.emit(ldrX(0, kCtx, kOffGf));
+            loadGuest(1, in.rs1);
+            callHelper(reinterpret_cast<const void *>(
+                in.op == Op::kGfSqs ? &gfp_jit_gfsqs : &gfp_jit_gfinvs));
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kGfAdds:
+            loadGuest(0, in.rs1);
+            loadGuest(1, in.rs2);
+            a.emit(eorW(0, 0, 1));
+            storeGuest(in.rd, 0);
+            break;
+          case Op::kGf32Mul:
+            loadGuest(0, in.rs1);
+            loadGuest(1, in.rs2);
+            callHelper(reinterpret_cast<const void *>(&gfp_jit_gf32mul));
+            a.emit(lsrX32(1, 0));
+            storeGuest(in.rd, 1);  // hi first
+            storeGuest(in.rd2, 0); // lo second; rd == rd2 keeps lo
+            break;
+
+          default:
+            GFP_FATAL("unexpected op in jit block body");
+        }
+    }
+
+    void
+    emitCondTest(Op op, size_t taken, size_t not_taken)
+    {
+        auto flag = [&](unsigned off) { a.emit(ldrb(1, kCtx, off)); };
+        auto pair = [&]() {
+            a.emit(ldrb(1, kCtx, kOffFlagN));
+            a.emit(ldrb(2, kCtx, kOffFlagV));
+            a.emit(cmpW(1, 2));
+        };
+        switch (op) {
+          case Op::kBeq: flag(kOffFlagZ); a.cbnzW(1, taken); break;
+          case Op::kBne: flag(kOffFlagZ); a.cbzW(1, taken); break;
+          case Op::kBlo: flag(kOffFlagC); a.cbzW(1, taken); break;
+          case Op::kBhs: flag(kOffFlagC); a.cbnzW(1, taken); break;
+          case Op::kBlt: pair(); a.bcond(kNe, taken); break;
+          case Op::kBge: pair(); a.bcond(kEq, taken); break;
+          case Op::kBgt:
+            flag(kOffFlagZ);
+            a.cbnzW(1, not_taken);
+            pair();
+            a.bcond(kEq, taken);
+            break;
+          case Op::kBle:
+            flag(kOffFlagZ);
+            a.cbnzW(1, taken);
+            pair();
+            a.bcond(kNe, taken);
+            break;
+          case Op::kBhi:
+            flag(kOffFlagC);
+            a.cbzW(1, not_taken);
+            flag(kOffFlagZ);
+            a.cbzW(1, taken);
+            break;
+          case Op::kBls:
+            flag(kOffFlagC);
+            a.cbzW(1, taken);
+            flag(kOffFlagZ);
+            a.cbnzW(1, taken);
+            break;
+          default:
+            GFP_FATAL("not a conditional branch");
+        }
+    }
+
+    void
+    emitBlock(uint32_t bi)
+    {
+        const Block &b = cp.blocks()[bi];
+        a.bind(block_label[bi]);
+
+        size_t fits = a.newLabel();
+        a.emit(cmpXImm(kBudget, b.len)); // len < 4096, pre-checked
+        a.bcond(kCs, fits);
+        exitWith(b.first * 4, kExitBudget);
+        a.bind(fits);
+        a.emit(subXImm(kBudget, kBudget, b.len));
+        bumpCounter(kOffExec, bi);
+
+        std::vector<std::pair<size_t, uint32_t>> deopts;
+        const uint32_t body_len =
+            b.term == TermKind::kFallThrough ? b.len : b.len - 1;
+        for (uint32_t k = 0; k < body_len; ++k) {
+            size_t deopt = a.newLabel();
+            deopts.emplace_back(deopt, k);
+            emitInstr(b.body[k], deopt);
+        }
+
+        switch (b.term) {
+          case TermKind::kFallThrough:
+            resolve(b.next);
+            break;
+          case TermKind::kBranch:
+            resolve(b.target);
+            break;
+          case TermKind::kCondBranch: {
+            size_t taken = a.newLabel();
+            size_t not_taken = a.newLabel();
+            emitCondTest(b.body.back().op, taken, not_taken);
+            a.bind(not_taken);
+            resolve(b.next);
+            a.bind(taken);
+            bumpCounter(kOffTaken, bi);
+            resolve(b.target);
+            break;
+          }
+          case TermKind::kCall:
+            movImm32(1, (b.first + b.len) * 4);
+            a.emit(strW(1, kRegs, 4 * kRegLr));
+            resolve(b.target);
+            break;
+          case TermKind::kIndirect: {
+            const Instr &in = b.body.back();
+            const unsigned src = in.op == Op::kRet ? kRegLr : in.rs1;
+            size_t ext = a.newLabel();
+            loadGuest(0, src);
+            a.emit(tstWImm3(0));
+            a.bcond(kNe, ext);
+            const uint32_t code_bytes =
+                static_cast<uint32_t>(cp.words().size() * 4);
+            if (code_bytes < 4096) {
+                a.emit(cmpXImm(0, code_bytes));
+            } else {
+                movImm32(9, code_bytes);
+                a.emit(cmpX(0, 9));
+            }
+            a.bcond(kCs, ext);
+            a.emit(ldrX(9, kCtx, kOffEntries));
+            a.emit(addXShift(9, 9, 0, 1)); // entries + pc*2 (== word*8)
+            a.emit(ldrX(9, 9, 0));
+            a.cbzX(9, ext);
+            a.emit(br(9));
+            a.bind(ext);
+            a.emit(strW(0, kCtx, kOffExitPc));
+            movCtx32(kOffExitReason, kExitExternal);
+            a.b(exit_label);
+            break;
+          }
+          case TermKind::kHalt:
+            exitWith((b.first + b.len) * 4, kExitHalt);
+            break;
+        }
+
+        for (const auto &[label, k] : deopts) {
+            a.bind(label);
+            movCtx32(kOffExitPc, (b.first + k) * 4);
+            movCtx32(kOffExitReason, kExitDeopt);
+            movCtx32(kOffDeoptBlock, bi);
+            movCtx32(kOffDeoptK, k);
+            a.b(exit_label);
+        }
+    }
+
+    size_t
+    emitEnter()
+    {
+        const size_t off = a.words.size();
+        a.emit(stpPre(29, 30, kSp, -64));
+        a.emit(stpOff(19, 20, kSp, 16));
+        a.emit(stpOff(21, 22, kSp, 32));
+        a.emit(strX(23, kSp, 48));
+        a.emit(addXImm(kCtx, 0, 0)); // mov x19, x0
+        a.emit(ldrX(kRegs, kCtx, 0));
+        a.emit(ldrX(kMem, kCtx, 8));
+        a.emit(ldrX(kMemSize, kCtx, 16));
+        a.emit(ldrX(kBudget, kCtx, kOffBudgetC));
+        a.emit(br(1));
+        return off;
+    }
+
+    void
+    emitExit()
+    {
+        a.bind(exit_label);
+        a.emit(strX(kBudget, kCtx, kOffBudgetC));
+        a.emit(ldrX(23, kSp, 48));
+        a.emit(ldpOff(21, 22, kSp, 32));
+        a.emit(ldpOff(19, 20, kSp, 16));
+        a.emit(ldpPost(29, 30, kSp, 64));
+        a.emit(ret());
+    }
+};
+
+} // namespace
+
+bool
+emitA64(const CompiledProgram &cp, NativeCode &out)
+{
+    // imm12 budget checks and imm12-scaled counter slots bound the
+    // shapes this backend accepts; anything larger falls back to the
+    // threaded backend rather than mis-encoding.
+    for (const Block &b : cp.blocks())
+        if (b.len >= 4096)
+            return false;
+    if (cp.blocks().size() >= 4096)
+        return false;
+
+    EmitterA64 e(cp);
+    e.exit_label = e.a.newLabel();
+    for (size_t i = 0; i < cp.blocks().size(); ++i)
+        e.block_label.push_back(e.a.newLabel());
+
+    const size_t enter_off = e.emitEnter();
+    e.emitExit();
+    std::vector<size_t> block_off(cp.blocks().size());
+    for (uint32_t bi = 0; bi < cp.blocks().size(); ++bi) {
+        block_off[bi] = e.a.words.size();
+        e.emitBlock(bi);
+    }
+    e.a.finalize();
+
+    const size_t bytes = e.a.words.size() * 4;
+    auto cache = std::make_shared<CodeCache>(bytes);
+    std::memcpy(cache->base(), e.a.words.data(), bytes);
+    cache->finalize(bytes);
+
+    const uint64_t base = reinterpret_cast<uint64_t>(cache->base());
+    out.cache = std::move(cache);
+    out.entries.assign(cp.words().size(), 0);
+    for (uint32_t bi = 0; bi < cp.blocks().size(); ++bi)
+        out.entries[cp.blocks()[bi].first] = base + block_off[bi] * 4;
+    out.enter = reinterpret_cast<const void *>(base + enter_off * 4);
+    out.arch = "aarch64";
+    return true;
+}
+
+} // namespace gfp::jit

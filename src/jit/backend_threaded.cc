@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Portable "threaded-code array" fallback backend.
+ *
+ * When native emission is compiled out (-DGFP_JIT=OFF) or the host
+ * has no template backend, translated dispatch still works: this file
+ * interprets the block IR under *exactly* the contract the native
+ * code follows — same block-entry budget check, same execution/taken
+ * counters, same deopt points with identical (exit_pc, deopt_k), same
+ * dirty-window bookkeeping, same GF helper routing.  The driver
+ * (jit/core_translation.cc) cannot tell the backends apart, which is
+ * what lets the -DGFP_JIT=OFF CI lane run the full differential and
+ * jit suites unchanged.
+ *
+ * It is also the semantic reference: anything ambiguous about the
+ * templates is defined to behave like this file.
+ */
+
+#include "jit/gf_tables.h"
+#include "jit/translator.h"
+
+namespace gfp::jit {
+
+namespace {
+
+inline uint32_t
+loadLe(const uint8_t *p, unsigned bytes)
+{
+    switch (bytes) {
+      case 1:
+        return p[0];
+      case 2:
+        return static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8);
+      default:
+        return static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+    }
+}
+
+inline void
+storeLe(uint8_t *p, unsigned bytes, uint32_t v)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void
+setFlagsSub(JitContext &ctx, uint32_t a, uint32_t b)
+{
+    const uint32_t r = a - b;
+    ctx.flags[0] = static_cast<uint8_t>((r >> 31) & 1);
+    ctx.flags[1] = static_cast<uint8_t>(r == 0);
+    ctx.flags[2] = static_cast<uint8_t>(a >= b);
+    ctx.flags[3] = static_cast<uint8_t>((((a ^ b) & (a ^ r)) >> 31) & 1);
+}
+
+inline bool
+condTaken(const JitContext &ctx, Op op)
+{
+    const bool n = ctx.flags[0] != 0;
+    const bool z = ctx.flags[1] != 0;
+    const bool c = ctx.flags[2] != 0;
+    const bool v = ctx.flags[3] != 0;
+    switch (op) {
+      case Op::kBeq: return z;
+      case Op::kBne: return !z;
+      case Op::kBlt: return n != v;
+      case Op::kBge: return n == v;
+      case Op::kBgt: return !z && n == v;
+      case Op::kBle: return z || n != v;
+      case Op::kBlo: return !c;
+      case Op::kBhs: return c;
+      case Op::kBhi: return c && !z;
+      case Op::kBls: return !c || z;
+      default:       return true;
+    }
+}
+
+} // namespace
+
+void
+runThreaded(const CompiledProgram &cp, JitContext &ctx,
+            uint32_t entry_word)
+{
+    const std::vector<Block> &blocks = cp.blocks();
+    uint32_t *const r = ctx.regs;
+    uint8_t *const mem = ctx.mem;
+    int32_t bi = cp.blockAt(entry_word);
+
+    // Resolve a control transfer to word index `w`: continue in
+    // translated code when it heads a block, exit to the interpreter
+    // otherwise.  Returns false to exit.
+    auto resolve = [&](uint32_t w) -> bool {
+        const int32_t nb = cp.blockAt(w);
+        if (nb < 0) {
+            ctx.exit_pc = w * 4; // uint32 wrap matches the core's pc math
+            ctx.exit_reason = kExitExternal;
+            return false;
+        }
+        bi = nb;
+        return true;
+    };
+
+    for (;;) {
+        const Block &b = blocks[static_cast<uint32_t>(bi)];
+        if (ctx.budget < b.len) {
+            ctx.exit_pc = b.first * 4;
+            ctx.exit_reason = kExitBudget;
+            return;
+        }
+        ctx.budget -= b.len;
+        ++ctx.exec_counts[bi];
+
+        // Body: everything except a control-transfer terminator.
+        const uint32_t body_len =
+            b.term == TermKind::kFallThrough ? b.len : b.len - 1;
+        for (uint32_t k = 0; k < body_len; ++k) {
+            const Instr &in = b.body[k];
+
+            // Bail-before-commit: nothing below may write state before
+            // every check for that instruction has passed.
+            auto deopt = [&]() {
+                ctx.exit_pc = (b.first + k) * 4;
+                ctx.exit_reason = kExitDeopt;
+                ctx.deopt_block = static_cast<uint32_t>(bi);
+                ctx.deopt_k = k;
+            };
+            auto loadAt = [&](uint32_t addr, unsigned bytes,
+                              uint32_t &out) -> bool {
+                if (static_cast<uint64_t>(addr) + bytes > ctx.mem_size) {
+                    deopt();
+                    return false;
+                }
+                out = loadLe(mem + addr, bytes);
+                return true;
+            };
+            auto storeAt = [&](uint32_t addr, unsigned bytes,
+                               uint32_t v) -> bool {
+                if (static_cast<uint64_t>(addr) + bytes > ctx.mem_size) {
+                    deopt();
+                    return false;
+                }
+                if (addr < ctx.watch_limit) {
+                    // Store into the watched code region: the
+                    // interpreter must perform it (epoch bump,
+                    // translation invalidation).
+                    deopt();
+                    return false;
+                }
+                if (addr < ctx.dirty_lo)
+                    ctx.dirty_lo = addr;
+                if (addr + bytes > ctx.dirty_hi)
+                    ctx.dirty_hi = addr + bytes;
+                storeLe(mem + addr, bytes, v);
+                return true;
+            };
+
+            uint32_t tmp = 0;
+            switch (in.op) {
+              case Op::kAdd: r[in.rd] = r[in.rs1] + r[in.rs2]; break;
+              case Op::kSub: r[in.rd] = r[in.rs1] - r[in.rs2]; break;
+              case Op::kAnd: r[in.rd] = r[in.rs1] & r[in.rs2]; break;
+              case Op::kOrr: r[in.rd] = r[in.rs1] | r[in.rs2]; break;
+              case Op::kEor: r[in.rd] = r[in.rs1] ^ r[in.rs2]; break;
+              case Op::kLsl: r[in.rd] = r[in.rs1] << (r[in.rs2] & 31); break;
+              case Op::kLsr: r[in.rd] = r[in.rs1] >> (r[in.rs2] & 31); break;
+              case Op::kAsr:
+                r[in.rd] = static_cast<uint32_t>(
+                    static_cast<int32_t>(r[in.rs1]) >> (r[in.rs2] & 31));
+                break;
+              case Op::kMul: r[in.rd] = r[in.rs1] * r[in.rs2]; break;
+              case Op::kMov: r[in.rd] = r[in.rs1]; break;
+              case Op::kCmp: setFlagsSub(ctx, r[in.rs1], r[in.rs2]); break;
+
+              case Op::kAddi:
+                r[in.rd] = r[in.rs1] + static_cast<uint32_t>(in.imm);
+                break;
+              case Op::kSubi:
+                r[in.rd] = r[in.rs1] - static_cast<uint32_t>(in.imm);
+                break;
+              case Op::kAndi:
+                r[in.rd] = r[in.rs1] & static_cast<uint32_t>(in.imm);
+                break;
+              case Op::kOrri:
+                r[in.rd] = r[in.rs1] | static_cast<uint32_t>(in.imm);
+                break;
+              case Op::kEori:
+                r[in.rd] = r[in.rs1] ^ static_cast<uint32_t>(in.imm);
+                break;
+              case Op::kLsli: r[in.rd] = r[in.rs1] << (in.imm & 31); break;
+              case Op::kLsri: r[in.rd] = r[in.rs1] >> (in.imm & 31); break;
+              case Op::kAsri:
+                r[in.rd] = static_cast<uint32_t>(
+                    static_cast<int32_t>(r[in.rs1]) >> (in.imm & 31));
+                break;
+              case Op::kMovi:
+                r[in.rd] = static_cast<uint32_t>(in.imm) & 0xffff;
+                break;
+              case Op::kMovt:
+                r[in.rd] = (r[in.rd] & 0xffff) |
+                           ((static_cast<uint32_t>(in.imm) & 0xffff) << 16);
+                break;
+              case Op::kCmpi:
+                setFlagsSub(ctx, r[in.rs1], static_cast<uint32_t>(in.imm));
+                break;
+
+              case Op::kLdr:
+                if (!loadAt(r[in.rs1] + static_cast<uint32_t>(in.imm), 4,
+                            tmp))
+                    return;
+                r[in.rd] = tmp;
+                break;
+              case Op::kLdrh:
+                if (!loadAt(r[in.rs1] + static_cast<uint32_t>(in.imm), 2,
+                            tmp))
+                    return;
+                r[in.rd] = tmp;
+                break;
+              case Op::kLdrb:
+                if (!loadAt(r[in.rs1] + static_cast<uint32_t>(in.imm), 1,
+                            tmp))
+                    return;
+                r[in.rd] = tmp;
+                break;
+              case Op::kLdrr:
+                if (!loadAt(r[in.rs1] + r[in.rs2], 4, tmp))
+                    return;
+                r[in.rd] = tmp;
+                break;
+              case Op::kLdrhr:
+                if (!loadAt(r[in.rs1] + r[in.rs2], 2, tmp))
+                    return;
+                r[in.rd] = tmp;
+                break;
+              case Op::kLdrbr:
+                if (!loadAt(r[in.rs1] + r[in.rs2], 1, tmp))
+                    return;
+                r[in.rd] = tmp;
+                break;
+
+              case Op::kStr:
+                if (!storeAt(r[in.rs1] + static_cast<uint32_t>(in.imm), 4,
+                             r[in.rd]))
+                    return;
+                break;
+              case Op::kStrh:
+                if (!storeAt(r[in.rs1] + static_cast<uint32_t>(in.imm), 2,
+                             r[in.rd]))
+                    return;
+                break;
+              case Op::kStrb:
+                if (!storeAt(r[in.rs1] + static_cast<uint32_t>(in.imm), 1,
+                             r[in.rd]))
+                    return;
+                break;
+              case Op::kStrr:
+                if (!storeAt(r[in.rs1] + r[in.rs2], 4, r[in.rd]))
+                    return;
+                break;
+              case Op::kStrhr:
+                if (!storeAt(r[in.rs1] + r[in.rs2], 2, r[in.rd]))
+                    return;
+                break;
+              case Op::kStrbr:
+                if (!storeAt(r[in.rs1] + r[in.rs2], 1, r[in.rd]))
+                    return;
+                break;
+
+              case Op::kNop:
+                break;
+
+              case Op::kGfMuls:
+                r[in.rd] = gfp_jit_gfmuls(ctx.gf, r[in.rs1], r[in.rs2]);
+                break;
+              case Op::kGfInvs:
+                r[in.rd] = gfp_jit_gfinvs(ctx.gf, r[in.rs1]);
+                break;
+              case Op::kGfSqs:
+                r[in.rd] = gfp_jit_gfsqs(ctx.gf, r[in.rs1]);
+                break;
+              case Op::kGfPows:
+                r[in.rd] = gfp_jit_gfpows(ctx.gf, r[in.rs1], r[in.rs2]);
+                break;
+              case Op::kGfAdds:
+                r[in.rd] = r[in.rs1] ^ r[in.rs2];
+                break;
+              case Op::kGf32Mul: {
+                const uint64_t p = gfp_jit_gf32mul(r[in.rs1], r[in.rs2]);
+                // hi first, then lo — rd == rd2 keeps the low word,
+                // matching the interpreter's write order.
+                r[in.rd] = static_cast<uint32_t>(p >> 32);
+                r[in.rd2] = static_cast<uint32_t>(p);
+                break;
+              }
+
+              default:
+                // Terminators are handled below; gfcfg and friends
+                // never make it into a block.
+                break;
+            }
+        }
+
+        switch (b.term) {
+          case TermKind::kFallThrough:
+            if (!resolve(b.next))
+                return;
+            break;
+          case TermKind::kBranch:
+            if (!resolve(b.target))
+                return;
+            break;
+          case TermKind::kCondBranch:
+            if (condTaken(ctx, b.body.back().op)) {
+                ++ctx.taken_counts[bi];
+                if (!resolve(b.target))
+                    return;
+            } else if (!resolve(b.next)) {
+                return;
+            }
+            break;
+          case TermKind::kCall:
+            r[kRegLr] = (b.first + b.len) * 4;
+            if (!resolve(b.target))
+                return;
+            break;
+          case TermKind::kIndirect: {
+            const Instr &in = b.body.back();
+            const uint32_t t =
+                in.op == Op::kRet ? r[kRegLr] : r[in.rs1];
+            if ((t & 3u) != 0) {
+                ctx.exit_pc = t;
+                ctx.exit_reason = kExitExternal;
+                return;
+            }
+            if (!resolve(t / 4))
+                return;
+            break;
+          }
+          case TermKind::kHalt:
+            ctx.exit_pc = (b.first + b.len) * 4;
+            ctx.exit_reason = kExitHalt;
+            return;
+        }
+    }
+}
+
+} // namespace gfp::jit

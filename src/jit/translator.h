@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The template-JIT translator: guest program -> CompiledProgram.
+ *
+ * Translation is a straight-line affair, deliberately: the fused
+ * interpreter already wins on decode and dispatch, so the JIT's edge
+ * is removing dispatch *entirely* inside basic blocks and across
+ * direct branches.  The translator slices the code into blocks at
+ * liberal leader points (every label, every branch/call target, every
+ * word after a control transfer or gfcfg), computes each block's
+ * static retire costs, and hands the block IR (jit/ir.h) to a backend:
+ * copy-patched native templates on x86-64/AArch64, or the portable
+ * threaded-code-array interpreter everywhere else (and always with
+ * -DGFP_JIT=OFF).
+ *
+ * Eligibility is policy, soundness is not: by default (kCertified) a
+ * program is translated only when the abstract-interpretation
+ * certifier (analysis/certify.h) proves it jit-safe and bounded —
+ * that is the admission decision an IoT node would make.  But the
+ * certificates assume a pristine Machine launch, and engine jobs
+ * write inputs first, so the generated code still carries every
+ * dynamic guard the interpreter enforces: bounds checks on all memory
+ * traffic, store-to-code (SMC) checks against the watch limit, budget
+ * checks against the watchdog, and code-epoch revalidation at entry.
+ * kEager skips the certificates (differential tests use it to cover
+ * arbitrary, even hostile, programs); the guards make it exactly as
+ * safe, merely less polite about deopting.
+ */
+
+#ifndef GFP_JIT_TRANSLATOR_H
+#define GFP_JIT_TRANSLATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "jit/context.h"
+#include "jit/ir.h"
+#include "sim/cpu.h"
+
+namespace gfp::jit {
+
+class CodeCache;
+
+enum class TranslatePolicy : uint8_t {
+    /** Translate iff certifyProgram() proves the whole program
+     *  jit-safe and cost-bounded; declined programs get an empty
+     *  translation (the interpreter runs them). */
+    kCertified,
+    /** Translate every structurally translatable block, no
+     *  certificates consulted.  The dynamic guards keep this sound;
+     *  the differential suites use it to cover random programs. */
+    kEager,
+    kOff,
+};
+
+enum class Backend : uint8_t {
+    kAuto,     ///< native when built in and the host has one, else threaded
+    kThreaded, ///< force the portable threaded-code fallback
+};
+
+struct TranslateOptions
+{
+    TranslatePolicy policy = TranslatePolicy::kCertified;
+    Backend backend = Backend::kAuto;
+
+    /** Guest memory size the certificates are checked against. */
+    size_t mem_bytes = 256 * 1024;
+
+    /** Watchdog cap the cost certificate is checked against. */
+    uint64_t watchdog_max_instrs = 500'000'000;
+};
+
+/** Finalized native code: the W^X buffer plus its entry points. */
+struct NativeCode
+{
+    std::shared_ptr<CodeCache> cache;
+
+    /** Absolute host entry address per code word (0 = not a block
+     *  head); indirect jumps resolve through this from generated
+     *  code, the driver through entry(). */
+    std::vector<uint64_t> entries;
+
+    /** `void enter(JitContext *, const void *block_entry)` — saves
+     *  host registers, loads the context, and jumps to the block. */
+    const void *enter = nullptr;
+
+    const char *arch = nullptr; ///< "x86-64" or "aarch64"
+};
+
+/**
+ * An immutable compiled guest program, shared (const) across every
+ * core/worker that runs it; all mutable run state lives in the
+ * per-core jit::CoreTranslation.
+ */
+class CompiledProgram
+{
+  public:
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    /** The exact code words that were compiled — entry revalidation
+     *  memcmps guest memory against this after an epoch bump. */
+    const std::vector<uint32_t> &words() const { return words_; }
+
+    /** Block index whose head is @p word, or -1. */
+    int32_t
+    blockAt(uint32_t word) const
+    {
+        return word < block_at_.size() ? block_at_[word] : -1;
+    }
+
+    CoreKind kind() const { return kind_; }
+    bool usesGf() const { return uses_gf_; }
+
+    /** Instructions covered by translated blocks. */
+    uint32_t translatedWords() const { return translated_words_; }
+
+    bool native() const { return native_.enter != nullptr; }
+    const NativeCode &nativeCode() const { return native_; }
+    const char *backendName() const
+    {
+        return native_.enter ? native_.arch : "threaded";
+    }
+
+    /** Why the policy translated nothing (empty when it did). */
+    const std::string &policyNote() const { return policy_note_; }
+
+    /** One line for tools/tests: backend, block and word counts. */
+    std::string summary() const;
+
+    /**
+     * Execute from block head @p entry_word until the generated code
+     * exits (ctx.exit_reason says why).  The caller (CoreTranslation)
+     * owns validation, context setup, and the stats/profile
+     * reconstruction that follows.
+     */
+    void run(JitContext &ctx, uint32_t entry_word) const;
+
+  private:
+    friend std::shared_ptr<const CompiledProgram>
+    translate(const Program &, CoreKind, const TranslateOptions &);
+
+    std::vector<uint32_t> words_;
+    std::vector<Block> blocks_;
+    std::vector<int32_t> block_at_;
+    CoreKind kind_ = CoreKind::kGfProcessor;
+    bool uses_gf_ = false;
+    uint32_t translated_words_ = 0;
+    std::string policy_note_;
+    NativeCode native_;
+};
+
+/** Translate @p prog for a @p kind core under @p opts. */
+std::shared_ptr<const CompiledProgram>
+translate(const Program &prog, CoreKind kind,
+          const TranslateOptions &opts = {});
+
+/** Native backend this build would use on this host, or "threaded". */
+const char *nativeBackendName();
+
+// Backend entry points (jit/backend_*.cc).  Emit native code for every
+// block of @p cp into @p out; false when unsupported.
+bool emitX64(const CompiledProgram &cp, NativeCode &out);
+bool emitA64(const CompiledProgram &cp, NativeCode &out);
+
+/** The portable fallback: interpret the block IR under the same
+ *  contract the native code follows (jit/backend_threaded.cc). */
+void runThreaded(const CompiledProgram &cp, JitContext &ctx,
+                 uint32_t entry_word);
+
+} // namespace gfp::jit
+
+#endif // GFP_JIT_TRANSLATOR_H

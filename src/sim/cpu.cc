@@ -6,6 +6,7 @@
 #include "isa/encoding.h"
 #include "sim/cost_model.h"
 #include "sim/profiler.h"
+#include "sim/translation.h"
 
 // Inner-interpreter flavor.  GFP_THREADED_DISPATCH is normally set by
 // CMake (option of the same name, default ON); computed goto needs the
@@ -145,9 +146,42 @@ fusedKindName(uint16_t handler)
 
 } // namespace
 
+const char *
+dispatchModeName(DispatchMode mode)
+{
+    switch (mode) {
+      case DispatchMode::kPlain:      return "plain";
+      case DispatchMode::kFused:      return "fused";
+      case DispatchMode::kTranslated: return "translated";
+    }
+    return "?";
+}
+
+bool
+parseDispatchMode(std::string_view name, DispatchMode &out)
+{
+    if (name == "plain")
+        out = DispatchMode::kPlain;
+    else if (name == "fused")
+        out = DispatchMode::kFused;
+    else if (name == "translated")
+        out = DispatchMode::kTranslated;
+    else
+        return false;
+    return true;
+}
+
 Core::Core(Memory &mem, CoreKind kind) : mem_(mem), kind_(kind)
 {
     reset();
+}
+
+Core::~Core() = default; // here so ~Translation is complete
+
+void
+Core::setTranslation(std::unique_ptr<Translation> translation)
+{
+    translation_ = std::move(translation);
 }
 
 void
@@ -1125,9 +1159,22 @@ Core::run(uint64_t max_instrs)
     // falls back to single stepping.  A fast-path bail executes exactly
     // one instruction through step() — raising any architectural trap —
     // and then re-enters the fast path, so progress is always made.
-    const bool fast =
-        fast_dispatch_ && predecode_enabled_ && !trace_ && !fault_hook_;
+    //
+    // Translated dispatch layers the same way once more: the JIT runs
+    // the blocks it compiled and exits at anything it did not (or no
+    // longer may) cover — a gfcfg barrier, a stale translation after a
+    // code-epoch bump, a deopt — and the fused interpreter absorbs
+    // that stretch before the loop offers the JIT the new pc again.
+    const bool fast = dispatch_mode_ != DispatchMode::kPlain &&
+                      predecode_enabled_ && !trace_ && !fault_hook_;
+    const bool translated = fast && translation_ != nullptr &&
+                            dispatch_mode_ == DispatchMode::kTranslated;
     while (!halted_) {
+        if (translated && requested_trap_ == TrapKind::kNone) {
+            translation_->run(*this, res, max_instrs);
+            if (halted_)
+                break;
+        }
         if (fast) {
             runFast(res, max_instrs);
             if (halted_)

@@ -30,6 +30,8 @@
 
 #include <array>
 #include <functional>
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "gfau/gf_unit.h"
@@ -41,8 +43,27 @@
 namespace gfp {
 
 class PcProfile;
+class Translation;
 
 enum class CoreKind { kBaseline, kGfProcessor };
+
+/**
+ * How Core::run() executes the guest program.  Every mode retires the
+ * same architectural state, cycle accounting and traps — the dispatch
+ * differential suite holds all of them bit-identical; they differ only
+ * in host speed.
+ */
+enum class DispatchMode : uint8_t {
+    kPlain,      ///< single-step interpreter only
+    kFused,      ///< fused threaded interpreter (default)
+    kTranslated, ///< JIT-translated host code, deopt to fused/stepping
+};
+
+/** "plain" / "fused" / "translated". */
+const char *dispatchModeName(DispatchMode mode);
+
+/** Parse a --dispatch= value; false (out untouched) when unknown. */
+bool parseDispatchMode(std::string_view name, DispatchMode &out);
 
 /** Architectural state an SEU can strike (sim/fault_injector.h). */
 enum class FaultTarget { kDataMemory, kRegisterFile, kConfigReg };
@@ -51,8 +72,15 @@ class Core
 {
   public:
     Core(Memory &mem, CoreKind kind);
+    ~Core();
 
     CoreKind kind() const { return kind_; }
+
+    /** NZCV condition flags (public so translations can sync them). */
+    struct Flags
+    {
+        bool n = false, z = false, c = false, v = false;
+    };
 
     /** Reset architectural state; sp defaults to the top of memory.
      *  Clears halted and trapped state (stats are kept). */
@@ -99,25 +127,41 @@ class Core
     bool predecodeEnabled() const { return predecode_enabled_; }
 
     /**
-     * Enable/disable the fast-dispatch execution path used by run():
-     * a threaded interpreter (computed goto where the compiler supports
-     * it, a switch otherwise — see dispatchKind()) over a fused
-     * micro-op stream derived from the predecoded code.  The fusion
-     * pass recognizes hot adjacent pairs — compare + conditional
-     * branch, load feeding a GF op, address-generation ALU op feeding
-     * a load/store — and Itoh-Tsujii style gfsqs square chains, and
-     * retires them in one dispatch.
+     * Select the execution path run() uses.
      *
-     * Purely a host-side optimization: cycle accounting, statistics,
-     * trap behavior and code-watch-epoch invalidation are identical to
-     * single stepping (tests/test_dispatch_differential.cc proves it).
-     * run() only uses the fast path when predecode is enabled and no
-     * trace or fault hook is attached; any potentially-trapping
-     * situation bails out, commits nothing, and re-executes through
-     * step() so the architectural trap is raised exactly.
+     * kFused (the default) is a threaded interpreter (computed goto
+     * where the compiler supports it, a switch otherwise — see
+     * dispatchKind()) over a fused micro-op stream derived from the
+     * predecoded code.  The fusion pass recognizes hot adjacent pairs —
+     * compare + conditional branch, load feeding a GF op,
+     * address-generation ALU op feeding a load/store — and Itoh-Tsujii
+     * style gfsqs square chains, and retires them in one dispatch.
+     *
+     * kTranslated additionally runs host code installed with
+     * setTranslation() (src/jit) for the program regions it covers,
+     * deopting to the fused interpreter for everything else.
+     *
+     * All modes are purely host-side optimizations: cycle accounting,
+     * statistics, trap behavior and code-watch-epoch invalidation are
+     * identical to single stepping
+     * (tests/test_dispatch_differential.cc proves it).  run() only
+     * leaves the stepping path when predecode is enabled and no trace
+     * or fault hook is attached; any potentially-trapping situation
+     * bails out, commits nothing, and re-executes through step() so
+     * the architectural trap is raised exactly.
      */
-    void setFastDispatch(bool on) { fast_dispatch_ = on; }
-    bool fastDispatch() const { return fast_dispatch_; }
+    void setDispatchMode(DispatchMode mode) { dispatch_mode_ = mode; }
+    DispatchMode dispatchMode() const { return dispatch_mode_; }
+
+    /**
+     * Install the host-code translation kTranslated dispatch runs
+     * (nullptr uninstalls).  The translation is consulted only when
+     * the dispatch mode is kTranslated and the fast path is usable at
+     * all (predecode on, no trace/fault hook); it must uphold the
+     * bail-before-commit contract (see sim/translation.h).
+     */
+    void setTranslation(std::unique_ptr<Translation> translation);
+    Translation *translation() const { return translation_.get(); }
 
     /** Inner-interpreter flavor this build uses: "computed-goto" or
      *  "switch" (CMake option GFP_THREADED_DISPATCH). */
@@ -185,10 +229,7 @@ class Core
     void requestTrap(TrapKind kind) { requested_trap_ = kind; }
 
   private:
-    struct Flags
-    {
-        bool n = false, z = false, c = false, v = false;
-    };
+    friend class Translation; // architectural-state access for the JIT
 
     void setFlagsSub(uint32_t a, uint32_t b);
     bool condition(Op op) const;
@@ -242,7 +283,8 @@ class Core
     FaultHook fault_hook_;
 
     bool predecode_enabled_ = false;
-    bool fast_dispatch_ = true;
+    DispatchMode dispatch_mode_ = DispatchMode::kFused;
+    std::unique_ptr<Translation> translation_;
     uint32_t predecode_limit_ = 0;        // byte limit of the code region
     uint64_t predecode_epoch_ = 0;        // memory code epoch at build
     std::vector<PredecodedWord> icache_;  // one entry per code word

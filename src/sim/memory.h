@@ -47,7 +47,37 @@ class Memory
      * @p limit bumps codeEpoch().
      */
     void watchCode(uint32_t limit) { watch_limit_ = limit; }
+    uint32_t watchLimit() const { return watch_limit_; }
     uint64_t codeEpoch() const { return code_epoch_; }
+
+    /**
+     * Raw backing store, for host code (the JIT) that performs its own
+     * bounds and code-watch checks before every access.  Writers must
+     * report what they modified through touchRange() so the dirty
+     * window and the code epoch stay truthful.
+     */
+    uint8_t *data() { return bytes_.data(); }
+    const uint8_t *data() const { return bytes_.data(); }
+
+    /**
+     * Record an externally performed modification of [lo, hi) — the
+     * bulk form of what the checked accessors do per write.  Bumps the
+     * code epoch if the range reaches below the watched code limit
+     * (the JIT deopts rather than write there, so in practice it never
+     * does) and widens the dirty window restore() compares.
+     */
+    void
+    touchRange(uint64_t lo, uint64_t hi)
+    {
+        if (lo >= hi)
+            return;
+        if (lo < watch_limit_)
+            ++code_epoch_;
+        if (lo < dirty_lo_)
+            dirty_lo_ = lo;
+        if (hi > dirty_hi_)
+            dirty_hi_ = hi;
+    }
 
     uint8_t read8(uint32_t addr) const;
     uint16_t read16(uint32_t addr) const;

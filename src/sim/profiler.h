@@ -99,6 +99,33 @@ class PcProfile
         }
     }
 
+    /**
+     * Attribute @p count retirements of the same instruction in one
+     * call — how the translated dispatch path replays a block that
+     * executed count times.  Equivalent to count record() calls (all
+     * counters are linear), just without the per-iteration cost.
+     */
+    void
+    record(uint32_t pc, InstrClass cls, unsigned cycles, uint64_t count)
+    {
+        if (count == 0)
+            return;
+        total_instrs_ += count;
+        total_cycles_ += cycles * count;
+        const unsigned ci = static_cast<unsigned>(cls);
+        class_ops_[ci] += count;
+        class_cycles_[ci] += cycles * count;
+        const uint32_t idx = pc >> 2;
+        if ((pc & 3u) == 0 && idx < dense_.size()) {
+            dense_[idx].instrs += count;
+            dense_[idx].cycles += cycles * count;
+        } else {
+            PcCount &c = overflow_[pc];
+            c.instrs += count;
+            c.cycles += cycles * count;
+        }
+    }
+
     uint64_t instrs() const { return total_instrs_; }
     uint64_t cycles() const { return total_cycles_; }
 

@@ -131,6 +131,40 @@ struct CycleStats
         return sumClassOps() == instrs && sumClassCycles() == cycles;
     }
 
+    /**
+     * Accumulate @p o scaled by @p n — what n executions of a block
+     * with per-execution stats o retire.  The translated dispatch path
+     * counts block executions while running and reconstructs the exact
+     * per-instruction totals with this afterwards; since record() is
+     * linear in its inputs, the result is bit-identical to n rounds of
+     * per-instruction record() calls.
+     */
+    void
+    addScaled(const CycleStats &o, uint64_t n)
+    {
+        instrs += o.instrs * n;
+        cycles += o.cycles * n;
+        load_ops += o.load_ops * n;
+        load_cycles += o.load_cycles * n;
+        store_ops += o.store_ops * n;
+        store_cycles += o.store_cycles * n;
+        alu_ops += o.alu_ops * n;
+        alu_cycles += o.alu_cycles * n;
+        branch_ops += o.branch_ops * n;
+        branch_cycles += o.branch_cycles * n;
+        ctrl_ops += o.ctrl_ops * n;
+        ctrl_cycles += o.ctrl_cycles * n;
+        gf_simd_ops += o.gf_simd_ops * n;
+        gf_simd_cycles += o.gf_simd_cycles * n;
+        gf32_ops += o.gf32_ops * n;
+        gf32_cycles += o.gf32_cycles * n;
+        gfcfg_ops += o.gfcfg_ops * n;
+        gfcfg_cycles += o.gfcfg_cycles * n;
+        faults_mem += o.faults_mem * n;
+        faults_reg += o.faults_reg * n;
+        faults_cfg += o.faults_cfg * n;
+    }
+
     CycleStats &
     operator+=(const CycleStats &o)
     {

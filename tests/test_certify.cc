@@ -50,7 +50,7 @@ measuredRun(const std::string &source, CoreKind kind, Dispatch d)
     MeasuredRun out;
     Machine m(source, kind);
     if (d == Dispatch::kPlain)
-        m.core().setFastDispatch(false);
+        m.core().setDispatchMode(DispatchMode::kPlain);
     if (d == Dispatch::kNoPredecode)
         m.core().disablePredecode();
     out.run = m.runToHalt(500'000'000);

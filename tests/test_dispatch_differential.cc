@@ -1,11 +1,14 @@
 /**
  * @file
- * Differential proof that the fused threaded-dispatch fast path is
- * bit-exact with the plain single-stepping interpreter: every catalog
- * kernel, seeded random programs biased toward the fusion patterns,
- * branch-into-fused-pair corners, self-modifying code, and SEU bit
- * flips all run through a fast core and a slow core and must produce
- * identical registers, memory, traps, and full CycleStats.
+ * Differential proof that every accelerated dispatch mode is bit-exact
+ * with the plain single-stepping interpreter: the fused threaded
+ * dispatcher AND the template-JIT translated mode (native backend when
+ * available, plus the portable threaded-code backend forced
+ * explicitly).  Every catalog kernel, seeded random programs biased
+ * toward the fusion patterns, branch-into-fused-pair corners,
+ * self-modifying code, and SEU bit flips all run through each
+ * accelerated core and a slow core and must produce identical
+ * registers, memory, traps, and full CycleStats.
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +19,9 @@
 
 #include "common/random.h"
 #include "isa/encoding.h"
+#include "isa/program.h"
+#include "jit/core_translation.h"
+#include "jit/translator.h"
 #include "kernels/kernel_catalog.h"
 #include "sim/cpu.h"
 #include "sim/machine.h"
@@ -64,6 +70,24 @@ expectRunEq(const RunResult &a, const RunResult &b, const std::string &what)
     expectStatsEq(a.stats, b.stats, what);
 }
 
+/** Translated-mode variants exercised by the differential legs: the
+ *  auto-selected backend (native where GFP_JIT built one, threaded
+ *  otherwise) and the portable threaded backend forced explicitly, so
+ *  the block-IR reference path gets coverage even on native hosts. */
+jit::TranslateOptions
+translateOptsFor(jit::Backend backend, size_t mem_bytes,
+                 uint64_t max_instrs)
+{
+    jit::TranslateOptions topts;
+    // Eager policy: the hostile/random programs here would never
+    // certify, but deopt-to-interpreter must still keep them bit-exact.
+    topts.policy = jit::TranslatePolicy::kEager;
+    topts.backend = backend;
+    topts.mem_bytes = mem_bytes;
+    topts.watchdog_max_instrs = max_instrs;
+    return topts;
+}
+
 /** A raw word program on its own memory + core, no Machine wrapper —
  *  lets the tests control every code byte (invalid words included). */
 struct Rig
@@ -71,13 +95,21 @@ struct Rig
     Memory mem;
     Core core;
 
-    Rig(const std::vector<uint32_t> &words, CoreKind kind, bool fast,
-        size_t mem_bytes = 16 * 1024)
+    Rig(const std::vector<uint32_t> &words, CoreKind kind,
+        DispatchMode mode, size_t mem_bytes = 16 * 1024,
+        jit::Backend backend = jit::Backend::kAuto)
         : mem(mem_bytes), core(mem, kind)
     {
         for (size_t i = 0; i < words.size(); ++i)
             mem.write32(static_cast<uint32_t>(4 * i), words[i]);
-        core.setFastDispatch(fast);
+        core.setDispatchMode(mode);
+        if (mode == DispatchMode::kTranslated) {
+            Program prog;
+            prog.code = words;
+            core.setTranslation(jit::makeCoreTranslation(jit::translate(
+                prog, kind,
+                translateOptsFor(backend, mem_bytes, 500'000'000))));
+        }
         core.enablePredecode(static_cast<uint32_t>(4 * words.size()));
     }
 };
@@ -94,18 +126,37 @@ expectCoresEq(Rig &fast, Rig &slow, const std::string &what)
     expectStatsEq(fast.core.stats(), slow.core.stats(), what);
 }
 
-/** Run the same word program through both dispatchers and compare
+/** The accelerated legs every differential workload runs against the
+ *  plain interpreter: mode + (for translated) backend + a tag. */
+struct Leg
+{
+    DispatchMode mode;
+    jit::Backend backend;
+    const char *tag;
+};
+
+const Leg kLegs[] = {
+    {DispatchMode::kFused, jit::Backend::kAuto, "fused"},
+    {DispatchMode::kTranslated, jit::Backend::kAuto, "translated"},
+    {DispatchMode::kTranslated, jit::Backend::kThreaded,
+     "translated-threaded"},
+};
+
+/** Run the same word program through every dispatcher and compare
  *  everything: end state, trap, per-class statistics. */
 void
 runDifferential(const std::vector<uint32_t> &words, CoreKind kind,
                 uint64_t max_instrs, const std::string &what)
 {
-    Rig fast(words, kind, true);
-    Rig slow(words, kind, false);
-    RunResult rf = fast.core.run(max_instrs);
+    Rig slow(words, kind, DispatchMode::kPlain);
     RunResult rs = slow.core.run(max_instrs);
-    expectRunEq(rf, rs, what);
-    expectCoresEq(fast, slow, what);
+    for (const Leg &leg : kLegs) {
+        Rig fast(words, kind, leg.mode, 16 * 1024, leg.backend);
+        RunResult rf = fast.core.run(max_instrs);
+        const std::string tagged = what + " [" + leg.tag + "]";
+        expectRunEq(rf, rs, tagged);
+        expectCoresEq(fast, slow, tagged);
+    }
 }
 
 uint32_t
@@ -133,19 +184,31 @@ TEST(DispatchDifferential, AllCatalogKernelsMatchPlainStepping)
         CoreKind kind = k.name.find("baseline") != std::string::npos
                             ? CoreKind::kBaseline
                             : CoreKind::kGfProcessor;
-        Machine fast(k.source, kind);
         Machine slow(k.source, kind);
-        slow.core().setFastDispatch(false);
-        ASSERT_TRUE(fast.core().fastDispatch());
-        RunResult rf = fast.runToHalt(5'000'000);
+        slow.core().setDispatchMode(DispatchMode::kPlain);
         RunResult rs = slow.runToHalt(5'000'000);
-        expectRunEq(rf, rs, k.name);
-        for (unsigned r = 0; r < kNumRegs; ++r)
-            EXPECT_EQ(fast.core().reg(r), slow.core().reg(r))
-                << k.name << " r" << r;
-        EXPECT_EQ(fast.core().pc(), slow.core().pc()) << k.name;
-        EXPECT_EQ(fast.memory().snapshot(), slow.memory().snapshot())
-            << k.name;
+        for (const Leg &leg : kLegs) {
+            Machine fast(k.source, kind);
+            fast.core().setDispatchMode(leg.mode);
+            ASSERT_EQ(fast.core().dispatchMode(), leg.mode);
+            if (leg.mode == DispatchMode::kTranslated)
+                fast.core().setTranslation(
+                    jit::makeCoreTranslation(jit::translate(
+                        fast.program(), kind,
+                        translateOptsFor(leg.backend,
+                                         fast.memory().size(),
+                                         5'000'000))));
+            RunResult rf = fast.runToHalt(5'000'000);
+            const std::string what = k.name + " [" + leg.tag + "]";
+            expectRunEq(rf, rs, what);
+            for (unsigned r = 0; r < kNumRegs; ++r)
+                EXPECT_EQ(fast.core().reg(r), slow.core().reg(r))
+                    << what << " r" << r;
+            EXPECT_EQ(fast.core().pc(), slow.core().pc()) << what;
+            EXPECT_EQ(fast.memory().snapshot(),
+                      slow.memory().snapshot())
+                << what;
+        }
     }
 }
 
@@ -358,10 +421,14 @@ TEST(DispatchDifferential, SelfModifyingStoreDefusesExactly)
                     "self-modifying store");
 
     // And the rewritten program must have actually halted (not hit the
-    // watchdog): the store replaced the loop before it spun.
-    Rig rig(words, CoreKind::kGfProcessor, true);
-    RunResult r = rig.core.run(1'000);
-    EXPECT_TRUE(r.halted) << r.trap.describe();
+    // watchdog) on every accelerated path: the store replaced the loop
+    // before it spun.
+    for (const Leg &leg : kLegs) {
+        Rig rig(words, CoreKind::kGfProcessor, leg.mode, 16 * 1024,
+                leg.backend);
+        RunResult r = rig.core.run(1'000);
+        EXPECT_TRUE(r.halted) << leg.tag << ": " << r.trap.describe();
+    }
 }
 
 TEST(DispatchDifferential, SeuFlipInCodeRegionDefusesExactly)
@@ -378,20 +445,27 @@ TEST(DispatchDifferential, SeuFlipInCodeRegionDefusesExactly)
         enc(Op::kHalt),             // 5
     };
     for (unsigned bit : {0u, 5u, 26u}) { // imm, rd2 field, opcode bits
-        Rig fast(words, CoreKind::kGfProcessor, true);
-        Rig slow(words, CoreKind::kGfProcessor, false);
-        RunResult pf = fast.core.run(2);
-        RunResult ps = slow.core.run(2);
-        ASSERT_EQ(pf.trap.kind, TrapKind::kWatchdog);
-        ASSERT_EQ(ps.trap.kind, TrapKind::kWatchdog);
-        fast.core.injectFault(FaultTarget::kDataMemory, 4 * 3 + bit / 8,
-                              bit % 8);
-        slow.core.injectFault(FaultTarget::kDataMemory, 4 * 3 + bit / 8,
-                              bit % 8);
-        RunResult rf = fast.core.run(1'000);
-        RunResult rs = slow.core.run(1'000);
-        expectRunEq(rf, rs, "seu bit " + std::to_string(bit));
-        expectCoresEq(fast, slow, "seu bit " + std::to_string(bit));
+        for (const Leg &leg : kLegs) {
+            Rig fast(words, CoreKind::kGfProcessor, leg.mode, 16 * 1024,
+                     leg.backend);
+            Rig slow(words, CoreKind::kGfProcessor,
+                     DispatchMode::kPlain);
+            RunResult pf = fast.core.run(2);
+            RunResult ps = slow.core.run(2);
+            ASSERT_EQ(pf.trap.kind, TrapKind::kWatchdog);
+            ASSERT_EQ(ps.trap.kind, TrapKind::kWatchdog);
+            fast.core.injectFault(FaultTarget::kDataMemory,
+                                  4 * 3 + bit / 8, bit % 8);
+            slow.core.injectFault(FaultTarget::kDataMemory,
+                                  4 * 3 + bit / 8, bit % 8);
+            RunResult rf = fast.core.run(1'000);
+            RunResult rs = slow.core.run(1'000);
+            const std::string what = std::string("seu bit ") +
+                                     std::to_string(bit) + " [" +
+                                     leg.tag + "]";
+            expectRunEq(rf, rs, what);
+            expectCoresEq(fast, slow, what);
+        }
     }
 }
 
@@ -402,17 +476,22 @@ TEST(DispatchDifferential, SeuMakesWordUndecodable)
     // faulting word.
     std::vector<uint32_t> words = {
         enc(Op::kNop), enc(Op::kNop), enc(Op::kNop), enc(Op::kHalt)};
-    Rig fast(words, CoreKind::kGfProcessor, true);
-    Rig slow(words, CoreKind::kGfProcessor, false);
-    (void)fast.core.run(1);
-    (void)slow.core.run(1);
-    fast.core.injectFault(FaultTarget::kDataMemory, 4 * 2 + 3, 7);
-    slow.core.injectFault(FaultTarget::kDataMemory, 4 * 2 + 3, 7);
-    RunResult rf = fast.core.run(1'000);
-    RunResult rs = slow.core.run(1'000);
-    EXPECT_EQ(rf.trap.kind, TrapKind::kIllegalInstruction);
-    expectRunEq(rf, rs, "undecodable");
-    expectCoresEq(fast, slow, "undecodable");
+    for (const Leg &leg : kLegs) {
+        Rig fast(words, CoreKind::kGfProcessor, leg.mode, 16 * 1024,
+                 leg.backend);
+        Rig slow(words, CoreKind::kGfProcessor, DispatchMode::kPlain);
+        (void)fast.core.run(1);
+        (void)slow.core.run(1);
+        fast.core.injectFault(FaultTarget::kDataMemory, 4 * 2 + 3, 7);
+        slow.core.injectFault(FaultTarget::kDataMemory, 4 * 2 + 3, 7);
+        RunResult rf = fast.core.run(1'000);
+        RunResult rs = slow.core.run(1'000);
+        const std::string what = std::string("undecodable [") +
+                                 leg.tag + "]";
+        EXPECT_EQ(rf.trap.kind, TrapKind::kIllegalInstruction) << what;
+        expectRunEq(rf, rs, what);
+        expectCoresEq(fast, slow, what);
+    }
 }
 
 TEST(DispatchDifferential, ConfigCorruptionTrapsIdentically)
@@ -426,18 +505,23 @@ TEST(DispatchDifferential, ConfigCorruptionTrapsIdentically)
         enc(Op::kGfMuls, 2, 1, 1),       // 2
         enc(Op::kHalt),                  // 3
     };
-    Rig fast(words, CoreKind::kGfProcessor, true);
-    Rig slow(words, CoreKind::kGfProcessor, false);
-    (void)fast.core.run(1);
-    (void)slow.core.run(1);
-    // m=8, flipping bit 57 yields m=10: invalid field width.
-    fast.core.injectFault(FaultTarget::kConfigReg, 0, 57);
-    slow.core.injectFault(FaultTarget::kConfigReg, 0, 57);
-    RunResult rf = fast.core.run(1'000);
-    RunResult rs = slow.core.run(1'000);
-    EXPECT_EQ(rf.trap.kind, TrapKind::kGfConfigCorrupt);
-    expectRunEq(rf, rs, "config corrupt");
-    expectCoresEq(fast, slow, "config corrupt");
+    for (const Leg &leg : kLegs) {
+        Rig fast(words, CoreKind::kGfProcessor, leg.mode, 16 * 1024,
+                 leg.backend);
+        Rig slow(words, CoreKind::kGfProcessor, DispatchMode::kPlain);
+        (void)fast.core.run(1);
+        (void)slow.core.run(1);
+        // m=8, flipping bit 57 yields m=10: invalid field width.
+        fast.core.injectFault(FaultTarget::kConfigReg, 0, 57);
+        slow.core.injectFault(FaultTarget::kConfigReg, 0, 57);
+        RunResult rf = fast.core.run(1'000);
+        RunResult rs = slow.core.run(1'000);
+        const std::string what = std::string("config corrupt [") +
+                                 leg.tag + "]";
+        EXPECT_EQ(rf.trap.kind, TrapKind::kGfConfigCorrupt) << what;
+        expectRunEq(rf, rs, what);
+        expectCoresEq(fast, slow, what);
+    }
 }
 
 TEST(DispatchDifferential, RunawayLoopWatchdogsIdentically)
@@ -488,7 +572,7 @@ TEST(DispatchIntrospection, FusionDumpListsFusedRegions)
         enc(Op::kGfSqs, 2, 2),       // 6
         enc(Op::kHalt),              // 7
     };
-    Rig rig(words, CoreKind::kGfProcessor, true);
+    Rig rig(words, CoreKind::kGfProcessor, DispatchMode::kFused);
     auto dump = rig.core.fusionDump();
     ASSERT_FALSE(dump.empty());
     std::string all;

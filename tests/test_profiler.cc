@@ -79,7 +79,7 @@ profiledRun(const std::string &source, CoreKind kind, Dispatch d)
     ProfiledRun out;
     Machine m(source, kind);
     if (d == Dispatch::kPlain)
-        m.core().setFastDispatch(false);
+        m.core().setDispatchMode(DispatchMode::kPlain);
     if (d == Dispatch::kNoPredecode)
         m.core().disablePredecode();
     out.profile.configure(

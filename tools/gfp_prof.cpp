@@ -10,10 +10,13 @@
  *   file.s              assemble and profile an assembly source file
  *   --list              print every catalog kernel name and exit
  *   --baseline          run a file.s on the baseline core
- *   --dispatch MODE     fused (default) | plain | nopredecode —
- *                       profiles are identical across modes (that
- *                       invariant is tested); this exists to prove it
- *                       and to time the paths
+ *   --dispatch MODE     fused (default) | plain | translated |
+ *                       nopredecode — profiles are identical across
+ *                       modes (that invariant is tested); this exists
+ *                       to prove it and to time the paths.  translated
+ *                       JIT-compiles the kernel (src/jit) and falls
+ *                       back to the interpreter for anything the
+ *                       certificate policy declines
  *   --top N             hotspot lines in the flat profile (default 20)
  *   --scaled-voltage    energy at the paper's 0.7 V SPICE point
  *                       instead of the nominal 0.9 V
@@ -53,6 +56,8 @@
 #include "hwmodel/energy_model.h"
 #include "isa/assembler.h"
 #include "isa/disasm.h"
+#include "jit/core_translation.h"
+#include "jit/translator.h"
 #include "kernels/kernel_catalog.h"
 #include "sim/machine.h"
 #include "sim/profiler.h"
@@ -81,7 +86,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list] [--baseline] [--dispatch "
-                 "fused|plain|nopredecode] [--top N] [--scaled-voltage] "
+                 "fused|plain|translated|nopredecode] [--top N] "
+                 "[--scaled-voltage] "
                  "[--trace FILE] [--metrics FILE] [--max-instrs N] [-q] "
                  "<kernel-name | file.s>\n",
                  argv0);
@@ -252,6 +258,7 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             cli.dispatch = v;
             if (cli.dispatch != "fused" && cli.dispatch != "plain" &&
+                cli.dispatch != "translated" &&
                 cli.dispatch != "nopredecode")
                 return usage(argv[0]);
         } else if (!std::strcmp(a, "--top")) {
@@ -310,10 +317,21 @@ main(int argc, char **argv)
 
     Machine mach(program, kind);
     Core &core = mach.core();
-    if (cli.dispatch == "plain")
-        core.setFastDispatch(false);
-    else if (cli.dispatch == "nopredecode")
+    if (cli.dispatch == "plain") {
+        core.setDispatchMode(DispatchMode::kPlain);
+    } else if (cli.dispatch == "translated") {
+        jit::TranslateOptions topts;
+        topts.mem_bytes = mach.memory().size();
+        topts.watchdog_max_instrs = cli.max_instrs;
+        auto compiled = jit::translate(program, kind, topts);
+        if (!cli.quiet && !compiled->policyNote().empty())
+            std::fprintf(stderr, "gfp-prof: %s\n",
+                         compiled->policyNote().c_str());
+        core.setDispatchMode(DispatchMode::kTranslated);
+        core.setTranslation(jit::makeCoreTranslation(std::move(compiled)));
+    } else if (cli.dispatch == "nopredecode") {
         core.disablePredecode();
+    }
 
     PcProfile prof;
     prof.configure(static_cast<uint32_t>(4 * program.code.size()));
