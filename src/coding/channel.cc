@@ -1,6 +1,7 @@
 #include "coding/channel.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -67,6 +68,57 @@ GilbertElliottChannel::transmitSymbols(std::vector<GFElem> symbols,
             if (stepAndFlip())
                 s ^= static_cast<GFElem>(1u << b);
     return symbols;
+}
+
+GilbertElliottArrivals::GilbertElliottArrivals(double mean_good_s,
+                                               double mean_bad_s,
+                                               double rate_good_hz,
+                                               double rate_bad_hz,
+                                               uint64_t seed)
+    : mean_good_s_(mean_good_s), mean_bad_s_(mean_bad_s),
+      rate_good_hz_(rate_good_hz), rate_bad_hz_(rate_bad_hz), rng_(seed)
+{
+    GFP_ASSERT(mean_good_s > 0 && mean_bad_s > 0,
+               "sojourn means must be positive");
+    GFP_ASSERT(rate_good_hz >= 0 && rate_bad_hz >= 0,
+               "arrival rates must be non-negative");
+}
+
+double
+GilbertElliottArrivals::expDraw(double mean)
+{
+    // Uniform in (0, 1]: the 53-bit mantissa draw can return 0, which
+    // log() must never see.
+    double u =
+        (static_cast<double>(rng_.next64() >> 11) + 1.0) * 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+std::vector<double>
+GilbertElliottArrivals::generate(double duration_s)
+{
+    std::vector<double> arrivals;
+    bool bad = false;
+    double t = 0, bad_time = 0;
+    while (t < duration_s) {
+        const double sojourn =
+            expDraw(bad ? mean_bad_s_ : mean_good_s_);
+        const double end = std::min(t + sojourn, duration_s);
+        const double rate = bad ? rate_bad_hz_ : rate_good_hz_;
+        if (bad)
+            bad_time += end - t;
+        if (rate > 0) {
+            double at = t + expDraw(1.0 / rate);
+            while (at < end) {
+                arrivals.push_back(at);
+                at += expDraw(1.0 / rate);
+            }
+        }
+        t = end;
+        bad = !bad;
+    }
+    bad_fraction_ = duration_s > 0 ? bad_time / duration_s : 0;
+    return arrivals;
 }
 
 std::vector<unsigned>

@@ -75,6 +75,45 @@ class GilbertElliottChannel
 };
 
 /**
+ * Bursty arrival-trace generator: the Gilbert-Elliott chain lifted from
+ * bit errors to *request arrivals*.  A two-state continuous-time chain
+ * (good/bad) with exponential sojourn times modulates a Poisson arrival
+ * process — the good state models background telemetry traffic, the bad
+ * state the burst that follows an outage or a retransmission storm (the
+ * same burst-loss regime that motivates RS erasure repair).  The
+ * service load generator (tools/gfp-loadgen --ge) replays the emitted
+ * timestamps open-loop against gfp-serve.
+ */
+class GilbertElliottArrivals
+{
+  public:
+    /**
+     * @param mean_good_s  mean sojourn in the good state, seconds
+     * @param mean_bad_s   mean sojourn in the bad (burst) state
+     * @param rate_good_hz Poisson arrival rate while good
+     * @param rate_bad_hz  Poisson arrival rate while bad (the burst)
+     */
+    GilbertElliottArrivals(double mean_good_s, double mean_bad_s,
+                           double rate_good_hz, double rate_bad_hz,
+                           uint64_t seed);
+
+    /** Arrival timestamps in [0, duration_s), strictly increasing.
+     *  Deterministic for a given (parameters, seed). */
+    std::vector<double> generate(double duration_s);
+
+    /** Fraction of the last generate() call spent in the bad state. */
+    double badFraction() const { return bad_fraction_; }
+
+  private:
+    /** Exponential draw with mean @p mean (inverse-CDF on a uniform). */
+    double expDraw(double mean);
+
+    double mean_good_s_, mean_bad_s_, rate_good_hz_, rate_bad_hz_;
+    Rng rng_;
+    double bad_fraction_ = 0;
+};
+
+/**
  * Exact-weight error injector: flips exactly @p count random positions
  * (bits or symbols) — the deterministic workload used to exercise a
  * decoder at a chosen error weight.

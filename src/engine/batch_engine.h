@@ -250,6 +250,18 @@ class BatchEngine
     std::vector<JobResult> wait(Ticket ticket);
 
     /**
+     * Jobs submitted but not yet claimed by a worker — the queue-depth
+     * signal admission-control layers watch (src/service uses it to
+     * reject with retry-after once a watermark is crossed).  Lock-free
+     * and monotonic-consistent: the value was exact at some instant
+     * between call and return.
+     */
+    size_t pendingJobs() const
+    {
+        return pending_.load(std::memory_order_acquire);
+    }
+
+    /**
      * Ask every worker to tear down and rebuild its Machine before its
      * next job (lazy, per worker).  The per-job fullReset() already
      * guarantees a pristine machine; this additionally discards the

@@ -67,6 +67,38 @@ Metrics::histogram(const std::string &name) const
     return it == histograms_.end() ? Histogram() : it->second;
 }
 
+double
+Metrics::quantile(const Histogram &h, double q)
+{
+    if (h.count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double target = q * static_cast<double>(h.count);
+    uint64_t below = 0;
+    for (unsigned b = 0; b < kHistBuckets; ++b) {
+        if (!h.buckets[b])
+            continue;
+        const double in_bucket = static_cast<double>(h.buckets[b]);
+        if (static_cast<double>(below) + in_bucket >= target) {
+            // Bucket b covers (2^(b-1), 2^b]; interpolate on the log
+            // scale between its bounds (the +inf bucket degenerates to
+            // the observed max).
+            if (b + 1 == kHistBuckets)
+                return h.max;
+            const double hi = std::ldexp(1.0, b);
+            const double lo = b == 0 ? hi / 2 : std::ldexp(1.0, b - 1);
+            const double frac =
+                in_bucket > 0
+                    ? (target - static_cast<double>(below)) / in_bucket
+                    : 1.0;
+            const double v = lo * std::pow(hi / lo, frac);
+            return std::min(std::max(v, h.min), h.max);
+        }
+        below += h.buckets[b];
+    }
+    return h.max;
+}
+
 void
 Metrics::clear()
 {

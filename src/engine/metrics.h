@@ -71,6 +71,17 @@ class Metrics
     double gauge(const std::string &name) const;
     Histogram histogram(const std::string &name) const;
 
+    /**
+     * Estimate the @p q quantile (0 < q < 1, e.g. 0.5 / 0.99) of a
+     * histogram from its power-of-two buckets by log-linear
+     * interpolation inside the containing bucket, clamped to the
+     * observed [min, max].  Exact when all mass is in one bucket;
+     * otherwise within a factor of 2 by construction — enough for the
+     * p50/p99 latency reporting the serving layer does.  Returns 0 for
+     * an empty histogram.
+     */
+    static double quantile(const Histogram &h, double q);
+
     void clear();
 
     /** {"counters": {...}, "gauges": {...}, "histograms": {...}} */

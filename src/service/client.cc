@@ -1,0 +1,239 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gfp::service {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      sendbuf_(std::move(other.sendbuf_)),
+      reader_(std::move(other.reader_)),
+      last_error_(other.last_error_)
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        sendbuf_ = std::move(other.sendbuf_);
+        reader_ = std::move(other.reader_);
+        last_error_ = other.last_error_;
+    }
+    return *this;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connectUnix(const std::string &path)
+{
+    close();
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        errno = ENAMETOOLONG;
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+bool
+Client::connectTcp(const std::string &host, uint16_t port)
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        errno = EINVAL;
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return false;
+    }
+    // Request frames are small; batching happens in the send buffer,
+    // so trade Nagle delays for latency.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return true;
+}
+
+void
+Client::queueRequest(const RequestHeader &h,
+                     const std::vector<uint8_t> &body)
+{
+    appendRequestFrame(sendbuf_, h, body.data(), body.size());
+}
+
+void
+Client::queueRaw(const uint8_t *frame, size_t len)
+{
+    sendbuf_.insert(sendbuf_.end(), frame, frame + len);
+}
+
+bool
+Client::flush()
+{
+    size_t off = 0;
+    while (off < sendbuf_.size()) {
+        ssize_t n = ::send(fd_, sendbuf_.data() + off,
+                           sendbuf_.size() - off,
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n >= 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            last_error_ = Error::kClosed;
+            sendbuf_.clear();
+            return false;
+        }
+        // Outbound buffer full.  The server may itself be blocked
+        // writing responses we have not read (full-duplex protocol,
+        // finite socket buffers) — so drain the inbound side while we
+        // wait for the pipe to open instead of deadlocking on send.
+        pollfd pfd{fd_, POLLIN | POLLOUT, 0};
+        int pr = ::poll(&pfd, 1, -1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            last_error_ = Error::kClosed;
+            sendbuf_.clear();
+            return false;
+        }
+        if (pfd.revents & POLLIN) {
+            uint8_t buf[64 * 1024];
+            ssize_t r = ::read(fd_, buf, sizeof(buf));
+            if (r <= 0) {
+                last_error_ = Error::kClosed;
+                sendbuf_.clear();
+                return false;
+            }
+            reader_.feed(buf, static_cast<size_t>(r));
+        }
+    }
+    sendbuf_.clear();
+    return true;
+}
+
+bool
+Client::fill(int timeout_ms)
+{
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+        int pr = ::poll(&pfd, 1, timeout_ms);
+        if (pr < 0 && errno == EINTR)
+            continue;
+        if (pr == 0) {
+            last_error_ = Error::kTimeout;
+            return false;
+        }
+        if (pr < 0) {
+            last_error_ = Error::kClosed;
+            return false;
+        }
+        break;
+    }
+    uint8_t buf[64 * 1024];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+        last_error_ = Error::kClosed;
+        return false;
+    }
+    reader_.feed(buf, static_cast<size_t>(n));
+    return true;
+}
+
+bool
+Client::recvResponse(Response *out, int timeout_ms)
+{
+    std::vector<uint8_t> payload;
+    for (;;) {
+        auto next = reader_.next(&payload);
+        if (next == FrameReader::Next::kFrame)
+            break;
+        if (next == FrameReader::Next::kTooBig) {
+            last_error_ = Error::kProtocol;
+            return false;
+        }
+        if (!fill(timeout_ms))
+            return false;
+    }
+    if (!parseResponseHeader(payload.data(), payload.size(),
+                             &out->header)) {
+        last_error_ = Error::kProtocol;
+        return false;
+    }
+    out->body.assign(payload.begin() + kHeaderBytes, payload.end());
+    last_error_ = Error::kNone;
+    return true;
+}
+
+bool
+Client::call(const RequestHeader &h, const std::vector<uint8_t> &body,
+             Response *out)
+{
+    queueRequest(h, body);
+    if (!flush())
+        return false;
+    if (!recvResponse(out))
+        return false;
+    GFP_ASSERT(out->header.id == h.id,
+               "one-shot call got response for id %llu, expected %llu",
+               static_cast<unsigned long long>(out->header.id),
+               static_cast<unsigned long long>(h.id));
+    return true;
+}
+
+} // namespace gfp::service

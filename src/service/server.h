@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The gfp-serve server: a long-running front-end that speaks the wire
+ * protocol (service/wire.h) over unix-domain and/or TCP listeners and
+ * executes request classes (service/request_classes.h) on the batch
+ * engines.
+ *
+ * Threading topology — built for streaming-batch throughput, not
+ * per-request dispatch:
+ *
+ *  - one accept thread per listener;
+ *  - one reader thread per connection: deframes requests, validates,
+ *    runs admission control, and *stages* jobs into per-engine batches;
+ *    a batch is flushed (one submitBatch() call) when the reader has
+ *    drained every complete frame it buffered or the batch reaches
+ *    max_batch — so a pipelining client is automatically coalesced into
+ *    engine-sized batches instead of paying per-request submission;
+ *  - one completer thread per engine: redeems tickets in FIFO order,
+ *    advances each request's state machine, re-stages multi-stage
+ *    requests onto their next engine, and serializes responses.
+ *    Per-engine completers mean a slow class (a poisoned ECDH batch)
+ *    never head-of-line-blocks completions of a fast one.
+ *
+ * Sockets have exactly one framing invariant: any thread may write a
+ * *whole* frame under the connection's write lock.  Rejections and
+ * control responses are written by the reader thread directly (they
+ * must not queue behind compute work — backpressure that waits in the
+ * queue it is protecting is not backpressure).
+ *
+ * Admission control: a request is admitted only while the total queued
+ * jobs across engines (plus the reader's staged jobs) is below
+ * admission_watermark; past it the request is answered kRejectedBusy
+ * with a suggested retry delay derived from the observed per-job
+ * service-time EMA.  Queue overload therefore surfaces as explicit,
+ * cheap rejections while admitted work keeps its latency — the engine
+ * queue never grows without bound.
+ *
+ * Shutdown is a drain: listeners close, in-flight requests finish and
+ * their responses flush, new frames answer kShuttingDown, then reader
+ * threads are unblocked and everything joins.  Every admitted request
+ * is answered exactly once.
+ */
+
+#ifndef GFP_SERVICE_SERVER_H
+#define GFP_SERVICE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace_event.h"
+#include "engine/metrics.h"
+#include "service/request_classes.h"
+#include "service/wire.h"
+
+namespace gfp::service {
+
+class Server
+{
+  public:
+    /** Trace pid for service request tracks (guest tracer uses 1, the
+     *  batch engine 2). */
+    static constexpr int kServicePid = 3;
+
+    struct Options
+    {
+        /** Unix-socket path to listen on; empty disables. */
+        std::string unix_path;
+
+        /** TCP port to listen on (loopback only); 0 disables. */
+        uint16_t tcp_port = 0;
+
+        /** Shared options for all nine batch engines. */
+        BatchEngine::Options engine;
+
+        /** Admission watermark: reject once queued jobs across engines
+         *  reach this many. */
+        size_t admission_watermark = 4096;
+
+        /** Largest per-engine batch a reader flushes in one
+         *  submitBatch(). */
+        size_t max_batch = 512;
+
+        /** Suppress inform() chatter (tests). */
+        bool quiet = false;
+    };
+
+    explicit Server(Options opts);
+
+    /** Stops and joins everything (drain semantics; see drain()). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Open listeners and start the thread topology.  Fatal on bind
+     *  errors (bad path, port in use). */
+    void start();
+
+    /**
+     * Graceful drain: close listeners, answer new frames with
+     * kShuttingDown, wait until every admitted request has been
+     * answered, then tear down threads.  Idempotent.
+     */
+    void drain();
+
+    /** Bound TCP port (after start(); useful with tcp_port = 0 for an
+     *  ephemeral port). */
+    uint16_t tcpPort() const { return bound_tcp_port_; }
+
+    /** Service-level telemetry (request/response counters, per-class
+     *  latency histograms).  Engine metrics live on the engines. */
+    const Metrics &metrics() const { return metrics_; }
+
+    const EngineSet &engines() const { return *engines_; }
+
+    /** Attach a trace log: one "X" span per request (pid 3, tid =
+     *  connection id) plus queue-depth counters.  Caller keeps @p log
+     *  alive until drain() returns.  Call before start(). */
+    void setTraceLog(TraceLog *log) { trace_log_ = log; }
+
+    /**
+     * The service accounting invariant (meaningful after drain()):
+     * every request got exactly one response, and every admitted
+     * request terminated ok/trapped/deadline.  Returns false and warns
+     * with the discrepancy otherwise.
+     */
+    bool countersConsistent() const;
+
+    /** The combined stats document served to kStats: service metrics
+     *  plus every engine's registry, one JSON object. */
+    std::string statsJson() const;
+
+  private:
+    struct Connection;
+
+    /** A redeemed-in-FIFO-order unit of completer work: the ticket of
+     *  one submitted batch and the requests riding on it. */
+    struct BatchItem
+    {
+        BatchEngine::Ticket ticket = 0;
+        std::vector<std::unique_ptr<RequestExec>> execs;
+        std::shared_ptr<Connection> conn;
+    };
+
+    /** Per-engine completion pipeline. */
+    struct EngineLane
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<BatchItem> fifo;
+        std::thread worker;
+    };
+
+    void acceptLoop(int listen_fd, bool is_unix);
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void completerLoop(unsigned lane);
+
+    /** Handle one deframed request payload on the reader thread.
+     *  Returns false when the connection must close (protocol error). */
+    bool handleFrame(const std::shared_ptr<Connection> &conn,
+                     const std::vector<uint8_t> &payload);
+
+    /** Flush every staged per-engine batch of @p conn. */
+    void flushStaged(const std::shared_ptr<Connection> &conn);
+
+    /** Serialize and write one response frame; updates counters,
+     *  latency histograms and the trace. */
+    void respond(const std::shared_ptr<Connection> &conn,
+                 const RequestExec &ex, Status status, uint8_t trap_kind,
+                 const std::vector<uint8_t> &body);
+
+    /** Write a response for a request that never became a RequestExec
+     *  (rejections, malformed frames, control plane).  count_status =
+     *  false when the caller already bumped the status counter (the
+     *  kStats snapshot self-consistency dance). */
+    void respondRaw(const std::shared_ptr<Connection> &conn,
+                    const ResponseHeader &h, const uint8_t *body,
+                    size_t body_len, bool count_status = true);
+
+    /** Stage @p job for @p engine on @p conn; flushes when the staged
+     *  batch reaches max_batch. */
+    void stageJob(const std::shared_ptr<Connection> &conn, EngineId engine,
+                  Job job, std::unique_ptr<RequestExec> ex);
+
+    /** Drive @p ex after @p prev completed (or at admission with
+     *  nullptr): submit hops, or respond when terminal. */
+    void advanceAndRoute(const std::shared_ptr<Connection> &conn,
+                         std::unique_ptr<RequestExec> ex,
+                         const JobResult *prev);
+
+    uint32_t retryAfterUs() const;
+    double nowUs() const;
+
+    Options opts_;
+    std::unique_ptr<EngineSet> engines_;
+    Metrics metrics_;
+    TraceLog *trace_log_ = nullptr;
+    std::chrono::steady_clock::time_point epoch_;
+
+    std::vector<int> listen_fds_;
+    std::vector<std::thread> accept_threads_;
+    uint16_t bound_tcp_port_ = 0;
+
+    std::vector<std::unique_ptr<EngineLane>> lanes_;
+
+    std::mutex conns_mu_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+    std::atomic<uint64_t> next_conn_id_{1};
+
+    /** Admitted-but-unanswered requests; drain() waits for zero. */
+    std::atomic<size_t> in_flight_{0};
+    std::mutex drain_mu_;
+    std::condition_variable drain_cv_;
+
+    /** EMA of per-job engine service time, microseconds (feeds
+     *  retry-after hints). */
+    std::atomic<uint32_t> ema_job_us_{20};
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace gfp::service
+
+#endif // GFP_SERVICE_SERVER_H

@@ -1,0 +1,187 @@
+#include "service/wire.h"
+
+#include <cstring>
+
+namespace gfp::service {
+
+const char *
+requestClassName(RequestClass cls)
+{
+    switch (cls) {
+    case RequestClass::kRsSyndrome:
+        return "rs_syndrome";
+    case RequestClass::kRsBma:
+        return "rs_bma";
+    case RequestClass::kRsChien:
+        return "rs_chien";
+    case RequestClass::kRsForney:
+        return "rs_forney";
+    case RequestClass::kRsDecode:
+        return "rs_decode";
+    case RequestClass::kBchDecode:
+        return "bch_decode";
+    case RequestClass::kAesCtrBlock:
+        return "aes_ctr_block";
+    case RequestClass::kEcdhShared:
+        return "ecdh_shared";
+    case RequestClass::kRsErasure:
+        return "rs_erasure";
+    case RequestClass::kStats:
+        return "stats";
+    case RequestClass::kPing:
+        return "ping";
+    }
+    return "unknown";
+}
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+    case Status::kOk:
+        return "ok";
+    case Status::kTrapped:
+        return "trapped";
+    case Status::kRejectedBusy:
+        return "rejected_busy";
+    case Status::kBadRequest:
+        return "bad_request";
+    case Status::kDeadlineExpired:
+        return "deadline_expired";
+    case Status::kShuttingDown:
+        return "shutting_down";
+    case Status::kUnknownClass:
+        return "unknown_class";
+    }
+    return "unknown";
+}
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t
+getU16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+appendRequestFrame(std::vector<uint8_t> &out, const RequestHeader &h,
+                   const uint8_t *body, size_t body_len)
+{
+    putU32(out, static_cast<uint32_t>(kHeaderBytes + body_len));
+    out.push_back(h.version);
+    out.push_back(static_cast<uint8_t>(h.cls));
+    putU16(out, h.flags);
+    putU32(out, h.deadline_us);
+    putU64(out, h.id);
+    if (body_len)
+        out.insert(out.end(), body, body + body_len);
+}
+
+void
+appendResponseFrame(std::vector<uint8_t> &out, const ResponseHeader &h,
+                    const uint8_t *body, size_t body_len)
+{
+    putU32(out, static_cast<uint32_t>(kHeaderBytes + body_len));
+    out.push_back(h.version);
+    out.push_back(static_cast<uint8_t>(h.status));
+    out.push_back(static_cast<uint8_t>(h.cls));
+    out.push_back(h.trap_kind);
+    putU32(out, h.aux_us);
+    putU64(out, h.id);
+    if (body_len)
+        out.insert(out.end(), body, body + body_len);
+}
+
+bool
+parseRequestHeader(const uint8_t *payload, size_t len, RequestHeader *h)
+{
+    if (len < kHeaderBytes)
+        return false;
+    h->version = payload[0];
+    h->cls = static_cast<RequestClass>(payload[1]);
+    h->flags = getU16(payload + 2);
+    h->deadline_us = getU32(payload + 4);
+    h->id = getU64(payload + 8);
+    return true;
+}
+
+bool
+parseResponseHeader(const uint8_t *payload, size_t len, ResponseHeader *h)
+{
+    if (len < kHeaderBytes)
+        return false;
+    h->version = payload[0];
+    h->status = static_cast<Status>(payload[1]);
+    h->cls = static_cast<RequestClass>(payload[2]);
+    h->trap_kind = payload[3];
+    h->aux_us = getU32(payload + 4);
+    h->id = getU64(payload + 8);
+    return true;
+}
+
+void
+FrameReader::feed(const uint8_t *data, size_t len)
+{
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow the buffer without bound.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+FrameReader::Next
+FrameReader::next(std::vector<uint8_t> *payload)
+{
+    if (buf_.size() - pos_ < 4)
+        return Next::kNeedMore;
+    const uint32_t declared = getU32(buf_.data() + pos_);
+    if (declared > max_frame_)
+        return Next::kTooBig;
+    if (buf_.size() - pos_ < 4 + static_cast<size_t>(declared))
+        return Next::kNeedMore;
+    payload->assign(buf_.begin() + static_cast<long>(pos_) + 4,
+                    buf_.begin() + static_cast<long>(pos_) + 4 + declared);
+    pos_ += 4 + declared;
+    return Next::kFrame;
+}
+
+} // namespace gfp::service

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The gfp-serve wire protocol: length-prefixed binary frames over a
+ * unix-domain or TCP stream socket.  docs/SERVICE.md is the normative
+ * specification; this header is its implementation, shared by the
+ * server (src/service/server.h), the client library
+ * (src/service/client.h), the load generator (tools/gfp-loadgen) and
+ * the protocol tests.
+ *
+ * Framing (everything little-endian):
+ *
+ *     frame    := u32 payload_len || payload
+ *     request  := u8 version | u8 class | u16 flags  | u32 deadline_us
+ *               | u64 id | body
+ *     response := u8 version | u8 status | u8 class  | u8 trap_kind
+ *               | u32 aux_us | u64 id | body
+ *
+ * Both headers are exactly 16 bytes.  `id` is an opaque correlation
+ * token chosen by the client and echoed verbatim; responses on one
+ * connection may arrive out of request order (the server pipelines
+ * batches with different service times), so clients MUST match on id,
+ * not position.  `flags` is reserved and must be zero.  `deadline_us`
+ * (0 = none) is a server-side budget measured from frame receipt.
+ * `aux_us` carries the server-side latency for terminal statuses and
+ * the suggested retry delay for kRejectedBusy.
+ *
+ * Versioning rule: the version byte only changes when an existing
+ * field moves or changes meaning.  New request classes and new status
+ * codes are backward-compatible additions — old servers answer unknown
+ * classes with kUnknownClass, old clients treat unknown statuses as
+ * errors.
+ */
+
+#ifndef GFP_SERVICE_WIRE_H
+#define GFP_SERVICE_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gfp::service {
+
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kHeaderBytes = 16;
+
+/** Largest accepted *request* frame payload.  Every defined request
+ *  body fits in a few hundred bytes; the cap bounds buffering per
+ *  connection and makes oversized-length fuzz frames an immediate,
+ *  connection-fatal protocol error. */
+constexpr size_t kMaxRequestFrame = 4096;
+
+/** Largest accepted *response* frame payload (the kStats metrics
+ *  document is the only large response). */
+constexpr size_t kMaxResponseFrame = 1u << 20;
+
+/**
+ * Request classes, mapped onto the kernel catalog (the paper's
+ * reference parameters: RS(255,239,8) over GF(2^8)/0x11d, BCH(31,11,5)
+ * over GF(2^5), AES-128, K-233).  Body layouts in docs/SERVICE.md.
+ */
+enum class RequestClass : uint8_t {
+    kRsSyndrome = 0x01,  ///< 255B rx -> 16B syndromes
+    kRsBma = 0x02,       ///< 16B synd -> 12B lambda + u32 llen
+    kRsChien = 0x03,     ///< 12B lambda -> 12B locs + u32 nloc
+    kRsForney = 0x04,    ///< 16B+12B+12B+u32 -> 12B evals
+    kRsDecode = 0x05,    ///< 255B rx -> u8 ok + 255B codeword
+    kBchDecode = 0x06,   ///< 31B rx bits -> u8 ok + 31B codeword
+    kAesCtrBlock = 0x07, ///< 176B round keys + 16B counter -> 16B keystream
+    kEcdhShared = 0x08,  ///< 32B qx + 32B qy + 16B kwords + u32 kbits -> 64B
+    kRsErasure = 0x09,   ///< 255B rx + u8 e + e positions -> u8 ok + 255B
+
+    // Control plane.
+    kStats = 0x40, ///< empty -> metrics JSON document
+    kPing = 0x41,  ///< <= 64B -> echoed verbatim
+};
+
+enum class Status : uint8_t {
+    kOk = 0,
+    kTrapped = 1,         ///< guest trap; trap_kind names it, empty body
+    kRejectedBusy = 2,    ///< backpressure; aux_us = suggested retry delay
+    kBadRequest = 3,      ///< malformed header/body for the class
+    kDeadlineExpired = 4, ///< deadline_us elapsed before completion
+    kShuttingDown = 5,    ///< server draining; request was not admitted
+    kUnknownClass = 6,    ///< class byte not recognized
+};
+
+const char *requestClassName(RequestClass cls);
+const char *statusName(Status status);
+
+struct RequestHeader
+{
+    uint8_t version = kWireVersion;
+    RequestClass cls = RequestClass::kPing;
+    uint16_t flags = 0;
+    uint32_t deadline_us = 0;
+    uint64_t id = 0;
+};
+
+struct ResponseHeader
+{
+    uint8_t version = kWireVersion;
+    Status status = Status::kOk;
+    RequestClass cls = RequestClass::kPing;
+    uint8_t trap_kind = 0;
+    uint32_t aux_us = 0;
+    uint64_t id = 0;
+};
+
+// ---- little-endian primitives (shared by body marshalling) ----
+void putU16(std::vector<uint8_t> &out, uint16_t v);
+void putU32(std::vector<uint8_t> &out, uint32_t v);
+void putU64(std::vector<uint8_t> &out, uint64_t v);
+uint16_t getU16(const uint8_t *p);
+uint32_t getU32(const uint8_t *p);
+uint64_t getU64(const uint8_t *p);
+
+/** Append a complete frame (length prefix + header + body) to @p out. */
+void appendRequestFrame(std::vector<uint8_t> &out, const RequestHeader &h,
+                        const uint8_t *body, size_t body_len);
+void appendResponseFrame(std::vector<uint8_t> &out,
+                         const ResponseHeader &h, const uint8_t *body,
+                         size_t body_len);
+
+/** Parse a frame payload's header; false if too short.  Does NOT check
+ *  the version byte — the server wants to answer a version mismatch
+ *  with kBadRequest on the request's own id. */
+bool parseRequestHeader(const uint8_t *payload, size_t len,
+                        RequestHeader *h);
+bool parseResponseHeader(const uint8_t *payload, size_t len,
+                         ResponseHeader *h);
+
+/**
+ * Incremental frame deframer for one stream direction.  feed() bytes
+ * as they arrive; next() yields complete frame payloads.  A declared
+ * length above the limit is unrecoverable (the stream offset is lost),
+ * so the owner must close the connection on kTooBig.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(size_t max_frame) : max_frame_(max_frame) {}
+
+    void feed(const uint8_t *data, size_t len);
+
+    enum class Next {
+        kFrame,    ///< *payload filled with one complete frame
+        kNeedMore, ///< no complete frame buffered
+        kTooBig,   ///< declared length exceeds the limit — close
+    };
+    Next next(std::vector<uint8_t> *payload);
+
+    /** Bytes buffered but not yet consumed (diagnostics). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    size_t max_frame_;
+};
+
+} // namespace gfp::service
+
+#endif // GFP_SERVICE_WIRE_H

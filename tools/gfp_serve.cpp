@@ -1,0 +1,187 @@
+/**
+ * @file
+ * gfp-serve — the GF-coding service daemon: a long-running front-end
+ * over the batch engines speaking the wire protocol of docs/SERVICE.md
+ * on a unix socket and/or loopback TCP.
+ *
+ * Usage:
+ *   gfp-serve [options]
+ *
+ *   --unix PATH         listen on a unix-domain socket at PATH
+ *   --tcp PORT          listen on 127.0.0.1:PORT (0 = ephemeral; the
+ *                       bound port is printed).  At least one of
+ *                       --unix/--tcp is required
+ *   --threads N         worker threads per engine (default 1; there
+ *                       are nine engines — size the sum to the box)
+ *   --dispatch MODE     fused (default) | plain | translated — the
+ *                       engine dispatch mode; translated JIT-compiles
+ *                       each kernel once and shares it across workers
+ *   --watermark N       admission watermark: reject with retry-after
+ *                       once queued jobs reach N (default 4096)
+ *   --max-batch N       largest per-engine batch per submit (default
+ *                       512)
+ *   --max-instrs N      per-job watchdog budget (default 500000000)
+ *   --metrics FILE      write the combined stats JSON on exit
+ *   --trace FILE        write a Chrome trace_event JSON of request
+ *                       spans (pid 3) on exit
+ *   --duration SECONDS  serve for a fixed time then drain (default:
+ *                       until SIGINT/SIGTERM)
+ *   -q, --quiet         suppress status chatter
+ *
+ * SIGINT/SIGTERM trigger a graceful drain: listeners close, admitted
+ * requests finish and flush, then the process exits 0.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/trace_event.h"
+#include "service/server.h"
+
+using namespace gfp;
+using namespace gfp::service;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--unix PATH] [--tcp PORT] [--threads N]\n"
+                 "       [--dispatch fused|plain|translated]\n"
+                 "       [--watermark N] [--max-batch N] [--max-instrs N]\n"
+                 "       [--metrics FILE] [--trace FILE]\n"
+                 "       [--duration SECONDS] [-q]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Server::Options opts;
+    opts.engine.threads = 1;
+    std::string metrics_path, trace_path;
+    double duration_s = 0;
+    bool have_tcp = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            opts.unix_path = need("--unix");
+        }
+        else if (arg == "--tcp") {
+            opts.tcp_port =
+                static_cast<uint16_t>(std::atoi(need("--tcp")));
+            have_tcp = true;
+        }
+        else if (arg == "--threads") {
+            opts.engine.threads =
+                static_cast<unsigned>(std::atoi(need("--threads")));
+        }
+        else if (arg == "--dispatch") {
+            std::string mode = need("--dispatch");
+            if (mode == "fused")
+                opts.engine.dispatch = DispatchMode::kFused;
+            else if (mode == "plain")
+                opts.engine.dispatch = DispatchMode::kPlain;
+            else if (mode == "translated")
+                opts.engine.dispatch = DispatchMode::kTranslated;
+            else
+                return usage(argv[0]);
+        }
+        else if (arg == "--watermark") {
+            opts.admission_watermark =
+                static_cast<size_t>(std::atoll(need("--watermark")));
+        }
+        else if (arg == "--max-batch") {
+            opts.max_batch =
+                static_cast<size_t>(std::atoll(need("--max-batch")));
+        }
+        else if (arg == "--max-instrs") {
+            opts.engine.max_instrs =
+                static_cast<uint64_t>(std::atoll(need("--max-instrs")));
+        }
+        else if (arg == "--metrics") {
+            metrics_path = need("--metrics");
+        }
+        else if (arg == "--trace") {
+            trace_path = need("--trace");
+        }
+        else if (arg == "--duration") {
+            duration_s = std::atof(need("--duration"));
+        }
+        else if (arg == "-q" || arg == "--quiet") {
+            opts.quiet = true;
+        }
+        else {
+            return usage(argv[0]);
+        }
+    }
+    if (opts.unix_path.empty() && !have_tcp)
+        return usage(argv[0]);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    TraceLog trace;
+    Server server(std::move(opts));
+    if (!trace_path.empty())
+        server.setTraceLog(&trace);
+    server.start();
+    if (server.tcpPort())
+        std::printf("gfp-serve ready tcp_port=%u\n", server.tcpPort());
+    else
+        std::printf("gfp-serve ready\n");
+    std::fflush(stdout);
+
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_stop) {
+        usleep(50 * 1000);
+        if (duration_s > 0) {
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (elapsed >= duration_s)
+                break;
+        }
+    }
+
+    server.drain();
+    bool consistent = server.countersConsistent();
+    if (!metrics_path.empty()) {
+        FILE *f = std::fopen(metrics_path.c_str(), "wb");
+        if (f) {
+            std::string doc = server.statsJson();
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fclose(f);
+        }
+    }
+    if (!trace_path.empty())
+        trace.writeTo(trace_path);
+    return consistent ? 0 : 1;
+}
