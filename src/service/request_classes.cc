@@ -58,6 +58,18 @@ hop(EngineId engine, Job job)
     return r;
 }
 
+/** Kernel-produced Chien locations are untrusted output: anything
+ *  outside [0, n) (or shorter than nloc) must fail the decode before
+ *  it becomes a host-buffer index. */
+bool
+locsInRange(const std::vector<uint8_t> &locs, uint32_t nloc, unsigned n)
+{
+    if (locs.size() < nloc)
+        return false;
+    return std::all_of(locs.begin(), locs.begin() + nloc,
+                       [n](uint8_t l) { return l < n; });
+}
+
 /** u8 ok + codeword (zeros when failed) — decode-class response. */
 std::vector<uint8_t>
 decodeResponse(bool ok, const std::vector<uint8_t> &codeword, unsigned n)
@@ -262,7 +274,8 @@ advanceDecode(const EngineSet &engines, RequestExec &ex,
     case 3: {
         ex.locs = prev->bytes("locs");
         ex.nloc = prev->word("nloc");
-        if (ex.nloc != ex.llen || ex.llen > t)
+        if (ex.nloc != ex.llen || ex.llen > t ||
+            !locsInRange(ex.locs, ex.nloc, n))
             return finish(Status::kOk, decodeResponse(false, {}, n));
         if (bch) {
             // Binary code: the error value at a located position is
@@ -280,6 +293,8 @@ advanceDecode(const EngineSet &engines, RequestExec &ex,
     }
     case 4: {
         const auto &evals = prev->bytes("evals");
+        if (evals.size() < ex.nloc)
+            return finish(Status::kOk, decodeResponse(false, {}, n));
         auto fixed = ex.work;
         for (uint32_t i = 0; i < ex.nloc; ++i)
             fixed[ex.locs[i]] ^= evals[i];
@@ -333,6 +348,9 @@ advanceErasure(const EngineSet &engines, RequestExec &ex,
     }
     case 2: {
         const auto &evals = prev->bytes("evals");
+        if (evals.size() < ex.nloc)
+            return finish(Status::kOk,
+                          decodeResponse(false, {}, kRsN));
         auto fixed = ex.work;
         for (uint32_t i = 0; i < ex.nloc; ++i)
             fixed[ex.locs[i]] ^= evals[i];

@@ -71,7 +71,6 @@ struct Server::Connection
 {
     int fd = -1;
     uint64_t id = 0;
-    std::thread reader;
     std::mutex write_mu;
     std::atomic<bool> write_failed{false};
 
@@ -115,6 +114,9 @@ void
 Server::start()
 {
     GFP_ASSERT(!started_.load(), "Server::start() called twice");
+    GFP_ASSERT(!opts_.unix_path.empty() || opts_.tcp_port.has_value(),
+               "Server needs at least one listener (unix_path or "
+               "tcp_port)");
     epoch_ = std::chrono::steady_clock::now();
     if (trace_log_) {
         trace_log_->processName(kServicePid, "gfp-serve");
@@ -130,17 +132,37 @@ Server::start()
             GFP_FATAL("unix path too long: %s", opts_.unix_path.c_str());
         std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
                      sizeof(addr.sun_path) - 1);
-        ::unlink(opts_.unix_path.c_str());
         if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof(addr)) < 0)
-            GFP_FATAL("bind(%s): %s", opts_.unix_path.c_str(),
-                      std::strerror(errno));
+                   sizeof(addr)) < 0) {
+            if (errno != EADDRINUSE)
+                GFP_FATAL("bind(%s): %s", opts_.unix_path.c_str(),
+                          std::strerror(errno));
+            // A socket file already exists.  Probe it before stealing
+            // the path: a live server accepts the connect; a stale file
+            // left by a crashed instance refuses it.
+            int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (probe < 0)
+                GFP_FATAL("socket(AF_UNIX): %s", std::strerror(errno));
+            int rc = ::connect(probe,
+                               reinterpret_cast<sockaddr *>(&addr),
+                               sizeof(addr));
+            ::close(probe);
+            if (rc == 0)
+                GFP_FATAL("%s: another server is listening on this "
+                          "socket",
+                          opts_.unix_path.c_str());
+            ::unlink(opts_.unix_path.c_str());
+            if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr)) < 0)
+                GFP_FATAL("bind(%s): %s", opts_.unix_path.c_str(),
+                          std::strerror(errno));
+        }
         if (::listen(fd, 128) < 0)
             GFP_FATAL("listen(%s): %s", opts_.unix_path.c_str(),
                       std::strerror(errno));
         listen_fds_.push_back(fd);
     }
-    if (opts_.tcp_port != 0 || opts_.unix_path.empty()) {
+    if (opts_.tcp_port.has_value()) {
         int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0)
             GFP_FATAL("socket(AF_INET): %s", std::strerror(errno));
@@ -149,10 +171,10 @@ Server::start()
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port = htons(opts_.tcp_port);
+        addr.sin_port = htons(*opts_.tcp_port);
         if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
                    sizeof(addr)) < 0)
-            GFP_FATAL("bind(tcp %u): %s", opts_.tcp_port,
+            GFP_FATAL("bind(tcp %u): %s", *opts_.tcp_port,
                       std::strerror(errno));
         if (::listen(fd, 128) < 0)
             GFP_FATAL("listen(tcp): %s", std::strerror(errno));
@@ -208,10 +230,14 @@ Server::acceptLoop(int listen_fd, bool)
                 return;
             }
             conns_.push_back(conn);
+            ++live_readers_;
             metrics_.set("connections_active",
                          static_cast<double>(conns_.size()));
         }
-        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+        // Detached: a reader prunes its own connection on exit (it
+        // cannot join itself); drain() waits on live_readers_ instead
+        // of thread handles.
+        std::thread([this, conn] { readerLoop(conn); }).detach();
     }
 }
 
@@ -262,15 +288,24 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
     else {
         // EOF from a well-behaved client: stop reading but keep the fd
         // open — completers may still be writing responses for
-        // in-flight requests on this connection.
+        // in-flight requests on this connection.  Their BatchItems hold
+        // shared_ptrs, so the fd closes (Connection dtor) only once the
+        // last in-flight response has flushed.
         ::shutdown(conn->fd, SHUT_RD);
     }
+    // Prune: drop the server's reference so a churning client does not
+    // accumulate dead connections (and their fds) until drain().
     {
         std::lock_guard<std::mutex> lock(conns_mu_);
-        size_t live = 0;
-        for (const auto &c : conns_)
-            live += (c->id != conn->id);
-        metrics_.set("connections_active", static_cast<double>(live));
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [&](const auto &c) {
+                                        return c.get() == conn.get();
+                                    }),
+                     conns_.end());
+        metrics_.set("connections_active",
+                     static_cast<double>(conns_.size()));
+        --live_readers_;
+        readers_cv_.notify_all();
     }
 }
 
@@ -446,10 +481,11 @@ Server::completerLoop(unsigned lane_idx)
 
             const uint32_t host_us = static_cast<uint32_t>(
                 std::min(res.host_seconds * 1e6, 1e9));
-            const uint32_t ema =
-                ema_job_us_.load(std::memory_order_relaxed);
-            ema_job_us_.store((7 * ema + host_us) / 8,
-                              std::memory_order_relaxed);
+            uint32_t ema = ema_job_us_.load(std::memory_order_relaxed);
+            while (!ema_job_us_.compare_exchange_weak(
+                ema, (7 * ema + host_us) / 8,
+                std::memory_order_relaxed))
+                ;
 
             if (ex->deadline_us != 0) {
                 const double elapsed_us =
@@ -603,18 +639,20 @@ Server::drain()
         lane->worker.join();
     }
 
-    // Unblock and join the readers.
+    // Unblock the readers (they prune their own connections on exit)
+    // and wait for the last of them to go.
     std::vector<std::shared_ptr<Connection>> conns;
     {
         std::lock_guard<std::mutex> lock(conns_mu_);
-        conns.swap(conns_);
+        conns = conns_;
     }
     for (auto &conn : conns)
         ::shutdown(conn->fd, SHUT_RDWR);
-    for (auto &conn : conns)
-        if (conn->reader.joinable())
-            conn->reader.join();
     conns.clear();
+    {
+        std::unique_lock<std::mutex> lock(conns_mu_);
+        readers_cv_.wait(lock, [&] { return live_readers_ == 0; });
+    }
     metrics_.set("connections_active", 0);
 
     if (!opts_.unix_path.empty())

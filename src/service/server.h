@@ -50,6 +50,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,8 +74,9 @@ class Server
         /** Unix-socket path to listen on; empty disables. */
         std::string unix_path;
 
-        /** TCP port to listen on (loopback only); 0 disables. */
-        uint16_t tcp_port = 0;
+        /** TCP port to listen on (loopback only); nullopt disables,
+         *  0 binds an ephemeral port (read it back via tcpPort()). */
+        std::optional<uint16_t> tcp_port;
 
         /** Shared options for all nine batch engines. */
         BatchEngine::Options engine;
@@ -212,6 +214,10 @@ class Server
 
     std::mutex conns_mu_;
     std::vector<std::shared_ptr<Connection>> conns_;
+    /** Reader threads run detached; this counts the ones still alive so
+     *  drain() can wait for them (readers_cv_, under conns_mu_). */
+    size_t live_readers_ = 0;
+    std::condition_variable readers_cv_;
     std::atomic<uint64_t> next_conn_id_{1};
 
     /** Admitted-but-unanswered requests; drain() waits for zero. */

@@ -13,9 +13,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <set>
 #include <thread>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "coding/bch.h"
@@ -755,6 +758,136 @@ TEST(Service, TcpListenerServesTheSameProtocol)
     client.close();
     server.drain();
     EXPECT_TRUE(server.countersConsistent());
+}
+
+TEST(Service, UnixPlusEphemeralTcpOpensBothListeners)
+{
+    auto opts = baseOptions(uniqueSocketPath());
+    opts.tcp_port = 0; // ephemeral — must not be read as "disabled"
+    std::string path = opts.unix_path;
+    Server server(std::move(opts));
+    server.start();
+    ASSERT_GT(server.tcpPort(), 0);
+
+    Client over_unix, over_tcp;
+    ASSERT_TRUE(over_unix.connectUnix(path));
+    ASSERT_TRUE(over_tcp.connectTcp("127.0.0.1", server.tcpPort()));
+    for (Client *client : {&over_unix, &over_tcp}) {
+        RequestHeader h;
+        h.cls = RequestClass::kPing;
+        h.id = 1;
+        Response resp;
+        ASSERT_TRUE(client->call(h, {0xab}, &resp));
+        EXPECT_EQ(resp.header.status, Status::kOk);
+    }
+    over_unix.close();
+    over_tcp.close();
+    server.drain();
+    EXPECT_TRUE(server.countersConsistent());
+}
+
+TEST(Service, DisconnectedConnectionsArePruned)
+{
+    auto opts = baseOptions(uniqueSocketPath());
+    std::string path = opts.unix_path;
+    Server server(std::move(opts));
+    server.start();
+
+    const unsigned kChurn = 32;
+    for (unsigned i = 0; i < kChurn; ++i) {
+        Client client;
+        ASSERT_TRUE(client.connectUnix(path));
+        RequestHeader h;
+        h.cls = RequestClass::kPing;
+        h.id = i;
+        Response resp;
+        ASSERT_TRUE(client.call(h, {}, &resp));
+        client.close();
+    }
+
+    // Readers notice the EOFs asynchronously; the gauge must converge
+    // to zero without drain() (the leak the gauge would otherwise hide).
+    double active = -1;
+    for (unsigned spin = 0; spin < 500; ++spin) {
+        active = server.metrics().gauge("connections_active");
+        if (active == 0)
+            break;
+        usleep(10 * 1000);
+    }
+    EXPECT_EQ(active, 0) << "disconnected connections never pruned";
+    EXPECT_EQ(server.metrics().counter("connections_total"), kChurn);
+
+    server.drain();
+    EXPECT_TRUE(server.countersConsistent());
+}
+
+TEST(Service, KernelProducedLocationsAreRangeChecked)
+{
+    // Chien locations are kernel output and therefore untrusted: a
+    // buggy/miscompiled kernel reporting a location past n must fail
+    // the decode, not index past the host-side codeword buffer.
+    BatchEngine::Options eopts;
+    eopts.threads = 1;
+    EngineSet engines(eopts);
+
+    RequestExec ex;
+    ex.cls = RequestClass::kBchDecode;
+    ex.stage = 3;
+    ex.work.assign(kBchN, 0);
+    ex.llen = 2;
+
+    JobResult res;
+    res.outputs["locs"] = std::vector<uint8_t>(12, 0);
+    res.outputs["locs"][0] = 200; // far past n = 31
+    res.outputs["locs"][1] = 3;
+    res.words["nloc"] = 2;
+
+    StepResult step = advance(engines, ex, &res);
+    ASSERT_TRUE(step.done);
+    EXPECT_EQ(step.status, Status::kOk);
+    ASSERT_FALSE(step.response.empty());
+    EXPECT_EQ(step.response[0], 0) << "OOB location must fail decode";
+
+    // Same guard on the Forney path: fewer error values than claimed
+    // locations must fail the decode, not read past evals.
+    RequestExec rs;
+    rs.cls = RequestClass::kRsDecode;
+    rs.stage = 4;
+    rs.work.assign(kRsN, 0);
+    rs.locs = {1, 2};
+    rs.nloc = 2;
+
+    JobResult forney;
+    forney.outputs["evals"] = {0x5a}; // one eval, two locations
+    StepResult fstep = advance(engines, rs, &forney);
+    ASSERT_TRUE(fstep.done);
+    EXPECT_EQ(fstep.status, Status::kOk);
+    ASSERT_FALSE(fstep.response.empty());
+    EXPECT_EQ(fstep.response[0], 0) << "short evals must fail decode";
+}
+
+TEST(Service, StaleSocketFileIsReclaimed)
+{
+    std::string path = uniqueSocketPath();
+    // Fabricate a crash leftover: a bound-then-abandoned socket file.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);
+
+    ServicePair sp(baseOptions(path));
+    RequestHeader h;
+    h.cls = RequestClass::kPing;
+    h.id = 9;
+    Response resp;
+    ASSERT_TRUE(sp.client.call(h, {}, &resp));
+    EXPECT_EQ(resp.header.status, Status::kOk);
 }
 
 // ---- serving-layer helpers ----

@@ -79,7 +79,6 @@ main(int argc, char **argv)
     opts.engine.threads = 1;
     std::string metrics_path, trace_path;
     double duration_s = 0;
-    bool have_tcp = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -96,7 +95,6 @@ main(int argc, char **argv)
         else if (arg == "--tcp") {
             opts.tcp_port =
                 static_cast<uint16_t>(std::atoi(need("--tcp")));
-            have_tcp = true;
         }
         else if (arg == "--threads") {
             opts.engine.threads =
@@ -141,7 +139,7 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (opts.unix_path.empty() && !have_tcp)
+    if (opts.unix_path.empty() && !opts.tcp_port.has_value())
         return usage(argv[0]);
 
     std::signal(SIGINT, onSignal);
